@@ -1,0 +1,136 @@
+"""Ablations for the design choices DESIGN.md calls out (not paper figures).
+
+* lazy bucket greedy vs naive re-scan;
+* sparse tuple traffic vs dense vectors (Section III-C optimisation);
+* SUBSIM vs plain reverse BFS generation (Fig 7's mechanism);
+* per-machine workload balance vs the Corollary 1 bound.
+"""
+
+import pytest
+from conftest import QUICK
+
+from repro.experiments import (
+    communication_scaling,
+    epsilon_sweep,
+    heterogeneity,
+    lazy_vs_naive_greedy,
+    seed_quality_comparison,
+    subsim_vs_bfs_generation,
+    traffic_tuple_vs_dense,
+    workload_balance,
+)
+
+
+def test_ablation_lazy_vs_naive(benchmark, record_rows):
+    rows = benchmark.pedantic(
+        lazy_vs_naive_greedy,
+        kwargs={"dataset": "facebook", "k_values": (10, 50)},
+        rounds=1,
+        iterations=1,
+    )
+    record_rows("ablation_lazy_vs_naive", rows, "Ablation — lazy bucket vs naive greedy")
+    assert all(row["speedup"] > 1.0 for row in rows)
+
+
+def test_ablation_traffic(benchmark, record_rows):
+    rows = benchmark.pedantic(
+        traffic_tuple_vs_dense,
+        kwargs={"dataset": "facebook", "machine_counts": (4,) if QUICK else (4, 16)},
+        rounds=1,
+        iterations=1,
+    )
+    record_rows("ablation_traffic", rows, "Ablation — tuple vs dense communication")
+    assert all(row["saving_factor"] >= 1.0 for row in rows)
+
+
+def test_ablation_subsim_generation(benchmark, record_rows):
+    rows = benchmark.pedantic(
+        subsim_vs_bfs_generation,
+        kwargs={"num_rr_sets": 1000 if QUICK else 3000},
+        rounds=1,
+        iterations=1,
+    )
+    record_rows("ablation_subsim", rows, "Ablation — SUBSIM vs reverse-BFS generation")
+    assert any(row["speedup"] > 1.0 for row in rows)
+
+
+def test_ablation_heterogeneity(benchmark, record_rows):
+    rows = benchmark.pedantic(
+        heterogeneity,
+        kwargs={"dataset": "facebook", "num_machines": 8, "num_rr_sets": 4000},
+        rounds=1,
+        iterations=1,
+    )
+    record_rows("ablation_heterogeneity", rows, "Ablation — even vs weighted split on a heterogeneous cluster")
+    even = next(r for r in rows if r["strategy"] == "even")
+    assert even["vs_weighted"] > 1.0
+
+
+def test_ablation_seed_quality(benchmark, record_rows):
+    rows = benchmark.pedantic(
+        seed_quality_comparison,
+        kwargs={
+            "datasets": ("facebook",) if QUICK else ("facebook", "twitter"),
+            "k": 50,
+            "eps": 0.5,
+            "mc_samples": 100 if QUICK else 300,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    record_rows("ablation_seed_quality", rows, "Extension — DIIMM vs heuristic baselines (MC spread)")
+    diimm_rows = [r for r in rows if r["strategy"] == "DIIMM"]
+    assert all(r["vs_best"] >= 0.9 for r in diimm_rows)
+
+
+def test_ablation_communication_scaling(benchmark, record_rows):
+    rows = benchmark.pedantic(
+        communication_scaling,
+        kwargs={
+            "dataset": "facebook" if QUICK else "livejournal",
+            "machine_counts": (1, 4) if QUICK else (1, 2, 4, 8, 16),
+            "num_rr_sets": 4000 if QUICK else 20000,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    record_rows(
+        "ablation_communication",
+        rows,
+        "Ablation — NEWGREEDI communication vs machines (fixed RR pool)",
+    )
+    # Communication grows with machines; identical coverage throughout.
+    assert rows[-1]["communication_s"] >= rows[0]["communication_s"]
+    assert len({row["coverage"] for row in rows}) == 1
+
+
+def test_ablation_epsilon_sweep(benchmark, record_rows):
+    rows = benchmark.pedantic(
+        epsilon_sweep,
+        kwargs={
+            "dataset": "facebook",
+            "eps_values": (0.6, 0.4) if QUICK else (0.6, 0.5, 0.4, 0.3),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    record_rows("ablation_epsilon", rows, "Ablation — RR-set budget vs eps (1/eps^2 law)")
+    # theta grows when eps shrinks, tracking the 1/eps^2 prediction.
+    last = rows[-1]
+    assert last["theta_ratio"] == pytest.approx(last["expected_ratio"], rel=0.5)
+
+
+def test_ablation_workload_balance(benchmark, record_rows):
+    rows = benchmark.pedantic(
+        workload_balance,
+        kwargs={
+            "dataset": "facebook" if QUICK else "livejournal",
+            "machine_counts": (4,) if QUICK else (4, 16, 64),
+            "num_rr_sets": 4000 if QUICK else 20000,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    record_rows("ablation_workload", rows, "Ablation — workload balance (Corollary 1)")
+    for row in rows:
+        assert row["max_over_mean"] < 1.6

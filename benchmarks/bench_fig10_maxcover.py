@@ -1,0 +1,27 @@
+"""Fig 10: maximum coverage — NEWGREEDI vs GREEDI vs sequential greedy.
+
+Paper shapes: (a) NEWGREEDI time falls with cores; (b) speedup ~3.5x at 4
+cores, 10-18x at 64 on the larger datasets (lower on Facebook whose run is
+sub-hundredth-of-a-second); (c) GREEDI's coverage ratio <= 1 and NEWGREEDI
+always matches the centralized greedy exactly.
+"""
+
+from conftest import DATASETS, K, SERVER_CORES
+
+from repro.experiments import fig10_maxcover
+
+
+def test_fig10_maxcover(benchmark, record_rows):
+    rows = benchmark.pedantic(
+        fig10_maxcover,
+        kwargs={"datasets": DATASETS, "core_counts": SERVER_CORES, "k": K},
+        rounds=1,
+        iterations=1,
+    )
+    record_rows("fig10_maxcover", rows, "Fig 10 — maximum coverage comparison")
+    for row in rows:
+        # NEWGREEDI == centralized greedy (the runner itself asserts it).
+        # GREEDI usually matches or falls below; since greedy itself is
+        # only (1-1/e)-optimal, GREEDI may edge it out by a sliver, so the
+        # bound here allows a small overshoot.
+        assert row["coverage_ratio"] <= 1.02

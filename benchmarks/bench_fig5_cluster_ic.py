@@ -1,0 +1,30 @@
+"""Fig 5: DIIMM running time on a 1 Gbps cluster, IC model.
+
+Paper shape: total time drops roughly in inverse proportion to the
+machine count (~3.5x at 4 machines, ~14x at 16); RR-set generation
+dominates; communication stays an order of magnitude below computation.
+"""
+
+from conftest import CLUSTER_MACHINES, DATASETS, EPS, K
+
+from repro.experiments import fig5_cluster_ic
+
+
+def test_fig5_cluster_ic(benchmark, record_rows):
+    rows = benchmark.pedantic(
+        fig5_cluster_ic,
+        kwargs={
+            "datasets": DATASETS,
+            "machine_counts": CLUSTER_MACHINES,
+            "k": K,
+            "eps": EPS,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    record_rows("fig5_cluster_ic", rows, "Fig 5 — DIIMM, cluster network, IC model")
+    # Shape checks: distribution always helps at the largest machine count.
+    for dataset in DATASETS:
+        series = [r for r in rows if r["dataset"] == dataset]
+        assert series[-1]["total_s"] < series[0]["total_s"]
+        assert series[-1]["speedup"] > 1.5

@@ -1,0 +1,31 @@
+"""Fig 6: DIIMM running time on a multi-core server, IC model.
+
+Paper shape: near-inverse-proportional scaling up to 64 cores with
+speedups of 31x-56x over vanilla IMM; communication negligible in shared
+memory.
+"""
+
+from conftest import DATASETS, EPS, K, SERVER_CORES
+
+from repro.experiments import fig6_server_ic
+
+
+def test_fig6_server_ic(benchmark, record_rows):
+    rows = benchmark.pedantic(
+        fig6_server_ic,
+        kwargs={
+            "datasets": DATASETS,
+            "machine_counts": SERVER_CORES,
+            "k": K,
+            "eps": EPS,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    record_rows("fig6_server_ic", rows, "Fig 6 — DIIMM, multi-core server, IC model")
+    for dataset in DATASETS:
+        series = [r for r in rows if r["dataset"] == dataset]
+        # Monotone improvement from 1 core to the maximum swept.
+        assert series[-1]["total_s"] < series[0]["total_s"]
+        # Communication stays below computation in shared memory.
+        assert series[-1]["communication_s"] <= series[-1]["computation_s"]

@@ -1,0 +1,27 @@
+"""Fig 7: distributed SUBSIM on a multi-core server, IC model.
+
+Paper shape: SUBSIM's absolute times are below DIIMM's (cheaper RR-set
+generation) and the distributed speedup ratio mirrors DIIMM's over IMM.
+"""
+
+from conftest import DATASETS, EPS, K, SERVER_CORES
+
+from repro.experiments import fig7_server_subsim
+
+
+def test_fig7_server_subsim(benchmark, record_rows):
+    rows = benchmark.pedantic(
+        fig7_server_subsim,
+        kwargs={
+            "datasets": DATASETS,
+            "machine_counts": SERVER_CORES,
+            "k": K,
+            "eps": EPS,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    record_rows("fig7_server_subsim", rows, "Fig 7 — distributed SUBSIM, IC model")
+    for dataset in DATASETS:
+        series = [r for r in rows if r["dataset"] == dataset]
+        assert series[-1]["speedup"] > 1.5

@@ -1,0 +1,28 @@
+"""Fig 8: DIIMM running time on a 1 Gbps cluster, LT model.
+
+Paper shape: same scaling trends as Fig 5, with shorter absolute times
+than the IC runs because LT RR sets (reverse random walks) are cheaper to
+generate.
+"""
+
+from conftest import CLUSTER_MACHINES, DATASETS, EPS, K
+
+from repro.experiments import fig8_cluster_lt
+
+
+def test_fig8_cluster_lt(benchmark, record_rows):
+    rows = benchmark.pedantic(
+        fig8_cluster_lt,
+        kwargs={
+            "datasets": DATASETS,
+            "machine_counts": CLUSTER_MACHINES,
+            "k": K,
+            "eps": EPS,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    record_rows("fig8_cluster_lt", rows, "Fig 8 — DIIMM, cluster network, LT model")
+    for dataset in DATASETS:
+        series = [r for r in rows if r["dataset"] == dataset]
+        assert series[-1]["total_s"] < series[0]["total_s"]

@@ -1,0 +1,26 @@
+"""Fig 9: DIIMM running time on a multi-core server, LT model.
+
+Paper shape: as Fig 6, with LT totals below the corresponding IC totals.
+"""
+
+from conftest import DATASETS, EPS, K, SERVER_CORES
+
+from repro.experiments import fig9_server_lt
+
+
+def test_fig9_server_lt(benchmark, record_rows):
+    rows = benchmark.pedantic(
+        fig9_server_lt,
+        kwargs={
+            "datasets": DATASETS,
+            "machine_counts": SERVER_CORES,
+            "k": K,
+            "eps": EPS,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    record_rows("fig9_server_lt", rows, "Fig 9 — DIIMM, multi-core server, LT model")
+    for dataset in DATASETS:
+        series = [r for r in rows if r["dataset"] == dataset]
+        assert series[-1]["total_s"] < series[0]["total_s"]

@@ -1,0 +1,28 @@
+"""Extension: the four distributed RIS frameworks side by side.
+
+Quantifies the paper's Section IV-B remark — DIIMM, DSSA, DOPIM-C and
+DSUBSIM differ in how many RR sets they generate (and how), not in
+solution quality.  Expect DOPIM-C/DSSA to use markedly fewer RR sets than
+DIIMM, DSUBSIM to generate fastest, and all spreads within a few percent.
+"""
+
+from conftest import EPS, K, QUICK
+
+from repro.experiments import framework_comparison
+
+
+def test_framework_comparison(benchmark, record_rows):
+    rows = benchmark.pedantic(
+        framework_comparison,
+        kwargs={
+            "datasets": ("facebook",) if QUICK else ("facebook", "twitter"),
+            "k": K,
+            "eps": EPS,
+            "mc_samples": 100 if QUICK else 300,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    record_rows("extension_frameworks", rows, "Extension — distributed framework comparison")
+    for row in rows:
+        assert row["vs_best_spread"] >= 0.9

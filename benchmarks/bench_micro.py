@@ -1,0 +1,74 @@
+"""Micro-benchmarks of the hot inner components.
+
+Unlike the figure benchmarks (single metered sweep each), these use
+pytest-benchmark's statistical machinery — multiple rounds over small
+fixed workloads — to track the throughput of the primitives every
+experiment is built from: RR-set generation (three samplers), forward
+cascade simulation, and the lazy bucket greedy.
+"""
+
+import numpy as np
+import pytest
+
+from repro.coverage import CoverageInstance, greedy_max_coverage
+from repro.diffusion import IndependentCascade, LinearThreshold
+from repro.graphs import load_dataset
+from repro.ris import make_sampler
+
+BATCH = 200
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load_dataset("facebook").graph
+
+
+@pytest.fixture(scope="module")
+def instance(graph):
+    return CoverageInstance.from_graph(graph)
+
+
+def test_micro_ic_bfs_sampler(benchmark, graph):
+    sampler = make_sampler(graph, "ic", "bfs")
+    rng = np.random.default_rng(0)
+    benchmark(sampler.sample_many, BATCH, rng)
+
+
+def test_micro_ic_subsim_sampler(benchmark, graph):
+    sampler = make_sampler(graph, "ic", "subsim")
+    rng = np.random.default_rng(0)
+    benchmark(sampler.sample_many, BATCH, rng)
+
+
+def test_micro_lt_walk_sampler(benchmark, graph):
+    sampler = make_sampler(graph, "lt")
+    rng = np.random.default_rng(0)
+    benchmark(sampler.sample_many, BATCH, rng)
+
+
+def test_micro_ic_forward_simulation(benchmark, graph):
+    model = IndependentCascade()
+    rng = np.random.default_rng(0)
+    seeds = list(range(10))
+
+    def run():
+        for __ in range(20):
+            model.simulate(graph, seeds, rng)
+
+    benchmark(run)
+
+
+def test_micro_lt_forward_simulation(benchmark, graph):
+    model = LinearThreshold()
+    rng = np.random.default_rng(0)
+    seeds = list(range(10))
+
+    def run():
+        for __ in range(20):
+            model.simulate(graph, seeds, rng)
+
+    benchmark(run)
+
+
+def test_micro_lazy_greedy(benchmark, instance):
+    benchmark(greedy_max_coverage, [instance], 50)

@@ -1,0 +1,12 @@
+"""Table III: dataset statistics (stand-ins vs the paper's originals)."""
+
+from conftest import DATASETS
+
+from repro.experiments import table3_rows
+
+
+def test_table3_datasets(benchmark, record_rows):
+    rows = benchmark.pedantic(table3_rows, rounds=1, iterations=1)
+    rows = [row for row in rows if row["dataset"] in DATASETS]
+    record_rows("table3_datasets", rows, "Table III — datasets (ours vs paper)")
+    assert len(rows) == len(DATASETS)

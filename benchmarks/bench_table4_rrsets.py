@@ -1,0 +1,23 @@
+"""Table IV: number and total size of RR sets under the IC model.
+
+Comparison target (paper): LiveJournal needs by far the most RR sets and
+the largest total size; Facebook the fewest; average RR-set sizes are
+single-digit to tens of nodes.  Absolute counts scale with ``n / eps^2``.
+"""
+
+from conftest import DATASETS, EPS, K
+
+from repro.experiments import table4_rows
+
+
+def test_table4_rrsets(benchmark, record_rows):
+    rows = benchmark.pedantic(
+        table4_rows,
+        kwargs={"datasets": DATASETS, "k": K, "eps": EPS},
+        rounds=1,
+        iterations=1,
+    )
+    record_rows("table4_rrsets", rows, "Table IV — RR sets under IC (ours vs paper)")
+    for row in rows:
+        assert row["num_rr_sets"] > 0
+        assert row["total_size"] >= row["num_rr_sets"]

@@ -1,0 +1,49 @@
+"""Shared infrastructure for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper: it runs the
+corresponding :mod:`repro.experiments` runner under pytest-benchmark,
+prints the rows (visible with ``-s``), and always writes them to
+``benchmarks/results/<name>.{txt,json}`` so the numbers survive output
+capturing.
+
+Set ``REPRO_QUICK=1`` to run reduced sweeps (fewer datasets and machine
+counts) when iterating on the suite itself.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import format_table, write_json
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+QUICK = os.environ.get("REPRO_QUICK", "") not in ("", "0")
+
+#: Sweep parameters, switched by REPRO_QUICK.
+DATASETS = ("facebook", "twitter") if QUICK else ("facebook", "googleplus", "livejournal", "twitter")
+CLUSTER_MACHINES = (1, 4) if QUICK else (1, 2, 4, 8, 16)
+SERVER_CORES = (1, 16) if QUICK else (1, 4, 16, 64)
+K = 50
+# eps drives the RR-set budget (~1/eps^2). 0.4 keeps the full suite near
+# ten minutes while giving per-machine batches large enough that the
+# 64-core points are not dominated by max-of-small-samples noise (see
+# docs/reproduction_guide.md).
+EPS = 0.4
+
+
+@pytest.fixture(scope="session")
+def record_rows():
+    """Returns a callable that prints and persists experiment rows."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _record(name: str, rows: list[dict], title: str) -> None:
+        text = format_table(rows, title=title)
+        print("\n" + text)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+        write_json(rows, RESULTS_DIR / f"{name}.json")
+
+    return _record

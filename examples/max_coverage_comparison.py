@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Element-distributed vs set-distributed maximum coverage (paper Fig 10).
+
+Casts a social graph as a maximum-coverage instance (node u's set = u's
+neighborhood; goal: k users with the largest neighbor union) and compares
+
+* the sequential lazy greedy (quality reference and speed baseline),
+* NEWGREEDI — element-distributed, exact greedy quality by Lemma 2,
+* GREEDI — set-distributed composable core-sets with kappa = k,
+* RANDGREEDI — GREEDI over a uniformly random partition,
+
+reporting simulated running time, communication traffic and coverage.
+
+Run:
+    python examples/max_coverage_comparison.py [--dataset livejournal] [--k 50]
+"""
+
+import argparse
+import time
+
+import numpy as np
+
+from repro import (
+    CoverageInstance,
+    SimulatedCluster,
+    greedi,
+    greedy_max_coverage,
+    load_dataset,
+    newgreedi,
+    randgreedi,
+    shared_memory_server,
+)
+from repro.experiments import print_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dataset", default="livejournal")
+    parser.add_argument("--k", type=int, default=50)
+    parser.add_argument("--cores", type=int, nargs="+", default=[4, 16, 64])
+    args = parser.parse_args()
+
+    dataset = load_dataset(args.dataset)
+    instance = CoverageInstance.from_graph(dataset.graph)
+    print(
+        f"coverage instance from {dataset.name}: {instance.num_nodes:,} sets over "
+        f"{instance.num_sets:,} elements (total size {instance.total_size:,})\n"
+    )
+
+    start = time.perf_counter()
+    sequential = greedy_max_coverage([instance], args.k)
+    sequential_time = time.perf_counter() - start
+    print(
+        f"sequential greedy: coverage {sequential.coverage:,} "
+        f"in {sequential_time:.2f}s\n"
+    )
+
+    rows = []
+    for cores in args.cores:
+        # NEWGREEDI: elements scattered uniformly, as distributed RIS would.
+        parts = instance.split(cores, rng=np.random.default_rng(cores))
+        cluster = SimulatedCluster(cores, network=shared_memory_server(), seed=0)
+        new_result = newgreedi(cluster, args.k, stores=parts)
+        rows.append(
+            {
+                "algorithm": "NEWGREEDI",
+                "cores": cores,
+                "time_s": round(cluster.metrics.total_time, 4),
+                "speedup": round(sequential_time / cluster.metrics.total_time, 2),
+                "coverage": new_result.coverage,
+                "coverage_ratio": round(new_result.coverage / sequential.coverage, 4),
+                "traffic_mb": round(cluster.metrics.total_bytes / 1e6, 3),
+            }
+        )
+
+        for name, runner in (("GREEDI", greedi), ("RANDGREEDI", randgreedi)):
+            cluster = SimulatedCluster(cores, network=shared_memory_server(), seed=0)
+            if name == "GREEDI":
+                result = runner(cluster, instance, args.k)
+            else:
+                result = runner(
+                    cluster, instance, args.k, rng=np.random.default_rng(cores)
+                )
+            rows.append(
+                {
+                    "algorithm": name,
+                    "cores": cores,
+                    "time_s": round(cluster.metrics.total_time, 4),
+                    "speedup": round(
+                        sequential_time / cluster.metrics.total_time, 2
+                    ),
+                    "coverage": result.coverage,
+                    "coverage_ratio": round(
+                        result.coverage / sequential.coverage, 4
+                    ),
+                    "traffic_mb": round(cluster.metrics.total_bytes / 1e6, 3),
+                }
+            )
+
+    print_table(rows, title=f"maximum coverage, k={args.k}")
+    print(
+        "\nNEWGREEDI's coverage ratio is always exactly 1.0 (Lemma 2); the "
+        "core-set baselines may fall below it and ship far more data."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setup shim: enables `python setup.py develop` in offline environments
+where pip's PEP 660 editable path is unavailable (no `wheel` package)."""
+from setuptools import setup
+
+setup()

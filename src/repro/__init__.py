@@ -1,0 +1,124 @@
+"""repro — reproduction of "Distributed Influence Maximization for
+Large-Scale Online Social Networks" (Tang, Tang, Zhu, Han; ICDE 2022).
+
+The library implements the paper's two building blocks and everything they
+stand on:
+
+* **Distributed reverse influence sampling** — RR-set samplers for the IC
+  and LT models (plus SUBSIM subset sampling), generated independently per
+  simulated machine (:mod:`repro.ris`, :mod:`repro.cluster`).
+* **NEWGREEDI** — element-distributed maximum coverage with the exact
+  ``(1 - 1/e)`` guarantee (:mod:`repro.coverage`).
+* **DIIMM** — the IMM framework on top of both, returning
+  ``(1 - 1/e - eps)``-approximate seed sets (:mod:`repro.core`), plus
+  distributed SUBSIM and OPIM-C variants.
+
+Quickstart::
+
+    import numpy as np
+    from repro import diimm, load_dataset, evaluate_seeds
+
+    dataset = load_dataset("facebook")
+    result = diimm(dataset.graph, k=50, num_machines=16, eps=0.5)
+    spread = evaluate_seeds(
+        dataset.graph, result.seeds, "ic", 1000, np.random.default_rng(0)
+    )
+    print(result.seeds[:5], spread.mean)
+"""
+
+from .analysis import approximation_ratio_exact, evaluate_seeds
+from .applications import (
+    budgeted_influence_maximization,
+    profit_maximization,
+    seed_minimization,
+    targeted_influence_maximization,
+)
+from .baselines import celf_greedy, degree_discount, max_degree, pagerank_seeds
+from .cluster import (
+    NetworkModel,
+    SimulatedCluster,
+    gigabit_cluster,
+    shared_memory_server,
+)
+from .core import (
+    ImmParameters,
+    IMResult,
+    diimm,
+    distributed_opimc,
+    distributed_subsim,
+    imm,
+)
+from .coverage import (
+    CoverageInstance,
+    greedi,
+    greedy_max_coverage,
+    newgreedi,
+    randgreedi,
+)
+from .diffusion import (
+    IndependentCascade,
+    LinearThreshold,
+    estimate_spread,
+    get_model,
+)
+from .graphs import (
+    DATASET_NAMES,
+    DirectedGraph,
+    GraphBuilder,
+    load_dataset,
+    read_edge_list,
+    weighted_cascade,
+)
+from .ris import RRCollection, make_sampler
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # graphs
+    "DirectedGraph",
+    "GraphBuilder",
+    "load_dataset",
+    "DATASET_NAMES",
+    "read_edge_list",
+    "weighted_cascade",
+    # diffusion
+    "IndependentCascade",
+    "LinearThreshold",
+    "get_model",
+    "estimate_spread",
+    # ris
+    "make_sampler",
+    "RRCollection",
+    # cluster
+    "SimulatedCluster",
+    "NetworkModel",
+    "gigabit_cluster",
+    "shared_memory_server",
+    # coverage
+    "CoverageInstance",
+    "greedy_max_coverage",
+    "newgreedi",
+    "greedi",
+    "randgreedi",
+    # core
+    "imm",
+    "diimm",
+    "distributed_subsim",
+    "distributed_opimc",
+    "ImmParameters",
+    "IMResult",
+    # analysis
+    "evaluate_seeds",
+    "approximation_ratio_exact",
+    # applications
+    "targeted_influence_maximization",
+    "budgeted_influence_maximization",
+    "seed_minimization",
+    "profit_maximization",
+    # baselines
+    "max_degree",
+    "degree_discount",
+    "pagerank_seeds",
+    "celf_greedy",
+]

@@ -1,0 +1,31 @@
+"""Analysis utilities: martingale bounds and seed-quality validation."""
+
+from .distributed_estimation import distributed_spread_estimate
+from .martingale import (
+    WorkloadBalance,
+    empirical_workload_balance,
+    martingale_tail,
+    rr_size_lower_tail,
+    rr_size_upper_tail,
+    workload_concentration,
+)
+from .validation import (
+    ApproximationReport,
+    approximation_ratio_exact,
+    compare_seed_sets,
+    evaluate_seeds,
+)
+
+__all__ = [
+    "martingale_tail",
+    "rr_size_upper_tail",
+    "rr_size_lower_tail",
+    "workload_concentration",
+    "WorkloadBalance",
+    "empirical_workload_balance",
+    "evaluate_seeds",
+    "compare_seed_sets",
+    "ApproximationReport",
+    "approximation_ratio_exact",
+    "distributed_spread_estimate",
+]

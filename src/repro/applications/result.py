@@ -1,0 +1,56 @@
+"""Shared result container for the influence-based applications."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..cluster.metrics import RunMetrics
+
+__all__ = ["ApplicationResult"]
+
+
+@dataclass
+class ApplicationResult:
+    """Outcome of one distributed influence-application run.
+
+    Attributes
+    ----------
+    application:
+        Which problem was solved (e.g. ``"budgeted-influence-maximization"``).
+    seeds:
+        The selected seed set (size varies by application).
+    objective:
+        The application's objective value estimated on the RR samples
+        (targeted spread, plain spread, profit, ...).
+    num_rr_sets:
+        Total RR sets generated across machines.
+    metrics:
+        Timing/traffic breakdown of the distributed run.
+    params:
+        Scalar run parameters for reporting.
+    """
+
+    application: str
+    seeds: List[int]
+    objective: float
+    num_rr_sets: int
+    metrics: RunMetrics
+    params: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def breakdown(self) -> Dict[str, float]:
+        """Generation / computation / communication / total times."""
+        return self.metrics.breakdown()
+
+    def summary_row(self) -> Dict[str, object]:
+        """Flat dict for table printing."""
+        row: Dict[str, object] = {
+            "application": self.application,
+            "num_seeds": len(self.seeds),
+            "objective": round(self.objective, 2),
+            "num_rr_sets": self.num_rr_sets,
+        }
+        row.update(self.params)
+        row.update({key: round(value, 4) for key, value in self.breakdown.items()})
+        return row

@@ -1,0 +1,18 @@
+"""Baseline seed-selection algorithms for quality comparisons.
+
+The heuristics (degree variants, PageRank) represent the guarantee-free
+line of work the paper's related-work section contrasts against; CELF is
+the classical Monte-Carlo greedy — the pre-RIS `(1 - 1/e - eps)`
+reference implementation, feasible only on small graphs.
+"""
+
+from .celf import celf_greedy
+from .heuristics import degree_discount, max_degree, pagerank_seeds, single_discount
+
+__all__ = [
+    "max_degree",
+    "single_discount",
+    "degree_discount",
+    "pagerank_seeds",
+    "celf_greedy",
+]

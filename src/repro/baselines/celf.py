@@ -1,0 +1,84 @@
+"""CELF: the classical Monte-Carlo greedy with lazy evaluation.
+
+Kempe et al.'s original `(1 - 1/e - eps)` algorithm estimates every
+marginal spread with Monte-Carlo simulation; CELF (Leskovec et al., KDD
+2007) makes it practical via lazy re-evaluation — submodularity means a
+stale upper bound that still tops the queue only needs one re-simulation.
+
+This is the pre-RIS reference point: asymptotically far slower than
+IMM-family algorithms (it re-simulates cascades per candidate), but a
+fully independent implementation path, which makes it a valuable quality
+cross-check for DIIMM on small graphs.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List
+
+import numpy as np
+
+from ..diffusion.base import DiffusionModel, get_model
+from ..graphs.digraph import DirectedGraph
+
+__all__ = ["celf_greedy"]
+
+
+def _marginal(
+    graph: DirectedGraph,
+    model: DiffusionModel,
+    base: List[int],
+    candidate: int,
+    base_spread: float,
+    num_samples: int,
+    rng: np.random.Generator,
+) -> float:
+    total = 0.0
+    seeds = base + [candidate]
+    for __ in range(num_samples):
+        total += model.simulate(graph, seeds, rng).size
+    return total / num_samples - base_spread
+
+
+def celf_greedy(
+    graph: DirectedGraph,
+    k: int,
+    model: DiffusionModel | str = "ic",
+    num_samples: int = 200,
+    seed: int = 0,
+) -> List[int]:
+    """Select ``k`` seeds by lazy Monte-Carlo greedy (CELF).
+
+    Parameters
+    ----------
+    num_samples:
+        Cascades per marginal estimate; quality and cost both scale with
+        it.  Only intended for small graphs.
+    """
+    if not 1 <= k <= graph.num_nodes:
+        raise ValueError(f"require 1 <= k <= n, got k={k}, n={graph.num_nodes}")
+    if isinstance(model, str):
+        model = get_model(model)
+    rng = np.random.default_rng(seed)
+
+    seeds: List[int] = []
+    base_spread = 0.0
+    # Initial pass: marginal of every singleton.
+    heap = []
+    for v in range(graph.num_nodes):
+        gain = _marginal(graph, model, seeds, v, base_spread, num_samples, rng)
+        heap.append((-gain, 0, v))  # (neg gain, round evaluated, node)
+    heapq.heapify(heap)
+
+    while len(seeds) < k and heap:
+        neg_gain, evaluated_round, node = heapq.heappop(heap)
+        if evaluated_round == len(seeds):
+            # Fresh estimate: greedily take it.
+            seeds.append(node)
+            base_spread += -neg_gain
+        else:
+            gain = _marginal(
+                graph, model, seeds, node, base_spread, num_samples, rng
+            )
+            heapq.heappush(heap, (-gain, len(seeds), node))
+    return seeds

@@ -1,0 +1,141 @@
+"""Classic seed-selection heuristics (no approximation guarantee).
+
+The paper's related work (Section V) contrasts RIS-based algorithms with
+a long line of lightweight heuristics that forgo worst-case guarantees.
+These serve as quality baselines in our experiments:
+
+* :func:`max_degree` — the folk "influencers = high degree" rule;
+* :func:`single_discount` — degree discounted by already-selected
+  neighbors (Chen et al., KDD 2009);
+* :func:`degree_discount` — the IC-aware discount of Chen et al.
+  (exact form for uniform propagation probability ``p``);
+* :func:`pagerank_seeds` — power-iteration PageRank on the reversed
+  graph (influence flows along out-edges, so rank flows along in-edges).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List
+
+import numpy as np
+
+from ..graphs.digraph import DirectedGraph
+
+__all__ = ["max_degree", "single_discount", "degree_discount", "pagerank_seeds"]
+
+
+def _validate_k(graph: DirectedGraph, k: int) -> None:
+    if not 1 <= k <= graph.num_nodes:
+        raise ValueError(f"require 1 <= k <= n, got k={k}, n={graph.num_nodes}")
+
+
+def max_degree(graph: DirectedGraph, k: int) -> List[int]:
+    """The ``k`` nodes of largest out-degree (ties: lowest id)."""
+    _validate_k(graph, k)
+    degrees = graph.out_degrees()
+    order = np.lexsort((np.arange(graph.num_nodes), -degrees))
+    return [int(v) for v in order[:k]]
+
+
+def single_discount(graph: DirectedGraph, k: int) -> List[int]:
+    """Degree discount by one per selected out-neighbor.
+
+    Each time a node is seeded, every out-neighbor's effective degree
+    drops by one (the edge toward the seed no longer contributes).
+    """
+    _validate_k(graph, k)
+    degrees = graph.out_degrees().astype(np.int64).copy()
+    heap = [(-degrees[v], v) for v in range(graph.num_nodes)]
+    heapq.heapify(heap)
+    recorded = degrees.copy()
+    seeds: List[int] = []
+    selected = np.zeros(graph.num_nodes, dtype=bool)
+    while len(seeds) < k and heap:
+        neg_deg, node = heapq.heappop(heap)
+        if selected[node]:
+            continue
+        if degrees[node] < recorded[node] or -neg_deg != degrees[node]:
+            recorded[node] = degrees[node]
+            heapq.heappush(heap, (-degrees[node], node))
+            continue
+        seeds.append(node)
+        selected[node] = True
+        for neighbor in graph.out_neighbors(node):
+            degrees[neighbor] -= 1
+    return seeds
+
+
+def degree_discount(graph: DirectedGraph, k: int, p: float = 0.01) -> List[int]:
+    """DegreeDiscountIC of Chen et al. (KDD 2009).
+
+    For a node ``v`` with degree ``d_v`` and ``t_v`` selected in-neighbors,
+    the discounted degree is ``d_v - 2 t_v - (d_v - t_v) t_v p``.  The
+    formula assumes a uniform propagation probability ``p``; with the
+    weighted-cascade setting it remains a serviceable heuristic (the paper
+    cites it among the guarantee-free approaches).
+    """
+    _validate_k(graph, k)
+    if not 0.0 < p < 1.0:
+        raise ValueError(f"p must lie in (0, 1), got {p}")
+    n = graph.num_nodes
+    degrees = graph.out_degrees().astype(np.float64)
+    picked_neighbors = np.zeros(n, dtype=np.float64)
+    discounted = degrees.copy()
+    selected = np.zeros(n, dtype=bool)
+    heap = [(-discounted[v], v) for v in range(n)]
+    heapq.heapify(heap)
+    seeds: List[int] = []
+    while len(seeds) < k and heap:
+        neg_score, node = heapq.heappop(heap)
+        if selected[node]:
+            continue
+        if -neg_score > discounted[node] + 1e-12:
+            heapq.heappush(heap, (-discounted[node], node))
+            continue
+        seeds.append(node)
+        selected[node] = True
+        for neighbor in graph.out_neighbors(node):
+            if selected[neighbor]:
+                continue
+            picked_neighbors[neighbor] += 1
+            t = picked_neighbors[neighbor]
+            d = degrees[neighbor]
+            discounted[neighbor] = d - 2 * t - (d - t) * t * p
+    return seeds
+
+
+def pagerank_seeds(
+    graph: DirectedGraph,
+    k: int,
+    damping: float = 0.85,
+    iterations: int = 50,
+    tolerance: float = 1e-10,
+) -> List[int]:
+    """Top-``k`` PageRank nodes on the *reversed* graph.
+
+    Influence flows along out-edges, so a node is influential when many
+    (recursively influential) nodes are reachable from it; ranking on the
+    reversed graph captures exactly that.
+    """
+    _validate_k(graph, k)
+    if not 0.0 < damping < 1.0:
+        raise ValueError(f"damping must lie in (0, 1), got {damping}")
+    n = graph.num_nodes
+    rank = np.full(n, 1.0 / n)
+    # Reversed graph: rank mass moves from v to u for each edge <u, v>.
+    out_deg_reversed = graph.in_degrees().astype(np.float64)
+    dangling = out_deg_reversed == 0
+    sources = np.repeat(np.arange(n), np.diff(graph.in_indptr))
+    targets = graph.in_indices
+    for __ in range(iterations):
+        contrib = np.where(dangling, 0.0, rank / np.maximum(out_deg_reversed, 1.0))
+        incoming = np.bincount(targets, weights=contrib[sources], minlength=n)
+        dangling_mass = rank[dangling].sum() / n
+        updated = (1 - damping) / n + damping * (incoming + dangling_mass)
+        if np.abs(updated - rank).sum() < tolerance:
+            rank = updated
+            break
+        rank = updated
+    order = np.lexsort((np.arange(n), -rank))
+    return [int(v) for v in order[:k]]

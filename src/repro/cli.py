@@ -1,0 +1,270 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``datasets``
+    Print Table III (the stand-in datasets vs the paper's).
+``run``
+    Run one influence-maximization algorithm on a dataset and print the
+    result summary (seeds, spread estimate, time breakdown).
+``experiment``
+    Regenerate one of the paper's tables/figures and print its rows.
+``validate``
+    Monte-Carlo validate a comma-separated seed list on a dataset.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Distributed influence maximization (ICDE 2022 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="print Table III dataset statistics")
+
+    run = sub.add_parser("run", help="run an algorithm on a dataset")
+    run.add_argument("--dataset", default="facebook")
+    run.add_argument(
+        "--algorithm",
+        choices=("imm", "diimm", "dsubsim", "dopimc", "dssa"),
+        default="diimm",
+    )
+    run.add_argument("--k", type=int, default=50)
+    run.add_argument("--machines", type=int, default=16)
+    run.add_argument("--eps", type=float, default=0.5)
+    run.add_argument("--model", choices=("ic", "lt"), default="ic")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--network", choices=("cluster", "server"), default="server"
+    )
+
+    experiment = sub.add_parser(
+        "experiment", help="regenerate a paper table/figure or an extension"
+    )
+    experiment.add_argument(
+        "name",
+        choices=(
+            "table3", "table4", "fig5", "fig6", "fig7", "fig8", "fig9",
+            "fig10", "quality", "frameworks",
+        ),
+    )
+    experiment.add_argument(
+        "--datasets", nargs="+", default=None, help="subset of datasets"
+    )
+    experiment.add_argument("--k", type=int, default=50)
+    experiment.add_argument("--eps", type=float, default=0.5)
+
+    app = sub.add_parser(
+        "app", help="run an influence-based application (paper Section VI)"
+    )
+    app.add_argument(
+        "name",
+        choices=("targeted", "budgeted", "seedmin", "profit", "adaptive"),
+    )
+    app.add_argument("--dataset", default="facebook")
+    app.add_argument("--machines", type=int, default=8)
+    app.add_argument("--rr-sets", type=int, default=20000)
+    app.add_argument("--k", type=int, default=20, help="seeds (targeted/adaptive)")
+    app.add_argument("--budget", type=float, default=25.0, help="budgeted IM budget")
+    app.add_argument(
+        "--required-spread", type=float, default=None,
+        help="seed-minimization target (defaults to 20%% of n)",
+    )
+    app.add_argument("--seed", type=int, default=0)
+
+    validate = sub.add_parser("validate", help="Monte-Carlo validate seeds")
+    validate.add_argument("--dataset", default="facebook")
+    validate.add_argument("--seeds", required=True, help="comma-separated node ids")
+    validate.add_argument("--model", choices=("ic", "lt"), default="ic")
+    validate.add_argument("--samples", type=int, default=1000)
+
+    return parser
+
+
+def _cmd_datasets() -> int:
+    from .experiments import print_table, table3_rows
+
+    print_table(table3_rows(), title="Table III — datasets (ours vs paper)")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from .cluster import gigabit_cluster, shared_memory_server
+    from .core import (
+        diimm,
+        distributed_opimc,
+        distributed_ssa,
+        distributed_subsim,
+        imm,
+    )
+    from .experiments import print_table
+    from .graphs import load_dataset
+
+    dataset = load_dataset(args.dataset)
+    network = gigabit_cluster() if args.network == "cluster" else shared_memory_server()
+    if args.algorithm == "imm":
+        result = imm(
+            dataset.graph, args.k, eps=args.eps, model=args.model, seed=args.seed
+        )
+    elif args.algorithm == "diimm":
+        result = diimm(
+            dataset.graph, args.k, args.machines, eps=args.eps,
+            model=args.model, network=network, seed=args.seed,
+        )
+    elif args.algorithm == "dsubsim":
+        result = distributed_subsim(
+            dataset.graph, args.k, args.machines, eps=args.eps,
+            network=network, seed=args.seed,
+        )
+    elif args.algorithm == "dssa":
+        result = distributed_ssa(
+            dataset.graph, args.k, args.machines, eps=args.eps,
+            model=args.model, network=network, seed=args.seed,
+        )
+    else:
+        result = distributed_opimc(
+            dataset.graph, args.k, args.machines, eps=args.eps,
+            model=args.model, network=network, seed=args.seed,
+        )
+    print_table([result.summary_row()], title=f"{result.algorithm} on {args.dataset}")
+    print(f"\nseeds: {result.seeds}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from .experiments import (
+        fig5_cluster_ic,
+        fig6_server_ic,
+        fig7_server_subsim,
+        fig8_cluster_lt,
+        fig9_server_lt,
+        fig10_maxcover,
+        framework_comparison,
+        print_table,
+        seed_quality_comparison,
+        table3_rows,
+        table4_rows,
+    )
+    from .graphs import DATASET_NAMES
+
+    datasets = tuple(args.datasets) if args.datasets else DATASET_NAMES
+    if args.name == "table3":
+        rows = [r for r in table3_rows() if r["dataset"] in datasets]
+    elif args.name == "table4":
+        rows = table4_rows(datasets=datasets, k=args.k, eps=args.eps)
+    elif args.name == "fig10":
+        rows = fig10_maxcover(datasets=datasets, k=args.k)
+    elif args.name == "quality":
+        rows = seed_quality_comparison(datasets=datasets, k=args.k, eps=args.eps)
+    elif args.name == "frameworks":
+        rows = framework_comparison(datasets=datasets, k=args.k, eps=args.eps)
+    else:
+        runner = {
+            "fig5": fig5_cluster_ic,
+            "fig6": fig6_server_ic,
+            "fig7": fig7_server_subsim,
+            "fig8": fig8_cluster_lt,
+            "fig9": fig9_server_lt,
+        }[args.name]
+        rows = runner(datasets=datasets, k=args.k, eps=args.eps)
+    print_table(rows, title=args.name)
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from .analysis import evaluate_seeds
+    from .graphs import load_dataset
+
+    dataset = load_dataset(args.dataset)
+    try:
+        seeds = [int(part) for part in args.seeds.split(",") if part.strip()]
+    except ValueError:
+        print(f"error: cannot parse seed list {args.seeds!r}", file=sys.stderr)
+        return 2
+    estimate = evaluate_seeds(
+        dataset.graph, seeds, args.model, args.samples, np.random.default_rng(0)
+    )
+    low, high = estimate.ci()
+    print(
+        f"sigma({seeds}) ~= {estimate.mean:.1f} nodes "
+        f"(95% CI [{low:.1f}, {high:.1f}], {args.samples} cascades, "
+        f"{args.model.upper()} model)"
+    )
+    return 0
+
+
+def _cmd_app(args: argparse.Namespace) -> int:
+    from .applications import (
+        adaptive_influence_maximization,
+        budgeted_influence_maximization,
+        profit_maximization,
+        seed_minimization,
+        targeted_influence_maximization,
+    )
+    from .experiments import print_table
+    from .graphs import load_dataset
+
+    dataset = load_dataset(args.dataset)
+    graph = dataset.graph
+    n = graph.num_nodes
+    rng = np.random.default_rng(args.seed)
+    if args.name == "targeted":
+        targets = rng.choice(n, size=max(n // 10, 1), replace=False)
+        result = targeted_influence_maximization(
+            graph, targets, k=args.k, num_machines=args.machines,
+            num_rr_sets=args.rr_sets, seed=args.seed,
+        )
+    elif args.name == "budgeted":
+        costs = 1.0 + graph.out_degrees() / max(int(graph.out_degrees().max()), 1) * 9.0
+        result = budgeted_influence_maximization(
+            graph, costs, budget=args.budget, num_machines=args.machines,
+            num_rr_sets=args.rr_sets, seed=args.seed,
+        )
+    elif args.name == "seedmin":
+        required = args.required_spread if args.required_spread else 0.2 * n
+        result = seed_minimization(
+            graph, required_spread=required, num_machines=args.machines,
+            num_rr_sets=args.rr_sets, seed=args.seed,
+        )
+    elif args.name == "profit":
+        costs = 1.0 + graph.out_degrees() / max(int(graph.out_degrees().max()), 1) * 9.0
+        result = profit_maximization(
+            graph, costs, num_machines=args.machines,
+            num_rr_sets=args.rr_sets, seed=args.seed,
+        )
+    else:
+        result = adaptive_influence_maximization(
+            graph, k=args.k, num_machines=args.machines,
+            rr_sets_per_round=max(args.rr_sets // max(args.k, 1), 100),
+            seed=args.seed,
+        )
+    print_table([result.summary_row()], title=f"{result.application} on {args.dataset}")
+    print(f"\nseeds: {result.seeds}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "datasets":
+        return _cmd_datasets()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    if args.command == "validate":
+        return _cmd_validate(args)
+    if args.command == "app":
+        return _cmd_app(args)
+    return 2  # unreachable: argparse enforces the choices

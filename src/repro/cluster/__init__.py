@@ -1,0 +1,26 @@
+"""Simulated master-slave cluster: machines, network model, metrics."""
+
+from .cluster import MachineFailure, SimulatedCluster
+from .machine import Machine
+from .metrics import COMMUNICATION, COMPUTATION, GENERATION, PhaseRecord, RunMetrics
+from .network import NetworkModel, gigabit_cluster, shared_memory_server
+from .parallel import generate_batch, generate_parallel
+from .tracing import render_timeline, summarize_phases
+
+__all__ = [
+    "SimulatedCluster",
+    "MachineFailure",
+    "Machine",
+    "NetworkModel",
+    "gigabit_cluster",
+    "shared_memory_server",
+    "RunMetrics",
+    "PhaseRecord",
+    "GENERATION",
+    "COMPUTATION",
+    "COMMUNICATION",
+    "generate_parallel",
+    "generate_batch",
+    "summarize_phases",
+    "render_timeline",
+]

@@ -1,0 +1,133 @@
+"""Timing and traffic accounting for simulated distributed runs.
+
+Figures 5-9 of the paper report, per run, the total running time and its
+breakdown into RR-set *generation* time, seed-selection *computation* time
+and *communication* time.  :class:`RunMetrics` accumulates exactly those
+three categories.
+
+Honesty contract (DESIGN.md): machine work is measured with real
+wall-clock timers while the simulator executes machines one after another;
+the *parallel* time of a phase is the maximum per-machine time, and
+communication time is derived from counted payload bytes through the
+:class:`~repro.cluster.network.NetworkModel`.  Nothing is extrapolated
+from asymptotic formulas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+__all__ = ["PhaseRecord", "RunMetrics", "GENERATION", "COMPUTATION", "COMMUNICATION"]
+
+GENERATION = "generation"
+COMPUTATION = "computation"
+COMMUNICATION = "communication"
+_CATEGORIES = (GENERATION, COMPUTATION, COMMUNICATION)
+
+
+@dataclass(frozen=True)
+class PhaseRecord:
+    """One metered phase: a map over machines or a communication round."""
+
+    category: str
+    label: str
+    parallel_time: float
+    machine_times: tuple[float, ...] = ()
+    num_bytes: int = 0
+
+    @property
+    def total_machine_time(self) -> float:
+        """Summed (sequential) machine time — the work a single machine
+        would have done."""
+        return sum(self.machine_times)
+
+
+@dataclass
+class RunMetrics:
+    """Accumulated metrics of one distributed run."""
+
+    phases: List[PhaseRecord] = field(default_factory=list)
+
+    def record_compute_phase(
+        self,
+        category: str,
+        label: str,
+        machine_times: list[float],
+    ) -> None:
+        """Record a phase executed by all machines in parallel."""
+        if category not in (GENERATION, COMPUTATION):
+            raise ValueError(f"compute phases must be generation/computation, got {category}")
+        self.phases.append(
+            PhaseRecord(
+                category=category,
+                label=label,
+                parallel_time=max(machine_times) if machine_times else 0.0,
+                machine_times=tuple(machine_times),
+            )
+        )
+
+    def record_communication(self, label: str, num_bytes: int, elapsed: float) -> None:
+        """Record one communication round (bytes already costed by caller)."""
+        self.phases.append(
+            PhaseRecord(
+                category=COMMUNICATION,
+                label=label,
+                parallel_time=elapsed,
+                num_bytes=num_bytes,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    def time_in(self, category: str) -> float:
+        """Total simulated parallel time spent in one category."""
+        if category not in _CATEGORIES:
+            raise ValueError(f"unknown category {category!r}")
+        return sum(p.parallel_time for p in self.phases if p.category == category)
+
+    @property
+    def generation_time(self) -> float:
+        return self.time_in(GENERATION)
+
+    @property
+    def computation_time(self) -> float:
+        return self.time_in(COMPUTATION)
+
+    @property
+    def communication_time(self) -> float:
+        return self.time_in(COMMUNICATION)
+
+    @property
+    def total_time(self) -> float:
+        """Simulated end-to-end parallel running time."""
+        return sum(p.parallel_time for p in self.phases)
+
+    @property
+    def total_bytes(self) -> int:
+        """Total bytes moved between machines."""
+        return sum(p.num_bytes for p in self.phases)
+
+    @property
+    def sequential_time(self) -> float:
+        """Time a single machine doing all the work would have taken.
+
+        Communication is excluded: a single machine does not communicate.
+        """
+        return sum(
+            p.total_machine_time for p in self.phases if p.category != COMMUNICATION
+        )
+
+    def breakdown(self) -> Dict[str, float]:
+        """The Fig 5-9 breakdown: per-category parallel times plus total."""
+        return {
+            GENERATION: self.generation_time,
+            COMPUTATION: self.computation_time,
+            COMMUNICATION: self.communication_time,
+            "total": self.total_time,
+        }
+
+    def merge(self, other: "RunMetrics") -> None:
+        """Append the phases of another run (e.g. nested algorithm calls)."""
+        self.phases.extend(other.phases)

@@ -1,0 +1,91 @@
+"""Textual rendering of a distributed run's phase timeline.
+
+``RunMetrics`` records every metered phase of a DIIMM / NEWGREEDI run;
+this module turns that record into something a human can scan:
+
+* :func:`summarize_phases` groups phases by label prefix (the algorithm's
+  own naming, e.g. ``search-3/newgreedi/map``) and aggregates times;
+* :func:`render_timeline` draws a proportional text Gantt of the top
+  phase groups, the quickest way to see *where* a run spent its time and
+  whether a figure's breakdown makes sense.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .metrics import RunMetrics
+
+__all__ = ["summarize_phases", "render_timeline"]
+
+
+def _group_of(label: str, depth: int) -> str:
+    return "/".join(label.split("/")[:depth])
+
+
+def summarize_phases(metrics: RunMetrics, depth: int = 1) -> List[dict]:
+    """Aggregate phases by the first ``depth`` segments of their label.
+
+    Returns one row per group, ordered by first appearance, with the
+    summed parallel time, category mix, phase count and bytes moved.
+    """
+    if depth < 1:
+        raise ValueError(f"depth must be >= 1, got {depth}")
+    order: List[str] = []
+    grouped: Dict[str, dict] = {}
+    for phase in metrics.phases:
+        key = _group_of(phase.label, depth)
+        if key not in grouped:
+            order.append(key)
+            grouped[key] = {
+                "group": key,
+                "parallel_s": 0.0,
+                "phases": 0,
+                "bytes": 0,
+                "categories": set(),
+            }
+        entry = grouped[key]
+        entry["parallel_s"] += phase.parallel_time
+        entry["phases"] += 1
+        entry["bytes"] += phase.num_bytes
+        entry["categories"].add(phase.category)
+    rows = []
+    for key in order:
+        entry = grouped[key]
+        rows.append(
+            {
+                "group": entry["group"],
+                "parallel_s": round(entry["parallel_s"], 6),
+                "phases": entry["phases"],
+                "bytes": entry["bytes"],
+                "categories": "+".join(sorted(entry["categories"])),
+            }
+        )
+    return rows
+
+
+def render_timeline(metrics: RunMetrics, depth: int = 1, width: int = 50) -> str:
+    """A proportional text Gantt of the phase groups.
+
+    Each group gets one line; bar length is proportional to its share of
+    the total parallel time.  Groups contributing under half a character
+    are shown with a single dot.
+    """
+    if width < 10:
+        raise ValueError(f"width must be >= 10, got {width}")
+    rows = summarize_phases(metrics, depth=depth)
+    total = sum(row["parallel_s"] for row in rows)
+    if total == 0:
+        return "(empty timeline)"
+    label_width = max(len(row["group"]) for row in rows)
+    lines = []
+    for row in rows:
+        share = row["parallel_s"] / total
+        bar_len = int(round(share * width))
+        bar = "#" * bar_len if bar_len else "."
+        lines.append(
+            f"{row['group'].ljust(label_width)}  {bar.ljust(width)} "
+            f"{row['parallel_s']:.4f}s ({share:5.1%})"
+        )
+    lines.append(f"{'total'.ljust(label_width)}  {'':{width}} {total:.4f}s")
+    return "\n".join(lines)

@@ -1,0 +1,33 @@
+"""Core influence-maximization algorithms: bounds, IMM, DIIMM, SUBSIM, OPIM-C."""
+
+from .bounds import (
+    ImmParameters,
+    alpha_term,
+    beta_term,
+    lambda_prime,
+    lambda_star,
+    log_binomial,
+    solve_delta_prime,
+)
+from .diimm import diimm
+from .dopimc import distributed_opimc
+from .dssa import distributed_ssa
+from .dsubsim import distributed_subsim
+from .imm import imm
+from .result import IMResult
+
+__all__ = [
+    "ImmParameters",
+    "log_binomial",
+    "lambda_prime",
+    "lambda_star",
+    "alpha_term",
+    "beta_term",
+    "solve_delta_prime",
+    "imm",
+    "diimm",
+    "distributed_subsim",
+    "distributed_opimc",
+    "distributed_ssa",
+    "IMResult",
+]

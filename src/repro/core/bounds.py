@@ -1,0 +1,153 @@
+"""IMM sampling bounds: equations (3)-(7) of the paper.
+
+The IMM framework (Tang et al., SIGMOD 2015) decides how many RR sets to
+generate from two quantities:
+
+* ``lambda'`` (eq. 3) controls the lower-bound search: in iteration ``t``
+  it prescribes ``theta_t = lambda' / x`` RR sets for the guess
+  ``x = n / 2^t`` of OPT.
+* ``lambda*`` (eqs. 4-6) controls the final sampling:
+  ``theta = lambda* / LB`` RR sets guarantee that greedy returns a
+  ``(1 - 1/e - eps)``-approximation with probability ``>= 1 - delta'/2``.
+
+Chen (arXiv:1808.09363) pointed out a subtle flaw in IMM's original
+martingale analysis; the fix (adopted by this paper, eq. 7) replaces
+``delta' = delta`` with the root of ``ceil(lambda*) * delta' = delta``.
+Since ``lambda*`` itself depends on ``delta'`` through ``alpha`` and
+``beta``, :func:`solve_delta_prime` iterates the monotone map
+``delta' <- delta / ceil(lambda*(delta'))`` to its fixed point.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "log_binomial",
+    "lambda_prime",
+    "alpha_term",
+    "beta_term",
+    "lambda_star",
+    "solve_delta_prime",
+    "ImmParameters",
+]
+
+
+def log_binomial(n: int, k: int) -> float:
+    """Natural log of the binomial coefficient ``C(n, k)`` via lgamma."""
+    if k < 0 or k > n:
+        raise ValueError(f"require 0 <= k <= n, got n={n}, k={k}")
+    return math.lgamma(n + 1) - math.lgamma(k + 1) - math.lgamma(n - k + 1)
+
+
+def lambda_prime(n: int, k: int, eps_prime: float, delta_prime: float) -> float:
+    """Equation (3): the lower-bound-search sampling coefficient."""
+    _validate(n, k, eps_prime, delta_prime)
+    log_terms = log_binomial(n, k) + math.log(2.0 / delta_prime) + math.log(max(math.log2(n), 1.0))
+    return (2.0 + 2.0 * eps_prime / 3.0) * log_terms * n / (eps_prime**2)
+
+
+def alpha_term(delta_prime: float) -> float:
+    """Equation (4)."""
+    if not 0.0 < delta_prime < 1.0:
+        raise ValueError(f"delta_prime must lie in (0, 1), got {delta_prime}")
+    return math.sqrt(math.log(2.0 / delta_prime) + math.log(2.0))
+
+
+def beta_term(n: int, k: int, delta_prime: float) -> float:
+    """Equation (5)."""
+    one_minus_inv_e = 1.0 - 1.0 / math.e
+    return math.sqrt(
+        one_minus_inv_e
+        * (log_binomial(n, k) + math.log(2.0 / delta_prime) + math.log(2.0))
+    )
+
+
+def lambda_star(n: int, k: int, eps: float, delta_prime: float) -> float:
+    """Equation (6): the final-phase sampling coefficient."""
+    _validate(n, k, eps, delta_prime)
+    one_minus_inv_e = 1.0 - 1.0 / math.e
+    combined = one_minus_inv_e * alpha_term(delta_prime) + beta_term(n, k, delta_prime)
+    return 2.0 * n * combined**2 / (eps**2)
+
+
+def solve_delta_prime(
+    n: int,
+    k: int,
+    eps: float,
+    delta: float,
+    tolerance: float = 1e-12,
+    max_rounds: int = 200,
+) -> float:
+    """Equation (7): fixed point of ``ceil(lambda*(delta')) * delta' = delta``.
+
+    The map ``delta' <- delta / ceil(lambda*(delta'))`` is monotone
+    (shrinking ``delta'`` only grows ``lambda*`` logarithmically), so the
+    iteration converges geometrically from the start ``delta' = delta``.
+    """
+    if not 0.0 < delta < 1.0:
+        raise ValueError(f"delta must lie in (0, 1), got {delta}")
+    delta_prime = delta
+    for __ in range(max_rounds):
+        updated = delta / math.ceil(lambda_star(n, k, eps, delta_prime))
+        if abs(updated - delta_prime) <= tolerance * delta_prime:
+            return updated
+        delta_prime = updated
+    return delta_prime
+
+
+def _validate(n: int, k: int, eps: float, delta_prime: float) -> None:
+    if n < 2:
+        raise ValueError(f"n must be >= 2, got {n}")
+    if not 1 <= k <= n:
+        raise ValueError(f"require 1 <= k <= n, got k={k}, n={n}")
+    if eps <= 0.0:
+        raise ValueError(f"epsilon must be positive, got {eps}")
+    if not 0.0 < delta_prime < 1.0:
+        raise ValueError(f"delta_prime must lie in (0, 1), got {delta_prime}")
+
+
+@dataclass(frozen=True)
+class ImmParameters:
+    """All sampling-schedule constants for one ``(n, k, eps, delta)`` tuple."""
+
+    n: int
+    k: int
+    eps: float
+    delta: float
+    eps_prime: float
+    delta_prime: float
+    lambda_prime: float
+    lambda_star: float
+    max_search_rounds: int
+
+    @classmethod
+    def compute(cls, n: int, k: int, eps: float, delta: float) -> "ImmParameters":
+        """Derive every constant of Algorithm 2's header (lines 1-2, 11)."""
+        eps_prime = math.sqrt(2.0) * eps
+        delta_prime = solve_delta_prime(n, k, eps, delta)
+        return cls(
+            n=n,
+            k=k,
+            eps=eps,
+            delta=delta,
+            eps_prime=eps_prime,
+            delta_prime=delta_prime,
+            lambda_prime=lambda_prime(n, k, eps_prime, delta_prime),
+            lambda_star=lambda_star(n, k, eps, delta_prime),
+            max_search_rounds=max(int(math.log2(n)) - 1, 1),
+        )
+
+    def theta_for_round(self, t: int) -> int:
+        """RR sets required by search round ``t`` (``theta_t = lambda'/x``)."""
+        if t < 1:
+            raise ValueError(f"round index must be >= 1, got {t}")
+        x = self.n / (2.0**t)
+        return int(math.ceil(self.lambda_prime / x))
+
+    def theta_final(self, lower_bound: float) -> int:
+        """RR sets required by the final phase (``theta = lambda*/LB``)."""
+        if lower_bound < 1.0:
+            raise ValueError(f"lower bound must be >= 1, got {lower_bound}")
+        return int(math.ceil(self.lambda_star / lower_bound))

@@ -1,0 +1,25 @@
+"""Maximum coverage: problem abstraction, greedy engines, NEWGREEDI, GREEDI."""
+
+from .greedi import greedi, partition_sets, randgreedi
+from .greedy import (
+    BucketQueue,
+    GreedyResult,
+    greedy_max_coverage,
+    naive_greedy_max_coverage,
+)
+from .newgreedi import NewGreeDiResult, gather_coverage_counts, newgreedi
+from .problem import CoverageInstance
+
+__all__ = [
+    "CoverageInstance",
+    "BucketQueue",
+    "GreedyResult",
+    "greedy_max_coverage",
+    "naive_greedy_max_coverage",
+    "NewGreeDiResult",
+    "newgreedi",
+    "gather_coverage_counts",
+    "greedi",
+    "randgreedi",
+    "partition_sets",
+]

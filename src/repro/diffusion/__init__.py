@@ -1,0 +1,39 @@
+"""Diffusion models: IC, LT, triggering; spread estimation and exact values."""
+
+from .base import DiffusionModel, get_model, seeds_to_array
+from .exact import exact_optimum, exact_spread_ic, exact_spread_lt
+from .ic import IndependentCascade
+from .lt import LinearThreshold, check_lt_feasible
+from .spread import SpreadEstimate, estimate_spread, singleton_spreads, spread_with_ci
+from .timed import TimedCascade, simulate_ic_timed, simulate_lt_timed
+from .triggering import (
+    ICTriggering,
+    LTTriggering,
+    TriggeringDistribution,
+    TriggeringModel,
+    reachable_from,
+)
+
+__all__ = [
+    "DiffusionModel",
+    "get_model",
+    "seeds_to_array",
+    "IndependentCascade",
+    "LinearThreshold",
+    "check_lt_feasible",
+    "TriggeringModel",
+    "TriggeringDistribution",
+    "ICTriggering",
+    "LTTriggering",
+    "reachable_from",
+    "SpreadEstimate",
+    "estimate_spread",
+    "spread_with_ci",
+    "singleton_spreads",
+    "exact_spread_ic",
+    "exact_spread_lt",
+    "exact_optimum",
+    "TimedCascade",
+    "simulate_ic_timed",
+    "simulate_lt_timed",
+]

@@ -1,0 +1,76 @@
+"""Common interface for influence diffusion models.
+
+A diffusion model turns a seed set into a random set of activated nodes via
+the discrete-time process of Kempe et al. (KDD 2003).  Concrete models (IC,
+LT, triggering) implement :meth:`DiffusionModel.simulate`; everything else
+in the library interacts with models through this interface or through the
+string names ``"ic"`` / ``"lt"`` resolved by :func:`get_model`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable
+
+import numpy as np
+
+from ..graphs.digraph import DirectedGraph
+
+__all__ = ["DiffusionModel", "get_model", "seeds_to_array"]
+
+
+def seeds_to_array(seeds: Iterable[int], num_nodes: int) -> np.ndarray:
+    """Validate a seed iterable and return it as a unique int array."""
+    arr = np.unique(np.asarray(list(seeds), dtype=np.int64))
+    if arr.size and (arr[0] < 0 or arr[-1] >= num_nodes):
+        raise ValueError("seed ids must lie in [0, num_nodes)")
+    return arr
+
+
+class DiffusionModel(ABC):
+    """Abstract influence diffusion model.
+
+    Subclasses must be stateless with respect to the graph: all randomness
+    comes from the ``rng`` argument so simulations are reproducible and can
+    be distributed across machines with spawned seeds.
+    """
+
+    #: Short lowercase identifier (``"ic"``, ``"lt"``, ``"triggering"``).
+    name: str = "abstract"
+
+    @abstractmethod
+    def simulate(
+        self,
+        graph: DirectedGraph,
+        seeds: Iterable[int],
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Run one diffusion cascade and return the activated node ids.
+
+        The returned array always contains the seeds themselves and is
+        sorted ascending.
+        """
+
+    def cascade_size(
+        self,
+        graph: DirectedGraph,
+        seeds: Iterable[int],
+        rng: np.random.Generator,
+    ) -> int:
+        """Convenience: size of one simulated cascade."""
+        return int(self.simulate(graph, seeds, rng).size)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+def get_model(name: str) -> DiffusionModel:
+    """Resolve a model by name (``"ic"`` or ``"lt"``)."""
+    from .ic import IndependentCascade
+    from .lt import LinearThreshold
+
+    table = {"ic": IndependentCascade, "lt": LinearThreshold}
+    key = name.lower()
+    if key not in table:
+        raise KeyError(f"unknown diffusion model {name!r}; choose from {sorted(table)}")
+    return table[key]()

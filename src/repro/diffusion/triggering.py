@@ -1,0 +1,162 @@
+"""The triggering model of Kempe et al., via live-edge graphs.
+
+Under the triggering model each node ``v`` independently samples a
+*triggering set* ``T_v`` of in-neighbors; ``v`` activates when any node of
+``T_v`` is active.  Equivalently, one samples a random *live-edge graph*
+(keep edge ``<u, v>`` iff ``u in T_v``) and the activated set is exactly
+the set of nodes forward-reachable from the seeds.
+
+Both IC and LT are triggering instances:
+
+* **IC**: each in-edge of ``v`` enters ``T_v`` independently with its
+  probability ``p_{u,v}``.
+* **LT**: ``T_v`` contains *at most one* in-edge, edge ``<u, v>`` with
+  probability ``p_{u,v}`` and none with the remaining probability.
+
+These live-edge samplers double as an independent reference implementation:
+tests check that :class:`TriggeringModel` agrees in distribution with the
+round-based simulators in :mod:`repro.diffusion.ic` / ``lt``.  They are also
+exactly the distributions that reverse influence sampling inverts.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable, Tuple
+
+import numpy as np
+
+from ..graphs.digraph import DirectedGraph
+from .base import DiffusionModel, seeds_to_array
+from .lt import check_lt_feasible
+
+__all__ = [
+    "TriggeringDistribution",
+    "ICTriggering",
+    "LTTriggering",
+    "TriggeringModel",
+    "reachable_from",
+]
+
+
+class TriggeringDistribution(ABC):
+    """Strategy that samples live in-edges for every node at once."""
+
+    @abstractmethod
+    def sample_live_edges(
+        self,
+        graph: DirectedGraph,
+        rng: np.random.Generator,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(sources, targets)`` of the sampled live-edge graph."""
+
+
+def _in_edge_targets(graph: DirectedGraph) -> np.ndarray:
+    """Target node of every edge in in-CSR order."""
+    return np.repeat(np.arange(graph.num_nodes), graph.in_degrees())
+
+
+class ICTriggering(TriggeringDistribution):
+    """IC triggering sets: every in-edge is live independently."""
+
+    def sample_live_edges(
+        self,
+        graph: DirectedGraph,
+        rng: np.random.Generator,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        live = rng.random(graph.num_edges) < graph.in_probs
+        targets = _in_edge_targets(graph)
+        return graph.in_indices[live].astype(np.int64), targets[live]
+
+
+class LTTriggering(TriggeringDistribution):
+    """LT triggering sets: at most one live in-edge per node."""
+
+    def sample_live_edges(
+        self,
+        graph: DirectedGraph,
+        rng: np.random.Generator,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        check_lt_feasible(graph)
+        n = graph.num_nodes
+        indptr = graph.in_indptr
+        prefix = np.concatenate(([0.0], np.cumsum(graph.in_probs)))
+        # For each node v, pick the first in-edge j with cumulative incoming
+        # probability >= r_v; if r_v exceeds the node's total, no edge is live.
+        r = rng.random(n)
+        target_vals = prefix[indptr[:-1]] + r
+        chosen = np.searchsorted(prefix, target_vals, side="left") - 1
+        valid = chosen < indptr[1:]
+        # Guard against floating rounding pushing chosen below the segment.
+        valid &= chosen >= indptr[:-1]
+        nodes = np.flatnonzero(valid)
+        edges = chosen[valid]
+        return graph.in_indices[edges].astype(np.int64), nodes.astype(np.int64)
+
+
+def reachable_from(
+    num_nodes: int,
+    sources: np.ndarray,
+    targets: np.ndarray,
+    seeds: np.ndarray,
+) -> np.ndarray:
+    """Nodes forward-reachable from ``seeds`` over the edge list given.
+
+    Builds a temporary CSR for the live edges and runs a frontier BFS.
+    """
+    active = np.zeros(num_nodes, dtype=bool)
+    active[seeds] = True
+    if sources.size == 0:
+        return np.flatnonzero(active)
+    order = np.argsort(sources, kind="stable")
+    sources = sources[order]
+    targets = targets[order]
+    counts = np.bincount(sources, minlength=num_nodes)
+    indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+
+    frontier = seeds
+    while frontier.size:
+        starts = indptr[frontier]
+        stops = indptr[frontier + 1]
+        seg = stops - starts
+        total = int(seg.sum())
+        if total == 0:
+            break
+        offsets = np.repeat(starts, seg)
+        within = np.arange(total) - np.repeat(np.cumsum(seg) - seg, seg)
+        hit = targets[offsets + within]
+        hit = np.unique(hit)
+        newly = hit[~active[hit]]
+        active[newly] = True
+        frontier = newly
+    return np.flatnonzero(active)
+
+
+class TriggeringModel(DiffusionModel):
+    """Diffusion by sampling a live-edge graph then a forward reachability.
+
+    Parameters
+    ----------
+    distribution:
+        The triggering-set sampler; :class:`ICTriggering` and
+        :class:`LTTriggering` reproduce the IC and LT models exactly.
+    """
+
+    name = "triggering"
+
+    def __init__(self, distribution: TriggeringDistribution) -> None:
+        self.distribution = distribution
+
+    def simulate(
+        self,
+        graph: DirectedGraph,
+        seeds: Iterable[int],
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        seed_arr = seeds_to_array(seeds, graph.num_nodes)
+        sources, targets = self.distribution.sample_live_edges(graph, rng)
+        return reachable_from(graph.num_nodes, sources, targets, seed_arr)
+
+    def __repr__(self) -> str:
+        return f"TriggeringModel({type(self.distribution).__name__})"

@@ -1,0 +1,61 @@
+"""Rendering helpers for experiment output.
+
+Every experiment module returns plain ``list[dict]`` rows; these helpers
+render them as aligned text tables (what the benchmark harness prints) or
+dump them as JSON for post-processing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Mapping, Sequence
+
+__all__ = ["format_table", "print_table", "write_json"]
+
+
+def _render_cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3g}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(rows: Sequence[Mapping[str, object]], title: str | None = None) -> str:
+    """Render rows as an aligned monospace table.
+
+    Columns come from the union of row keys, in first-seen order.
+    """
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    cells = [[_render_cell(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(line[i]) for line in cells)) for i, col in enumerate(columns)
+    ]
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    rule = "  ".join("-" * w for w in widths)
+    body = "\n".join(
+        "  ".join(line[i].ljust(widths[i]) for i in range(len(columns))) for line in cells
+    )
+    parts = [title, header, rule, body] if title else [header, rule, body]
+    return "\n".join(part for part in parts if part)
+
+
+def print_table(rows: Sequence[Mapping[str, object]], title: str | None = None) -> None:
+    """Print :func:`format_table` output."""
+    print(format_table(rows, title=title))
+
+
+def write_json(rows: Sequence[Mapping[str, object]], path: str | os.PathLike) -> None:
+    """Dump rows to a JSON file (pretty-printed, stable key order)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(list(rows), handle, indent=2, sort_keys=True, default=str)
+        handle.write("\n")

@@ -1,0 +1,240 @@
+"""Compact directed graph in compressed sparse row (CSR) form.
+
+The whole library operates on :class:`DirectedGraph`: an immutable directed
+graph whose out-adjacency and in-adjacency are both stored as CSR arrays.
+Influence propagation needs the out-adjacency (forward simulation), while
+reverse influence sampling walks the in-adjacency, so both directions are
+materialised once at construction time.
+
+Each edge ``<u, v>`` carries a propagation probability ``p_{u,v}`` stored in
+parallel to the adjacency arrays.  Probabilities default to zero until a
+weighting scheme from :mod:`repro.graphs.weights` assigns them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["DirectedGraph"]
+
+
+class DirectedGraph:
+    """An immutable directed graph with per-edge propagation probabilities.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of nodes ``n``.  Nodes are the integers ``0 .. n - 1``.
+    sources, targets:
+        Parallel integer arrays of length ``m`` describing the edge list.
+    probs:
+        Optional parallel float array of propagation probabilities.  When
+        omitted every edge probability is zero (assign weights later with
+        :mod:`repro.graphs.weights`).
+
+    Notes
+    -----
+    The constructor sorts the edge list twice (once by source, once by
+    target) to build both CSR directions.  Use
+    :class:`repro.graphs.builder.GraphBuilder` for incremental construction.
+    """
+
+    __slots__ = (
+        "_n",
+        "_m",
+        "out_indptr",
+        "out_indices",
+        "out_probs",
+        "in_indptr",
+        "in_indices",
+        "in_probs",
+        "_in_prob_sums",
+    )
+
+    def __init__(
+        self,
+        num_nodes: int,
+        sources: Sequence[int],
+        targets: Sequence[int],
+        probs: Sequence[float] | None = None,
+    ) -> None:
+        if num_nodes < 0:
+            raise ValueError(f"num_nodes must be non-negative, got {num_nodes}")
+        src = np.asarray(sources, dtype=np.int64)
+        dst = np.asarray(targets, dtype=np.int64)
+        if src.shape != dst.shape or src.ndim != 1:
+            raise ValueError("sources and targets must be 1-D arrays of equal length")
+        if probs is None:
+            prob = np.zeros(src.shape[0], dtype=np.float64)
+        else:
+            prob = np.asarray(probs, dtype=np.float64)
+            if prob.shape != src.shape:
+                raise ValueError("probs must have the same length as the edge list")
+        if src.size:
+            if src.min() < 0 or dst.min() < 0:
+                raise ValueError("node ids must be non-negative")
+            if src.max() >= num_nodes or dst.max() >= num_nodes:
+                raise ValueError("node id exceeds num_nodes - 1")
+            if prob.min() < 0.0 or prob.max() > 1.0:
+                raise ValueError("edge probabilities must lie in [0, 1]")
+
+        self._n = int(num_nodes)
+        self._m = int(src.size)
+
+        # Out-adjacency: edges sorted by source node.
+        order = np.argsort(src, kind="stable")
+        self.out_indptr = self._build_indptr(src[order])
+        self.out_indices = np.ascontiguousarray(dst[order], dtype=np.int32)
+        self.out_probs = np.ascontiguousarray(prob[order])
+
+        # In-adjacency: edges sorted by target node.
+        order = np.argsort(dst, kind="stable")
+        self.in_indptr = self._build_indptr(dst[order])
+        self.in_indices = np.ascontiguousarray(src[order], dtype=np.int32)
+        self.in_probs = np.ascontiguousarray(prob[order])
+
+        self._in_prob_sums: np.ndarray | None = None
+
+    def _build_indptr(self, sorted_keys: np.ndarray) -> np.ndarray:
+        counts = np.bincount(sorted_keys, minlength=self._n) if self._n else np.zeros(0, np.int64)
+        indptr = np.zeros(self._n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return indptr
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes ``n``."""
+        return self._n
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed edges ``m``."""
+        return self._m
+
+    def nodes(self) -> range:
+        """All node ids as a range."""
+        return range(self._n)
+
+    def out_neighbors(self, u: int) -> np.ndarray:
+        """Targets of edges leaving ``u`` (view, do not mutate)."""
+        return self.out_indices[self.out_indptr[u] : self.out_indptr[u + 1]]
+
+    def out_probabilities(self, u: int) -> np.ndarray:
+        """Probabilities of edges leaving ``u``, parallel to out_neighbors."""
+        return self.out_probs[self.out_indptr[u] : self.out_indptr[u + 1]]
+
+    def in_neighbors(self, v: int) -> np.ndarray:
+        """Sources of edges entering ``v`` (view, do not mutate)."""
+        return self.in_indices[self.in_indptr[v] : self.in_indptr[v + 1]]
+
+    def in_probabilities(self, v: int) -> np.ndarray:
+        """Probabilities of edges entering ``v``, parallel to in_neighbors."""
+        return self.in_probs[self.in_indptr[v] : self.in_indptr[v + 1]]
+
+    def out_degree(self, u: int) -> int:
+        """Number of edges leaving ``u``."""
+        return int(self.out_indptr[u + 1] - self.out_indptr[u])
+
+    def in_degree(self, v: int) -> int:
+        """Number of edges entering ``v``."""
+        return int(self.in_indptr[v + 1] - self.in_indptr[v])
+
+    def out_degrees(self) -> np.ndarray:
+        """Out-degree of every node as an array."""
+        return np.diff(self.out_indptr)
+
+    def in_degrees(self) -> np.ndarray:
+        """In-degree of every node as an array."""
+        return np.diff(self.in_indptr)
+
+    def in_probability_sum(self, v: int) -> float:
+        """Sum of incoming edge probabilities of ``v`` (LT stop threshold)."""
+        return float(self.in_probability_sums()[v])
+
+    def in_probability_sums(self) -> np.ndarray:
+        """Cached per-node sums of incoming edge probabilities."""
+        if self._in_prob_sums is None:
+            if self._m:
+                targets = np.repeat(np.arange(self._n), np.diff(self.in_indptr))
+                sums = np.bincount(targets, weights=self.in_probs, minlength=self._n)
+            else:
+                sums = np.zeros(self._n, dtype=np.float64)
+            self._in_prob_sums = sums
+        return self._in_prob_sums
+
+    def edges(self) -> Iterator[Tuple[int, int, float]]:
+        """Iterate over ``(u, v, p)`` triples in out-CSR order."""
+        for u in range(self._n):
+            start, stop = self.out_indptr[u], self.out_indptr[u + 1]
+            for idx in range(start, stop):
+                yield u, int(self.out_indices[idx]), float(self.out_probs[idx])
+
+    def edge_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return ``(sources, targets, probs)`` arrays in out-CSR order."""
+        sources = np.repeat(np.arange(self._n, dtype=np.int32), np.diff(self.out_indptr))
+        return sources, self.out_indices.copy(), self.out_probs.copy()
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the directed edge ``<u, v>`` exists."""
+        neighbors = self.out_neighbors(u)
+        return bool(np.any(neighbors == v))
+
+    def edge_probability(self, u: int, v: int) -> float:
+        """Probability of edge ``<u, v>``; raises ``KeyError`` if absent."""
+        start, stop = self.out_indptr[u], self.out_indptr[u + 1]
+        for idx in range(start, stop):
+            if self.out_indices[idx] == v:
+                return float(self.out_probs[idx])
+        raise KeyError(f"edge <{u}, {v}> not in graph")
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def with_probabilities(self, probs: np.ndarray) -> "DirectedGraph":
+        """Return a copy of this graph with new out-CSR-ordered probabilities."""
+        sources, targets, __ = self.edge_arrays()
+        return DirectedGraph(self._n, sources, targets, probs)
+
+    def reversed(self) -> "DirectedGraph":
+        """Return the graph with every edge direction flipped."""
+        sources, targets, probs = self.edge_arrays()
+        return DirectedGraph(self._n, targets, sources, probs)
+
+    def without_nodes(self, nodes) -> "DirectedGraph":
+        """Return the graph with all edges incident to ``nodes`` removed.
+
+        Node ids are preserved (the removed nodes stay as isolated ids),
+        which keeps RR sets and seed ids comparable across residual
+        graphs — the operation adaptive influence maximization applies
+        after observing a cascade.
+        """
+        removed = np.zeros(self._n, dtype=bool)
+        removed[np.asarray(list(nodes), dtype=np.int64)] = True
+        sources, targets, probs = self.edge_arrays()
+        keep = ~(removed[sources] | removed[targets])
+        return DirectedGraph(self._n, sources[keep], targets[keep], probs[keep])
+
+    # ------------------------------------------------------------------
+    # Dunder helpers
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        return f"DirectedGraph(n={self._n}, m={self._m})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DirectedGraph):
+            return NotImplemented
+        return (
+            self._n == other._n
+            and self._m == other._m
+            and np.array_equal(self.out_indptr, other.out_indptr)
+            and np.array_equal(self.out_indices, other.out_indices)
+            and np.allclose(self.out_probs, other.out_probs)
+        )
+
+    def __hash__(self) -> int:  # graphs are mutable-array holders; identity hash
+        return id(self)

@@ -1,0 +1,244 @@
+"""Synthetic graph generators.
+
+These generators produce the stand-in workloads for the paper's SNAP
+datasets (see DESIGN.md).  All of them draw randomness from an explicit
+``numpy.random.Generator`` so runs are reproducible, and all return a
+:class:`~repro.graphs.digraph.DirectedGraph` with zero edge probabilities
+(apply a scheme from :mod:`repro.graphs.weights` afterwards).
+
+The heavy-tailed generators matter most: RR-set generation cost under the
+weighted-cascade setting is driven by the in-degree distribution, so the
+Chung-Lu and R-MAT generators are what make the scaled stand-ins behave
+like Google+/Twitter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .builder import GraphBuilder
+from .digraph import DirectedGraph
+
+__all__ = [
+    "paper_example_graph",
+    "paper_coverage_example",
+    "erdos_renyi",
+    "barabasi_albert",
+    "watts_strogatz",
+    "chung_lu",
+    "rmat",
+    "star_graph",
+    "path_graph",
+    "cycle_graph",
+    "complete_graph",
+]
+
+
+def paper_example_graph() -> DirectedGraph:
+    """The 4-node graph of the paper's Fig. 1 with its edge probabilities.
+
+    Nodes ``0..3`` map to the paper's ``v1..v4``.  Under the IC model
+    ``sigma({v1}) = 3.664``; under LT ``sigma({v1}) = 3.9`` (Example 1).
+    """
+    edges = [
+        (0, 1, 1.0),  # v1 -> v2
+        (0, 2, 1.0),  # v1 -> v3
+        (0, 3, 0.4),  # v1 -> v4
+        (1, 3, 0.3),  # v2 -> v4
+        (2, 3, 0.2),  # v3 -> v4
+    ]
+    return GraphBuilder.from_edges(edges, num_nodes=4)
+
+
+def paper_coverage_example() -> list[set[int]]:
+    """The 6 RR sets of the paper's Fig. 2 (Example 3), nodes as ``0..4``.
+
+    Selecting ``{v1, v2}`` (ids ``{0, 1}``) covers all six RR sets.
+    """
+    return [
+        {0, 1},  # R1: v1, v2
+        {1, 2},  # R2: v2, v3
+        {0, 2},  # R3: v1, v3
+        {1, 4},  # R4: v2, v5
+        {0, 3},  # R5: v1, v4
+        {1, 3},  # R6: v2, v4
+    ]
+
+
+def _dedup_random_edges(
+    num_nodes: int,
+    sources: np.ndarray,
+    targets: np.ndarray,
+) -> DirectedGraph:
+    """Drop self loops and duplicates from sampled endpoint arrays."""
+    keep = sources != targets
+    sources, targets = sources[keep], targets[keep]
+    keys = sources.astype(np.int64) * num_nodes + targets
+    __, unique_idx = np.unique(keys, return_index=True)
+    return DirectedGraph(num_nodes, sources[unique_idx], targets[unique_idx])
+
+
+def erdos_renyi(
+    num_nodes: int,
+    num_edges: int,
+    rng: np.random.Generator,
+) -> DirectedGraph:
+    """Directed G(n, M) graph: ``num_edges`` edges sampled uniformly.
+
+    Self loops and duplicates are removed, so the realised edge count can be
+    slightly below ``num_edges`` for dense requests.
+    """
+    if num_nodes <= 1:
+        return DirectedGraph(num_nodes, [], [])
+    sources = rng.integers(0, num_nodes, size=num_edges, dtype=np.int64)
+    targets = rng.integers(0, num_nodes, size=num_edges, dtype=np.int64)
+    return _dedup_random_edges(num_nodes, sources, targets)
+
+
+def barabasi_albert(
+    num_nodes: int,
+    attach: int,
+    rng: np.random.Generator,
+) -> DirectedGraph:
+    """Undirected preferential attachment, mirrored into a directed graph.
+
+    Each arriving node connects to ``attach`` existing nodes chosen with
+    probability proportional to their current degree (implemented with the
+    standard repeated-endpoints trick).  Produces the Facebook-like
+    stand-in: heavy clustering of early nodes, undirected edges.
+    """
+    if attach < 1:
+        raise ValueError(f"attach must be >= 1, got {attach}")
+    if num_nodes <= attach:
+        raise ValueError("num_nodes must exceed attach")
+    # repeated_nodes holds one entry per half-edge: sampling uniformly from
+    # it is sampling proportionally to degree.
+    repeated: list[int] = []
+    builder = GraphBuilder(num_nodes=num_nodes, undirected=True)
+    for new_node in range(attach, num_nodes):
+        if not repeated:
+            chosen = set(range(attach))
+        else:
+            chosen = set()
+            while len(chosen) < attach:
+                chosen.add(int(repeated[rng.integers(0, len(repeated))]))
+        for node in chosen:
+            builder.add_edge(new_node, node)
+            repeated.append(new_node)
+            repeated.append(node)
+    return builder.build()
+
+
+def watts_strogatz(
+    num_nodes: int,
+    neighbors: int,
+    rewire_prob: float,
+    rng: np.random.Generator,
+) -> DirectedGraph:
+    """Small-world ring lattice with random rewiring, mirrored directed.
+
+    Each node starts connected to its ``neighbors // 2`` clockwise ring
+    neighbours; each lattice edge is rewired to a random target with
+    probability ``rewire_prob``.
+    """
+    if neighbors % 2 or neighbors < 2:
+        raise ValueError(f"neighbors must be even and >= 2, got {neighbors}")
+    if not 0.0 <= rewire_prob <= 1.0:
+        raise ValueError(f"rewire_prob must lie in [0, 1], got {rewire_prob}")
+    half = neighbors // 2
+    builder = GraphBuilder(num_nodes=num_nodes, undirected=True)
+    for u in range(num_nodes):
+        for offset in range(1, half + 1):
+            v = (u + offset) % num_nodes
+            if rng.random() < rewire_prob:
+                v = int(rng.integers(0, num_nodes))
+                while v == u:
+                    v = int(rng.integers(0, num_nodes))
+            builder.add_edge(u, v)
+    return builder.build()
+
+
+def chung_lu(
+    num_nodes: int,
+    num_edges: int,
+    rng: np.random.Generator,
+    exponent: float = 2.5,
+    min_weight: float = 1.0,
+) -> DirectedGraph:
+    """Directed Chung-Lu graph with Pareto(``exponent``) expected degrees.
+
+    Endpoints of each edge are drawn independently in proportion to per-node
+    weights ``w_i ~ Pareto``, giving a power-law in- and out-degree
+    distribution — the LiveJournal-like stand-in.
+    """
+    if exponent <= 1.0:
+        raise ValueError(f"exponent must exceed 1, got {exponent}")
+    weights = min_weight * (1.0 + rng.pareto(exponent - 1.0, size=num_nodes))
+    prob = weights / weights.sum()
+    sources = rng.choice(num_nodes, size=num_edges, p=prob).astype(np.int64)
+    targets = rng.choice(num_nodes, size=num_edges, p=prob).astype(np.int64)
+    return _dedup_random_edges(num_nodes, sources, targets)
+
+
+def rmat(
+    scale: int,
+    edge_factor: int,
+    rng: np.random.Generator,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+) -> DirectedGraph:
+    """R-MAT / stochastic Kronecker graph on ``2**scale`` nodes.
+
+    The recursive quadrant probabilities ``(a, b, c, d)`` default to the
+    Graph500 values, producing the skewed, hub-dominated structure of the
+    Twitter follower graph.  ``d = 1 - a - b - c``.
+    """
+    d = 1.0 - a - b - c
+    if d < 0:
+        raise ValueError("quadrant probabilities must sum to at most 1")
+    num_nodes = 1 << scale
+    num_edges = num_nodes * edge_factor
+    sources = np.zeros(num_edges, dtype=np.int64)
+    targets = np.zeros(num_edges, dtype=np.int64)
+    # Vectorised recursive descent: one random draw per (edge, bit).
+    for bit in range(scale):
+        draws = rng.random(num_edges)
+        src_bit = (draws >= a + b).astype(np.int64)
+        # Within each half, the right quadrant is chosen with prob b/(a+b)
+        # (top) or d/(c+d) (bottom).
+        top_right = (draws >= a) & (draws < a + b)
+        bottom_right = draws >= a + b + c
+        dst_bit = (top_right | bottom_right).astype(np.int64)
+        sources = (sources << 1) | src_bit
+        targets = (targets << 1) | dst_bit
+    return _dedup_random_edges(num_nodes, sources, targets)
+
+
+# ----------------------------------------------------------------------
+# Deterministic small graphs (test fixtures)
+# ----------------------------------------------------------------------
+def star_graph(num_leaves: int, outward: bool = True) -> DirectedGraph:
+    """Star with hub node ``0``; edges point hub->leaf when ``outward``."""
+    edges = []
+    for leaf in range(1, num_leaves + 1):
+        edges.append((0, leaf) if outward else (leaf, 0))
+    return GraphBuilder.from_edges(edges, num_nodes=num_leaves + 1)
+
+
+def path_graph(num_nodes: int) -> DirectedGraph:
+    """Directed path ``0 -> 1 -> ... -> n-1``."""
+    edges = [(i, i + 1) for i in range(num_nodes - 1)]
+    return GraphBuilder.from_edges(edges, num_nodes=num_nodes)
+
+
+def cycle_graph(num_nodes: int) -> DirectedGraph:
+    """Directed cycle on ``num_nodes`` nodes."""
+    edges = [(i, (i + 1) % num_nodes) for i in range(num_nodes)]
+    return GraphBuilder.from_edges(edges, num_nodes=num_nodes)
+
+
+def complete_graph(num_nodes: int) -> DirectedGraph:
+    """Complete directed graph (both directions, no self loops)."""
+    edges = [(u, v) for u in range(num_nodes) for v in range(num_nodes) if u != v]
+    return GraphBuilder.from_edges(edges, num_nodes=num_nodes)

@@ -1,0 +1,67 @@
+"""Interoperability with networkx.
+
+Downstream users often hold their social graphs as ``networkx.DiGraph``
+objects; these converters bridge to and from the library's CSR
+representation.  Edge probabilities travel through the ``"probability"``
+edge attribute.
+
+networkx is an optional dependency: the functions import it lazily and
+raise a clear error when it is unavailable.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .builder import GraphBuilder
+from .digraph import DirectedGraph
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import networkx
+
+__all__ = ["from_networkx", "to_networkx", "PROBABILITY_KEY"]
+
+#: Edge-attribute key carrying the propagation probability.
+PROBABILITY_KEY = "probability"
+
+
+def _import_networkx():
+    try:
+        import networkx
+    except ImportError as exc:  # pragma: no cover - environment-dependent
+        raise ImportError(
+            "networkx is required for graph interop; install it first"
+        ) from exc
+    return networkx
+
+
+def from_networkx(nx_graph: "networkx.DiGraph") -> DirectedGraph:
+    """Convert a networkx (di)graph with integer-convertible node labels.
+
+    Node labels must form a dense ``0..n-1`` range (relabel with
+    ``networkx.convert_node_labels_to_integers`` first if needed).
+    Undirected graphs are mirrored into both edge directions.
+    """
+    networkx = _import_networkx()
+    num_nodes = nx_graph.number_of_nodes()
+    labels = sorted(int(v) for v in nx_graph.nodes)
+    if labels != list(range(num_nodes)):
+        raise ValueError(
+            "node labels must be the dense integers 0..n-1; relabel with "
+            "networkx.convert_node_labels_to_integers"
+        )
+    undirected = not nx_graph.is_directed()
+    builder = GraphBuilder(num_nodes=num_nodes, undirected=undirected)
+    for u, v, attrs in nx_graph.edges(data=True):
+        builder.add_edge(int(u), int(v), float(attrs.get(PROBABILITY_KEY, 0.0)))
+    return builder.build()
+
+
+def to_networkx(graph: DirectedGraph) -> "networkx.DiGraph":
+    """Convert to a ``networkx.DiGraph`` with probability edge attributes."""
+    networkx = _import_networkx()
+    nx_graph = networkx.DiGraph()
+    nx_graph.add_nodes_from(range(graph.num_nodes))
+    for u, v, prob in graph.edges():
+        nx_graph.add_edge(u, v, **{PROBABILITY_KEY: prob})
+    return nx_graph

@@ -1,0 +1,131 @@
+"""Graph input/output: SNAP-style edge lists and binary snapshots.
+
+The paper's datasets are distributed as SNAP edge-list text files (one
+``u<TAB>v`` pair per line, ``#`` comments).  :func:`read_edge_list`
+understands that format plus an optional third probability column.
+:func:`save_npz` / :func:`load_npz` snapshot a finished graph (including
+edge probabilities) to a single compressed file for fast reloads.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import IO, Iterator, Tuple, Union
+
+import numpy as np
+
+from .builder import GraphBuilder
+from .digraph import DirectedGraph
+
+__all__ = [
+    "read_edge_list",
+    "write_edge_list",
+    "iter_edge_lines",
+    "save_npz",
+    "load_npz",
+]
+
+PathOrFile = Union[str, os.PathLike, IO[str]]
+
+
+def iter_edge_lines(handle: IO[str]) -> Iterator[Tuple[int, int, float | None]]:
+    """Yield ``(u, v, prob_or_None)`` from an edge-list text stream.
+
+    Lines starting with ``#`` or ``%`` and blank lines are skipped.  Fields
+    may be separated by any whitespace.  A malformed line raises
+    ``ValueError`` with the offending line number.
+    """
+    for lineno, raw in enumerate(handle, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#") or line.startswith("%"):
+            continue
+        parts = line.split()
+        if len(parts) not in (2, 3):
+            raise ValueError(f"line {lineno}: expected 2 or 3 fields, got {len(parts)}")
+        try:
+            u, v = int(parts[0]), int(parts[1])
+            prob = float(parts[2]) if len(parts) == 3 else None
+        except ValueError as exc:
+            raise ValueError(f"line {lineno}: cannot parse {line!r}") from exc
+        yield u, v, prob
+
+
+def read_edge_list(
+    path_or_file: PathOrFile,
+    undirected: bool = False,
+    num_nodes: int | None = None,
+) -> DirectedGraph:
+    """Read a SNAP-style edge list into a :class:`DirectedGraph`.
+
+    Parameters
+    ----------
+    path_or_file:
+        Filesystem path or open text handle.
+    undirected:
+        Mirror each edge, as for the Facebook friendship dataset.
+    num_nodes:
+        Optional explicit node count (ids must be dense ``0..n-1``).
+    """
+    builder = GraphBuilder(num_nodes=num_nodes, undirected=undirected)
+
+    def _consume(handle: IO[str]) -> None:
+        for u, v, prob in iter_edge_lines(handle):
+            builder.add_edge(u, v, prob if prob is not None else 0.0)
+
+    if hasattr(path_or_file, "read"):
+        _consume(path_or_file)  # type: ignore[arg-type]
+    elif str(path_or_file).endswith(".gz"):
+        # SNAP distributes its edge lists gzip-compressed.
+        import gzip
+
+        with gzip.open(path_or_file, "rt", encoding="utf-8") as handle:
+            _consume(handle)
+    else:
+        with open(path_or_file, "r", encoding="utf-8") as handle:
+            _consume(handle)
+    return builder.build()
+
+
+def write_edge_list(
+    graph: DirectedGraph,
+    path_or_file: PathOrFile,
+    include_probs: bool = True,
+) -> None:
+    """Write a graph as an edge-list text file (``u v [prob]`` per line)."""
+
+    def _emit(handle: IO[str]) -> None:
+        handle.write(f"# nodes={graph.num_nodes} edges={graph.num_edges}\n")
+        for u, v, prob in graph.edges():
+            if include_probs:
+                handle.write(f"{u}\t{v}\t{prob:.10g}\n")
+            else:
+                handle.write(f"{u}\t{v}\n")
+
+    if hasattr(path_or_file, "write"):
+        _emit(path_or_file)  # type: ignore[arg-type]
+    else:
+        with open(path_or_file, "w", encoding="utf-8") as handle:
+            _emit(handle)
+
+
+def save_npz(graph: DirectedGraph, path: str | os.PathLike) -> None:
+    """Snapshot a graph (structure + probabilities) to a compressed file."""
+    sources, targets, probs = graph.edge_arrays()
+    np.savez_compressed(
+        path,
+        num_nodes=np.int64(graph.num_nodes),
+        sources=sources,
+        targets=targets,
+        probs=probs,
+    )
+
+
+def load_npz(path: str | os.PathLike) -> DirectedGraph:
+    """Load a graph previously written by :func:`save_npz`."""
+    with np.load(path) as data:
+        return DirectedGraph(
+            int(data["num_nodes"]),
+            data["sources"],
+            data["targets"],
+            data["probs"],
+        )

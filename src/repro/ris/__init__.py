@@ -1,0 +1,60 @@
+"""Reverse influence sampling: RR-set samplers, collections and statistics."""
+
+from .collection import RRCollection
+from .ic_sampler import ICReverseBFSSampler
+from .lt_sampler import LTReverseWalkSampler
+from .rrset import RRSample, RRSampler
+from .stats import (
+    RRSetStatistics,
+    collect_statistics,
+    empirical_eps,
+    empirical_ept,
+    lemma3_check,
+)
+from .serialization import load_collection, save_collection
+from .subsim import SubsimSampler
+from .triggering_sampler import TriggeringRRSampler
+
+__all__ = [
+    "RRSample",
+    "RRSampler",
+    "ICReverseBFSSampler",
+    "LTReverseWalkSampler",
+    "SubsimSampler",
+    "RRCollection",
+    "RRSetStatistics",
+    "collect_statistics",
+    "empirical_eps",
+    "empirical_ept",
+    "lemma3_check",
+    "make_sampler",
+    "save_collection",
+    "load_collection",
+    "TriggeringRRSampler",
+]
+
+
+def make_sampler(graph, model: str = "ic", method: str = "bfs") -> RRSampler:
+    """Factory resolving ``(model, method)`` to a concrete sampler.
+
+    Parameters
+    ----------
+    graph:
+        The weighted :class:`~repro.graphs.digraph.DirectedGraph`.
+    model:
+        ``"ic"`` or ``"lt"``.
+    method:
+        ``"bfs"`` (plain reverse BFS / walk) or ``"subsim"`` (IC only).
+    """
+    model_key, method_key = model.lower(), method.lower()
+    if model_key == "lt":
+        if method_key == "subsim":
+            raise ValueError("SUBSIM subset sampling applies to the IC model only")
+        return LTReverseWalkSampler(graph)
+    if model_key == "ic":
+        if method_key == "subsim":
+            return SubsimSampler(graph)
+        if method_key == "bfs":
+            return ICReverseBFSSampler(graph)
+        raise ValueError(f"unknown sampling method {method!r}")
+    raise ValueError(f"unknown diffusion model {model!r}")

@@ -1,0 +1,116 @@
+"""Per-machine store of RR sets with an inverted node index.
+
+In the distributed setting every machine keeps its own
+:class:`RRCollection` ``R_i`` (the paper's notation).  The collection is
+append-only — DIIMM grows it in waves — and maintains the inverted index
+``I_i(v) = { j : v in R_{i,j} }`` incrementally, which is exactly the
+lookup NEWGREEDI's map stage needs when a new seed ``u`` is chosen.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List
+
+import numpy as np
+
+from .rrset import RRSample
+
+__all__ = ["RRCollection"]
+
+
+class RRCollection:
+    """An append-only collection of RR sets plus its inverted index.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of graph nodes ``n`` (bounds the node ids that may appear).
+    """
+
+    def __init__(self, num_nodes: int) -> None:
+        if num_nodes <= 0:
+            raise ValueError(f"num_nodes must be positive, got {num_nodes}")
+        self._num_nodes = num_nodes
+        self._sets: List[np.ndarray] = []
+        self._index: Dict[int, List[int]] = {}
+        self._total_size = 0
+        self._total_edges_examined = 0
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, sample: RRSample) -> int:
+        """Append one RR set; returns its index within this collection."""
+        idx = len(self._sets)
+        nodes = sample.nodes
+        self._sets.append(nodes)
+        for node in nodes:
+            self._index.setdefault(int(node), []).append(idx)
+        self._total_size += int(nodes.size)
+        self._total_edges_examined += sample.edges_examined
+        return idx
+
+    def extend(self, samples: Iterable[RRSample]) -> None:
+        """Append many RR sets."""
+        for sample in samples:
+            self.add(sample)
+
+    # ------------------------------------------------------------------
+    # Read access
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return self._num_nodes
+
+    @property
+    def num_sets(self) -> int:
+        """Number of RR sets stored (``|R_i|``)."""
+        return len(self._sets)
+
+    @property
+    def total_size(self) -> int:
+        """Sum of RR-set sizes (drives NEWGREEDI's per-machine work)."""
+        return self._total_size
+
+    @property
+    def total_edges_examined(self) -> int:
+        """Sum of ``w(R)`` over stored sets (drives generation time)."""
+        return self._total_edges_examined
+
+    def get(self, idx: int) -> np.ndarray:
+        """Node array of the ``idx``-th RR set."""
+        return self._sets[idx]
+
+    def __len__(self) -> int:
+        return len(self._sets)
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        return iter(self._sets)
+
+    def sets_containing(self, node: int) -> List[int]:
+        """Indices of RR sets that contain ``node`` (``I_i(node)``)."""
+        return self._index.get(int(node), [])
+
+    def coverage_counts(self, start: int = 0) -> np.ndarray:
+        """Per-node count of RR sets (with index >= ``start``) containing it.
+
+        ``start`` lets DIIMM compute coverage deltas over only the newly
+        generated sets, the traffic-saving variant of Section III-C.
+        """
+        counts = np.zeros(self._num_nodes, dtype=np.int64)
+        for nodes in self._sets[start:]:
+            counts[nodes] += 1
+        return counts
+
+    def coverage_of(self, seeds: Iterable[int]) -> int:
+        """Number of stored RR sets covered by the seed set."""
+        covered: set[int] = set()
+        for seed in set(seeds):
+            covered.update(self.sets_containing(seed))
+        return len(covered)
+
+    def __repr__(self) -> str:
+        return (
+            f"RRCollection(num_sets={self.num_sets}, total_size={self._total_size}, "
+            f"num_nodes={self._num_nodes})"
+        )

@@ -1,0 +1,101 @@
+"""RR-set generation under the LT model: reverse random walk.
+
+Following Section III-A of the paper, a random RR set under LT is a random
+walk from the root over incoming edges.  At the current node ``u`` the walk
+
+* stops with probability ``1 - sum_{u' in N_u^in} p_{u',u}``,
+* otherwise steps to an in-neighbor ``u'`` chosen with probability
+  proportional to ``p_{u',u}``, and stops if ``u'`` was already visited.
+
+Under the weighted-cascade setting the incoming probabilities sum to one
+for every node with in-neighbors, so the walk only terminates by revisiting
+a node or hitting an in-degree-zero node — which matches why LT RR sets
+stay small (they are simple reverse paths).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphs.digraph import DirectedGraph
+from .rrset import RRSample, RRSampler
+
+__all__ = ["LTReverseWalkSampler"]
+
+
+class LTReverseWalkSampler(RRSampler):
+    """Reverse random-walk sampler for the LT model."""
+
+    def __init__(self, graph: DirectedGraph) -> None:
+        super().__init__(graph)
+        # Prefix sums of in-probabilities let each walk step pick its
+        # in-edge with a single binary search instead of a per-edge scan.
+        self._prefix = np.concatenate(([0.0], np.cumsum(graph.in_probs)))
+        sums = graph.in_probability_sums()
+        if sums.size and float(sums.max()) > 1.0 + 1e-9:
+            raise ValueError("LT sampler requires incoming probabilities to sum to <= 1")
+        self._sums = sums
+        # Weighted-cascade fast path: when all in-edges of a node carry the
+        # same probability, the step distribution is "stop with 1 - sum,
+        # else uniform neighbor", which avoids the binary search.
+        indptr, probs = graph.in_indptr, graph.in_probs
+        self._uniform = np.zeros(graph.num_nodes, dtype=bool)
+        for v in range(graph.num_nodes):
+            seg = probs[indptr[v] : indptr[v + 1]]
+            if seg.size:
+                self._uniform[v] = bool(np.all(seg == seg[0]))
+
+    def sample(self, rng: np.random.Generator, root: int | None = None) -> RRSample:
+        """Draw one RR set; ``root`` can be pinned for testing."""
+        graph = self.graph
+        indptr, indices = graph.in_indptr, graph.in_indices
+        prefix = self._prefix
+        if root is None:
+            root = self.sample_root(rng)
+
+        visited = {root}
+        path = [root]
+        edges_examined = 0
+        current = root
+        uniform = self._uniform
+        sums = self._sums
+        # Uniform draws are consumed in batches: one scalar Generator call
+        # per walk step costs more than the step itself.
+        buffer = rng.random(64)
+        cursor = 0
+        while True:
+            start, stop = int(indptr[current]), int(indptr[current + 1])
+            degree = stop - start
+            edges_examined += degree
+            if degree == 0:
+                break
+            if cursor >= buffer.size - 1:
+                buffer = rng.random(64)
+                cursor = 0
+            if uniform[current]:
+                # Equal in-probabilities: stop with 1 - sum, else uniform.
+                total = sums[current]
+                if total < 1.0:
+                    if buffer[cursor] >= total:
+                        cursor += 1
+                        break
+                    cursor += 1
+                edge = start + int(buffer[cursor] * degree)
+                cursor += 1
+            else:
+                threshold = prefix[start] + buffer[cursor]
+                cursor += 1
+                # First in-edge whose cumulative probability reaches the
+                # draw; a draw beyond the node's incoming mass means stop.
+                edge = int(np.searchsorted(prefix, threshold, side="left")) - 1
+                if edge >= stop or edge < start:
+                    break
+            nxt = int(indices[edge])
+            if nxt in visited:
+                break
+            visited.add(nxt)
+            path.append(nxt)
+            current = nxt
+
+        nodes = np.unique(np.asarray(path, dtype=np.int32))
+        return RRSample(nodes=nodes, root=root, edges_examined=edges_examined)

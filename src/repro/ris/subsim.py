@@ -1,0 +1,107 @@
+"""SUBSIM-style RR-set generation for the IC model (Guo et al., SIGMOD 2020).
+
+The plain reverse BFS flips one coin per incoming edge of every traversed
+node.  SUBSIM's *subset sampling* observes that the indices of successful
+in-edges of a node with maximum in-probability ``p_max`` can be generated
+directly by geometric jumps of mean ``1/p_max``: the expected work per node
+drops from its in-degree to ``1 + (#successes)`` draws (times a rejection
+factor when probabilities are non-uniform).
+
+Under the paper's weighted-cascade setting all in-edges of a node share the
+probability ``1/indeg``, so no rejection is ever needed and generating an
+RR set costs time proportional to its *size* rather than its in-degree
+volume — the source of SUBSIM's speedup in Fig. 7.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphs.digraph import DirectedGraph
+from .rrset import RRSample, RRSampler
+
+__all__ = ["SubsimSampler"]
+
+
+class SubsimSampler(RRSampler):
+    """Geometric-jump (subset sampling) RR sampler for the IC model."""
+
+    def __init__(self, graph: DirectedGraph) -> None:
+        super().__init__(graph)
+        n = graph.num_nodes
+        self._p_max = np.zeros(n, dtype=np.float64)
+        self._uniform = np.zeros(n, dtype=bool)
+        indptr, probs = graph.in_indptr, graph.in_probs
+        for v in range(n):
+            seg = probs[indptr[v] : indptr[v + 1]]
+            if seg.size:
+                p_max = float(seg.max())
+                self._p_max[v] = p_max
+                self._uniform[v] = bool(np.all(seg == p_max))
+        self._visited = np.zeros(n, dtype=bool)
+
+    def _successful_in_edges(
+        self,
+        node: int,
+        rng: np.random.Generator,
+    ) -> tuple[np.ndarray, int]:
+        """Indices (into the in-CSR arrays) of live in-edges of ``node``.
+
+        Returns ``(edge_indices, draws)`` where ``draws`` counts the random
+        positions visited — the sampler's actual work for this node.
+        """
+        graph = self.graph
+        start = int(graph.in_indptr[node])
+        stop = int(graph.in_indptr[node + 1])
+        degree = stop - start
+        if degree == 0:
+            return np.empty(0, dtype=np.int64), 0
+        p_max = self._p_max[node]
+        if p_max <= 0.0:
+            return np.empty(0, dtype=np.int64), 0
+        if p_max >= 1.0:
+            # Every edge is a candidate; fall back to direct flips.
+            seg = graph.in_probs[start:stop]
+            hits = np.flatnonzero(rng.random(degree) < seg)
+            return hits + start, degree
+        accepted: list[int] = []
+        draws = 0
+        position = -1
+        uniform = bool(self._uniform[node])
+        probs = graph.in_probs
+        while True:
+            position += int(rng.geometric(p_max))
+            draws += 1
+            if position >= degree:
+                break
+            edge = start + position
+            if uniform or rng.random() * p_max < probs[edge]:
+                accepted.append(edge)
+        return np.asarray(accepted, dtype=np.int64), draws
+
+    def sample(self, rng: np.random.Generator, root: int | None = None) -> RRSample:
+        """Draw one RR set; ``root`` can be pinned for testing."""
+        graph = self.graph
+        if root is None:
+            root = self.sample_root(rng)
+        visited = self._visited
+        collected = [root]
+        visited[root] = True
+        queue = [root]
+        edges_examined = 0
+        indices = graph.in_indices
+        try:
+            while queue:
+                node = queue.pop()
+                live_edges, draws = self._successful_in_edges(node, rng)
+                edges_examined += draws
+                for edge in live_edges:
+                    neighbor = int(indices[edge])
+                    if not visited[neighbor]:
+                        visited[neighbor] = True
+                        collected.append(neighbor)
+                        queue.append(neighbor)
+        finally:
+            visited[np.asarray(collected, dtype=np.int64)] = False
+        nodes = np.unique(np.asarray(collected, dtype=np.int32))
+        return RRSample(nodes=nodes, root=root, edges_examined=edges_examined)

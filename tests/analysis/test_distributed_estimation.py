@@ -1,0 +1,55 @@
+"""Unit tests for distributed Monte-Carlo influence estimation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import distributed_spread_estimate
+from repro.diffusion import estimate_spread, exact_spread_ic, get_model
+
+
+class TestDistributedEstimation:
+    def test_deterministic_graph_exact(self, diamond_graph):
+        estimate = distributed_spread_estimate(
+            diamond_graph, [0], num_machines=3, num_samples=30
+        )
+        assert estimate.mean == 4.0
+        assert estimate.stderr == 0.0
+        assert estimate.num_samples == 30
+
+    def test_matches_exact_value(self, paper_graph):
+        estimate = distributed_spread_estimate(
+            paper_graph, [0], num_machines=4, num_samples=40000, seed=1
+        )
+        assert estimate.mean == pytest.approx(
+            exact_spread_ic(paper_graph, [0]), abs=0.05
+        )
+
+    def test_matches_single_machine_estimator(self, small_wc_graph):
+        distributed = distributed_spread_estimate(
+            small_wc_graph, [0, 1], num_machines=5, num_samples=4000, seed=2
+        )
+        single = estimate_spread(
+            small_wc_graph, [0, 1], get_model("ic"), 4000, np.random.default_rng(3)
+        )
+        assert distributed.mean == pytest.approx(single.mean, rel=0.1)
+        assert distributed.stderr == pytest.approx(single.stderr, rel=0.35)
+
+    def test_lt_model_by_name(self, paper_graph):
+        estimate = distributed_spread_estimate(
+            paper_graph, [0], num_machines=2, num_samples=20000, model="lt"
+        )
+        assert estimate.mean == pytest.approx(3.9, abs=0.06)
+
+    def test_invalid_samples(self, paper_graph):
+        with pytest.raises(ValueError):
+            distributed_spread_estimate(paper_graph, [0], 2, 0)
+
+    def test_machine_count_does_not_bias(self, paper_graph):
+        means = [
+            distributed_spread_estimate(
+                paper_graph, [0], num_machines=m, num_samples=20000, seed=7
+            ).mean
+            for m in (1, 3, 7)
+        ]
+        for mean in means:
+            assert mean == pytest.approx(3.664, abs=0.07)

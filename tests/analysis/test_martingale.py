@@ -1,0 +1,86 @@
+"""Unit tests for the martingale concentration utilities."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    empirical_workload_balance,
+    martingale_tail,
+    rr_size_lower_tail,
+    rr_size_upper_tail,
+    workload_concentration,
+)
+from repro.ris import make_sampler
+
+
+class TestClosedForms:
+    def test_martingale_tail_formula(self):
+        value = martingale_tail(10.0, variance_sum=100.0, step_bound=2.0)
+        assert value == pytest.approx(math.exp(-100 / (2 * (100 + 20 / 3))))
+
+    def test_martingale_tail_validation(self):
+        with pytest.raises(ValueError):
+            martingale_tail(0.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            martingale_tail(1.0, -1.0, 1.0)
+
+    def test_upper_tail_formula(self):
+        value = rr_size_upper_tail(1000, 0.1, 500, 5.0)
+        expected = math.exp(-(0.01 * 1000 * 5) / (2 * 500 * (1 + 0.1 / 3)))
+        assert value == pytest.approx(expected)
+
+    def test_lower_tail_tighter_than_upper(self):
+        upper = rr_size_upper_tail(1000, 0.1, 500, 5.0)
+        lower = rr_size_lower_tail(1000, 0.1, 500, 5.0)
+        assert lower <= upper
+
+    def test_bounds_shrink_with_more_samples(self):
+        small = workload_concentration(100, 0.1, 500, 5.0)
+        large = workload_concentration(100_000, 0.1, 500, 5.0)
+        assert large < small
+
+    def test_bounds_are_probabilities_eventually(self):
+        assert 0 <= workload_concentration(10**7, 0.2, 1000, 10.0) <= 1e-3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            rr_size_upper_tail(0, 0.1, 10, 1.0)
+        with pytest.raises(ValueError):
+            rr_size_lower_tail(10, 0.1, 10, 0.0)
+
+
+class TestEmpiricalBalance:
+    def test_perfectly_balanced(self):
+        balance = empirical_workload_balance([10.0, 10.0, 10.0])
+        assert balance.max_over_mean == 1.0
+        assert balance.relative_spread == 0.0
+
+    def test_imbalance_reported(self):
+        balance = empirical_workload_balance([5.0, 15.0])
+        assert balance.mean == 10.0
+        assert balance.max_over_mean == 1.5
+        assert balance.min_over_mean == 0.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            empirical_workload_balance([])
+
+    def test_zero_workloads(self):
+        balance = empirical_workload_balance([0.0, 0.0])
+        assert balance.max_over_mean == 1.0
+
+
+class TestConcentrationInPractice:
+    def test_rr_workload_concentrates(self, small_wc_graph):
+        """Corollary 1 in action: per-machine totals of equal sample counts
+        stay close to each other."""
+        sampler = make_sampler(small_wc_graph, "ic")
+        totals = []
+        for machine_seed in range(8):
+            rng = np.random.default_rng(machine_seed)
+            samples = sampler.sample_many(2000, rng)
+            totals.append(sum(len(s) for s in samples))
+        balance = empirical_workload_balance(totals)
+        assert balance.relative_spread < 0.15

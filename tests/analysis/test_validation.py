@@ -1,0 +1,49 @@
+"""Unit tests for seed-quality validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    approximation_ratio_exact,
+    compare_seed_sets,
+    evaluate_seeds,
+)
+from repro.diffusion import exact_spread_ic
+
+
+class TestEvaluateSeeds:
+    def test_model_by_name(self, diamond_graph, rng):
+        estimate = evaluate_seeds(diamond_graph, [0], "ic", 50, rng)
+        assert estimate.mean == 4.0
+
+    def test_model_by_instance(self, diamond_graph, rng):
+        from repro.diffusion import IndependentCascade
+
+        estimate = evaluate_seeds(diamond_graph, [0], IndependentCascade(), 50, rng)
+        assert estimate.mean == 4.0
+
+    def test_compare_orders_preserved(self, paper_graph, rng):
+        estimates = compare_seed_sets(paper_graph, [[0], [3]], "ic", 4000, rng)
+        assert estimates[0].mean > estimates[1].mean
+
+
+class TestApproximationReport:
+    def test_optimal_solution_has_ratio_one(self, paper_graph):
+        report = approximation_ratio_exact(paper_graph, [0], model="ic")
+        assert report.optimal_seeds == (0,)
+        assert report.ratio == pytest.approx(1.0)
+
+    def test_suboptimal_solution_below_one(self, paper_graph):
+        report = approximation_ratio_exact(paper_graph, [3], model="ic")
+        assert report.ratio < 1.0
+        assert report.seed_spread == pytest.approx(
+            exact_spread_ic(paper_graph, [3])
+        )
+
+    def test_lt_model(self, paper_graph):
+        report = approximation_ratio_exact(paper_graph, [0], model="lt")
+        assert report.ratio == pytest.approx(1.0)
+
+    def test_duplicate_seeds_deduplicated(self, paper_graph):
+        report = approximation_ratio_exact(paper_graph, [0, 0], model="ic")
+        assert report.seeds == (0,)

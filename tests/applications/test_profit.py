@@ -1,0 +1,73 @@
+"""Unit tests for profit maximization."""
+
+import numpy as np
+import pytest
+
+from repro.applications import profit_maximization
+from repro.graphs import uniform, star_graph
+
+
+class TestProfitMaximization:
+    def test_profitable_hub_selected(self):
+        graph = uniform(star_graph(20), 1.0)
+        costs = np.full(21, 2.0)
+        result = profit_maximization(
+            graph, costs, num_machines=2, num_rr_sets=600
+        )
+        assert 0 in result.seeds
+        assert result.objective > 0
+
+    def test_prohibitive_costs_select_nothing(self, small_wc_graph):
+        costs = np.full(small_wc_graph.num_nodes, 1e6)
+        result = profit_maximization(
+            small_wc_graph, costs, num_machines=2, num_rr_sets=500
+        )
+        assert result.seeds == []
+        assert result.objective == 0.0
+
+    def test_free_seeds_select_many(self, small_wc_graph):
+        costs = np.zeros(small_wc_graph.num_nodes)
+        result = profit_maximization(
+            small_wc_graph, costs, num_machines=2, num_rr_sets=800
+        )
+        # Zero cost: every node with positive marginal coverage is taken.
+        assert len(result.seeds) > 10
+        assert result.objective == pytest.approx(
+            result.params["spread_estimate"], rel=1e-9
+        )
+
+    def test_profit_accounting(self, small_wc_graph, rng):
+        costs = rng.uniform(0.1, 1.0, size=small_wc_graph.num_nodes)
+        result = profit_maximization(
+            small_wc_graph, costs, num_machines=3, num_rr_sets=1000, seed=4
+        )
+        expected = result.params["spread_estimate"] - result.params["total_cost"]
+        assert result.objective == pytest.approx(expected, abs=0.05)
+
+    def test_moderate_costs_are_selective(self, small_wc_graph):
+        free = profit_maximization(
+            small_wc_graph,
+            np.zeros(small_wc_graph.num_nodes),
+            num_machines=2,
+            num_rr_sets=800,
+            seed=1,
+        )
+        priced = profit_maximization(
+            small_wc_graph,
+            np.full(small_wc_graph.num_nodes, 1.5),
+            num_machines=2,
+            num_rr_sets=800,
+            seed=1,
+        )
+        assert len(priced.seeds) < len(free.seeds)
+
+    def test_validation(self, small_wc_graph):
+        with pytest.raises(ValueError, match="one entry per node"):
+            profit_maximization(small_wc_graph, [1.0], num_machines=1, num_rr_sets=10)
+        with pytest.raises(ValueError, match="non-negative"):
+            profit_maximization(
+                small_wc_graph,
+                np.full(small_wc_graph.num_nodes, -1.0),
+                num_machines=1,
+                num_rr_sets=10,
+            )

@@ -1,0 +1,62 @@
+"""Unit tests for seed minimization."""
+
+import numpy as np
+import pytest
+
+from repro.applications import seed_minimization
+from repro.graphs import uniform, star_graph, path_graph
+
+
+class TestSeedMinimization:
+    def test_star_needs_one_seed(self):
+        graph = uniform(star_graph(9), 1.0)
+        result = seed_minimization(
+            graph, required_spread=8.0, num_machines=2, num_rr_sets=500
+        )
+        assert result.seeds == [0]
+        assert result.params["achieved"] >= 8.0
+
+    def test_higher_requirement_needs_more_seeds(self, small_wc_graph):
+        low = seed_minimization(
+            small_wc_graph, required_spread=10.0, num_machines=2,
+            num_rr_sets=2000, seed=1,
+        )
+        high = seed_minimization(
+            small_wc_graph, required_spread=60.0, num_machines=2,
+            num_rr_sets=2000, seed=1,
+        )
+        assert len(high.seeds) > len(low.seeds)
+
+    def test_achieved_meets_requirement(self, small_wc_graph):
+        result = seed_minimization(
+            small_wc_graph, required_spread=30.0, num_machines=3,
+            num_rr_sets=2000, seed=2,
+        )
+        assert result.objective >= 30.0 - 1e-9
+
+    def test_max_seeds_cap(self, small_wc_graph):
+        result = seed_minimization(
+            small_wc_graph, required_spread=150.0, num_machines=2,
+            num_rr_sets=1000, max_seeds=3, seed=0,
+        )
+        assert len(result.seeds) <= 3
+
+    def test_disconnected_requirement_unreachable(self):
+        # Two isolated nodes with no edges: only the selected roots are
+        # covered, so coverage saturates once marginals hit zero.
+        graph = uniform(path_graph(2), 0.0)
+        result = seed_minimization(
+            graph, required_spread=2.0, num_machines=1, num_rr_sets=100
+        )
+        assert len(result.seeds) <= 2
+
+    def test_validation(self, small_wc_graph):
+        with pytest.raises(ValueError, match="required_spread"):
+            seed_minimization(
+                small_wc_graph, required_spread=0.5, num_machines=1, num_rr_sets=10
+            )
+        with pytest.raises(ValueError, match="max_seeds"):
+            seed_minimization(
+                small_wc_graph, required_spread=5.0, num_machines=1,
+                num_rr_sets=10, max_seeds=0,
+            )

@@ -1,0 +1,107 @@
+"""Unit tests for the heuristic seed-selection baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    degree_discount,
+    max_degree,
+    pagerank_seeds,
+    single_discount,
+)
+from repro.graphs import (
+    GraphBuilder,
+    cycle_graph,
+    path_graph,
+    star_graph,
+    uniform,
+)
+
+
+class TestMaxDegree:
+    def test_star_hub_first(self):
+        assert max_degree(star_graph(5), 1) == [0]
+
+    def test_ties_break_to_lowest_id(self):
+        graph = cycle_graph(5)  # all out-degrees equal
+        assert max_degree(graph, 3) == [0, 1, 2]
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            max_degree(star_graph(3), 0)
+        with pytest.raises(ValueError):
+            max_degree(star_graph(3), 100)
+
+
+class TestSingleDiscount:
+    def test_discount_avoids_clustered_picks(self):
+        # Two hubs: 0 -> {2..6}, 1 -> {2..6} overlapping completely, and a
+        # third independent hub 7 -> {8, 9, 10}.  After picking hub 0,
+        # hub 1's discounted degree (5 - 0: no selected out-neighbors...)
+        builder = GraphBuilder(num_nodes=11)
+        for leaf in range(2, 7):
+            builder.add_edge(0, leaf)
+            builder.add_edge(1, leaf)
+        for leaf in range(8, 11):
+            builder.add_edge(7, leaf)
+        graph = builder.build()
+        seeds = single_discount(graph, 2)
+        assert seeds[0] == 0  # degree 5, lowest id
+
+    def test_degenerates_to_max_degree_without_overlap(self):
+        graph = star_graph(4)
+        assert single_discount(graph, 2)[0] == max_degree(graph, 2)[0]
+
+    def test_returns_k_distinct(self, small_wc_graph):
+        seeds = single_discount(small_wc_graph, 10)
+        assert len(seeds) == 10
+        assert len(set(seeds)) == 10
+
+
+class TestDegreeDiscount:
+    def test_returns_k_distinct(self, small_wc_graph):
+        seeds = degree_discount(small_wc_graph, 10, p=0.05)
+        assert len(seeds) == 10
+        assert len(set(seeds)) == 10
+
+    def test_hub_first(self):
+        assert degree_discount(star_graph(6), 1)[0] == 0
+
+    def test_p_validation(self):
+        with pytest.raises(ValueError):
+            degree_discount(star_graph(3), 1, p=0.0)
+
+    def test_discount_formula_shifts_choice(self):
+        # Node 1 is an out-neighbor of the first seed 0, so its discounted
+        # degree drops (d=3, t=1 -> 1 - 2p) below the untouched hub 9's 3.
+        builder = GraphBuilder(num_nodes=13)
+        for leaf in range(1, 6):
+            builder.add_edge(0, leaf)  # hub 0, degree 5 (includes node 1)
+        for leaf in range(6, 9):
+            builder.add_edge(1, leaf)  # node 1, degree 3
+        for leaf in range(10, 13):
+            builder.add_edge(9, leaf)  # node 9, degree 3
+        graph = builder.build()
+        seeds = degree_discount(graph, 2, p=0.2)
+        assert seeds[0] == 0
+        assert 9 in seeds  # node 1 was discounted; fresh hub 9 wins
+
+
+class TestPageRank:
+    def test_path_source_ranks_highest(self):
+        # On the reversed path, mass accumulates at the original source.
+        graph = uniform(path_graph(6), 1.0)
+        assert pagerank_seeds(graph, 1) == [0]
+
+    def test_ranks_sum_preserved(self, small_wc_graph):
+        seeds = pagerank_seeds(small_wc_graph, 5)
+        assert len(seeds) == 5
+        assert len(set(seeds)) == 5
+
+    def test_damping_validation(self):
+        with pytest.raises(ValueError):
+            pagerank_seeds(star_graph(3), 1, damping=1.0)
+
+    def test_uniform_on_cycle(self):
+        # Perfect symmetry: lowest ids win by the deterministic tie-break.
+        assert pagerank_seeds(cycle_graph(6), 2) == [0, 1]

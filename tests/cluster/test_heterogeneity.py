@@ -1,0 +1,78 @@
+"""Unit tests for heterogeneous-machine simulation."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.cluster import Machine, SimulatedCluster
+
+
+class TestSlowdown:
+    def test_slowdown_scales_metered_time(self):
+        clock = itertools.count(start=0.0, step=1.0)
+        machine = Machine(
+            0, np.random.default_rng(0), clock=lambda: next(clock), slowdown=3.0
+        )
+        __, elapsed = machine.run(lambda m: None)
+        assert elapsed == 3.0
+
+    def test_invalid_slowdown(self):
+        with pytest.raises(ValueError):
+            Machine(0, np.random.default_rng(0), slowdown=0.0)
+
+    def test_cluster_slowdowns_assigned(self):
+        cluster = SimulatedCluster(3, seed=0, slowdowns=[1.0, 2.0, 4.0])
+        assert [m.slowdown for m in cluster.machines] == [1.0, 2.0, 4.0]
+
+    def test_cluster_slowdowns_length_checked(self):
+        with pytest.raises(ValueError, match="one entry per machine"):
+            SimulatedCluster(3, seed=0, slowdowns=[1.0])
+
+    def test_default_homogeneous(self):
+        cluster = SimulatedCluster(2, seed=0)
+        assert all(m.slowdown == 1.0 for m in cluster.machines)
+
+
+class TestWeightedSplit:
+    def test_homogeneous_matches_even_split(self):
+        cluster = SimulatedCluster(4, seed=0)
+        assert cluster.split_count_weighted(10) == cluster.split_count(10)
+
+    def test_weighted_favours_fast_machines(self):
+        cluster = SimulatedCluster(2, seed=0, slowdowns=[1.0, 3.0])
+        shares = cluster.split_count_weighted(100)
+        assert sum(shares) == 100
+        assert shares[0] == 75  # speed 1 vs 1/3: 3:1 ratio
+        assert shares[1] == 25
+
+    def test_sum_exact_with_rounding(self):
+        cluster = SimulatedCluster(3, seed=0, slowdowns=[1.0, 2.0, 3.0])
+        for total in (1, 7, 100, 101):
+            assert sum(cluster.split_count_weighted(total)) == total
+
+    def test_weighted_split_improves_parallel_time(self, small_wc_graph):
+        """On a 2-speed cluster, the weighted split's simulated parallel
+        generation time beats the even split."""
+        from repro.cluster.metrics import GENERATION
+        from repro.ris import make_sampler
+
+        sampler = make_sampler(small_wc_graph, "ic")
+        times = {}
+        for strategy in ("even", "weighted"):
+            cluster = SimulatedCluster(4, seed=1, slowdowns=[1, 1, 4, 4])
+            cluster.init_collections(small_wc_graph.num_nodes)
+            shares = (
+                cluster.split_count(2000)
+                if strategy == "even"
+                else cluster.split_count_weighted(2000)
+            )
+
+            def generate(machine):
+                machine.collection.extend(
+                    sampler.sample_many(shares[machine.machine_id], machine.rng)
+                )
+
+            cluster.map(GENERATION, strategy, generate)
+            times[strategy] = cluster.metrics.generation_time
+        assert times["weighted"] < times["even"]

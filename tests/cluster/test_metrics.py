@@ -1,0 +1,63 @@
+"""Unit tests for RunMetrics accounting."""
+
+import pytest
+
+from repro.cluster import COMMUNICATION, COMPUTATION, GENERATION, RunMetrics
+
+
+@pytest.fixture
+def metrics():
+    m = RunMetrics()
+    m.record_compute_phase(GENERATION, "gen", [1.0, 3.0, 2.0])
+    m.record_compute_phase(COMPUTATION, "sel", [0.5, 0.25, 0.75])
+    m.record_communication("gather", num_bytes=1024, elapsed=0.1)
+    return m
+
+
+class TestRecording:
+    def test_parallel_time_is_max(self, metrics):
+        assert metrics.generation_time == 3.0
+        assert metrics.computation_time == 0.75
+
+    def test_communication_time(self, metrics):
+        assert metrics.communication_time == pytest.approx(0.1)
+
+    def test_total(self, metrics):
+        assert metrics.total_time == pytest.approx(3.85)
+
+    def test_total_bytes(self, metrics):
+        assert metrics.total_bytes == 1024
+
+    def test_sequential_time_sums_machines(self, metrics):
+        # 6.0 generation + 1.5 computation; communication excluded.
+        assert metrics.sequential_time == pytest.approx(7.5)
+
+    def test_breakdown_keys(self, metrics):
+        breakdown = metrics.breakdown()
+        assert set(breakdown) == {GENERATION, COMPUTATION, COMMUNICATION, "total"}
+
+    def test_invalid_compute_category(self, metrics):
+        with pytest.raises(ValueError):
+            metrics.record_compute_phase(COMMUNICATION, "x", [1.0])
+
+    def test_time_in_unknown_category(self, metrics):
+        with pytest.raises(ValueError):
+            metrics.time_in("io")
+
+    def test_empty_phase_list(self):
+        m = RunMetrics()
+        m.record_compute_phase(GENERATION, "empty", [])
+        assert m.generation_time == 0.0
+
+
+class TestMerge:
+    def test_merge_appends(self, metrics):
+        other = RunMetrics()
+        other.record_compute_phase(GENERATION, "more", [4.0])
+        metrics.merge(other)
+        assert metrics.generation_time == 7.0
+
+    def test_phase_record_total(self, metrics):
+        phase = metrics.phases[0]
+        assert phase.total_machine_time == pytest.approx(6.0)
+        assert phase.parallel_time == pytest.approx(3.0)

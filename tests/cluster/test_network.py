@@ -1,0 +1,47 @@
+"""Unit tests for the network cost model."""
+
+import pytest
+
+from repro.cluster import NetworkModel, gigabit_cluster, shared_memory_server
+
+
+class TestNetworkModel:
+    def test_transfer_time(self):
+        net = NetworkModel(bandwidth=1000.0, latency=0.5)
+        assert net.transfer_time(2000) == pytest.approx(2.5)
+
+    def test_zero_bytes_costs_latency(self):
+        net = NetworkModel(bandwidth=1000.0, latency=0.1)
+        assert net.transfer_time(0) == pytest.approx(0.1)
+
+    def test_sequential_transfers_sum(self):
+        net = NetworkModel(bandwidth=1000.0, latency=0.1)
+        assert net.sequential_transfers([1000, 1000]) == pytest.approx(2.2)
+
+    def test_negative_bytes_rejected(self):
+        net = NetworkModel(bandwidth=1.0, latency=0.0)
+        with pytest.raises(ValueError):
+            net.transfer_time(-1)
+
+    def test_invalid_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkModel(bandwidth=0.0, latency=0.0)
+
+    def test_invalid_latency_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkModel(bandwidth=1.0, latency=-1.0)
+
+
+class TestPresets:
+    def test_gigabit_bandwidth(self):
+        net = gigabit_cluster()
+        # 1 Gbps = 125 MB/s: one megabyte takes ~8 ms.
+        assert net.transfer_time(1_000_000) == pytest.approx(0.008, rel=0.01)
+
+    def test_shared_memory_faster_than_cluster(self):
+        size = 1_000_000
+        assert shared_memory_server().transfer_time(size) < gigabit_cluster().transfer_time(size)
+
+    def test_names(self):
+        assert gigabit_cluster().name == "1Gbps-cluster"
+        assert shared_memory_server().name == "shared-memory"

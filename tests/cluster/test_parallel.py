@@ -1,0 +1,39 @@
+"""Tests for the real multiprocessing RR-generation backend."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import generate_batch, generate_parallel
+
+
+class TestGenerateParallel:
+    def test_counts_respected(self, small_wc_graph):
+        batches = generate_parallel(
+            small_wc_graph, counts=[10, 20], seeds=[1, 2], processes=2
+        )
+        assert [len(b) for b in batches] == [10, 20]
+
+    def test_matches_single_process_reference(self, small_wc_graph):
+        """A worker with seed s produces exactly generate_batch(..., s)."""
+        parallel = generate_parallel(
+            small_wc_graph, counts=[15], seeds=[7], processes=1
+        )[0]
+        reference = generate_batch(small_wc_graph, "ic", "bfs", 15, 7)
+        assert len(parallel) == len(reference)
+        for a, b in zip(parallel, reference):
+            assert np.array_equal(a.nodes, b.nodes)
+            assert a.root == b.root
+            assert a.edges_examined == b.edges_examined
+
+    def test_lt_model(self, small_wc_graph):
+        batches = generate_parallel(
+            small_wc_graph, counts=[5], seeds=[3], model="lt", processes=1
+        )
+        assert len(batches[0]) == 5
+
+    def test_mismatched_lengths_rejected(self, small_wc_graph):
+        with pytest.raises(ValueError, match="same length"):
+            generate_parallel(small_wc_graph, counts=[1, 2], seeds=[1])
+
+    def test_empty_input(self, small_wc_graph):
+        assert generate_parallel(small_wc_graph, counts=[], seeds=[]) == []

@@ -1,0 +1,76 @@
+"""Unit tests for run tracing."""
+
+import pytest
+
+from repro.cluster import (
+    COMPUTATION,
+    GENERATION,
+    RunMetrics,
+    render_timeline,
+    summarize_phases,
+)
+
+
+@pytest.fixture
+def metrics():
+    m = RunMetrics()
+    m.record_compute_phase(GENERATION, "search-1/generate", [1.0, 2.0])
+    m.record_compute_phase(COMPUTATION, "search-1/newgreedi/map", [0.5])
+    m.record_communication("search-1/newgreedi/gather", 100, 0.1)
+    m.record_compute_phase(GENERATION, "final/generate", [4.0])
+    return m
+
+
+class TestSummarize:
+    def test_depth_one_groups(self, metrics):
+        rows = summarize_phases(metrics, depth=1)
+        assert [row["group"] for row in rows] == ["search-1", "final"]
+        assert rows[0]["parallel_s"] == pytest.approx(2.6)
+        assert rows[0]["phases"] == 3
+        assert rows[0]["bytes"] == 100
+
+    def test_depth_two_splits(self, metrics):
+        rows = summarize_phases(metrics, depth=2)
+        groups = [row["group"] for row in rows]
+        assert "search-1/generate" in groups
+        assert "search-1/newgreedi" in groups
+
+    def test_categories_merged(self, metrics):
+        rows = summarize_phases(metrics, depth=1)
+        assert "communication" in rows[0]["categories"]
+        assert "generation" in rows[0]["categories"]
+
+    def test_invalid_depth(self, metrics):
+        with pytest.raises(ValueError):
+            summarize_phases(metrics, depth=0)
+
+
+class TestRenderTimeline:
+    def test_contains_groups_and_total(self, metrics):
+        text = render_timeline(metrics)
+        assert "search-1" in text
+        assert "final" in text
+        assert "total" in text
+
+    def test_bars_proportional(self, metrics):
+        text = render_timeline(metrics, width=40)
+        lines = text.splitlines()
+        final_bar = lines[1].count("#")
+        search_bar = lines[0].count("#")
+        # final (4.0s) gets a longer bar than search-1 (2.6s).
+        assert final_bar > search_bar
+
+    def test_empty_metrics(self):
+        assert render_timeline(RunMetrics()) == "(empty timeline)"
+
+    def test_width_validation(self, metrics):
+        with pytest.raises(ValueError):
+            render_timeline(metrics, width=5)
+
+    def test_real_run_timeline(self, small_wc_graph):
+        from repro.core import diimm
+
+        result = diimm(small_wc_graph, 3, 2, eps=0.5, seed=0)
+        text = render_timeline(result.metrics)
+        assert "final" in text
+        assert "%" in text

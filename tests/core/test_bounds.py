@@ -1,0 +1,128 @@
+"""Unit tests for the IMM sampling bounds (equations 3-7)."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    ImmParameters,
+    alpha_term,
+    beta_term,
+    lambda_prime,
+    lambda_star,
+    log_binomial,
+    solve_delta_prime,
+)
+
+
+class TestLogBinomial:
+    def test_small_values_exact(self):
+        assert log_binomial(5, 2) == pytest.approx(math.log(10))
+        assert log_binomial(10, 0) == pytest.approx(0.0)
+        assert log_binomial(10, 10) == pytest.approx(0.0)
+
+    def test_symmetry(self):
+        assert log_binomial(100, 30) == pytest.approx(log_binomial(100, 70))
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            log_binomial(5, 6)
+        with pytest.raises(ValueError):
+            log_binomial(5, -1)
+
+    def test_large_values_finite(self):
+        value = log_binomial(41_700_000, 50)
+        assert 0 < value < 2000
+
+
+class TestLambdaFormulas:
+    def test_lambda_prime_formula(self):
+        n, k, eps_p, delta_p = 1000, 10, 0.5, 0.01
+        expected = (
+            (2 + 2 * eps_p / 3)
+            * (log_binomial(n, k) + math.log(2 / delta_p) + math.log(math.log2(n)))
+            * n
+            / eps_p**2
+        )
+        assert lambda_prime(n, k, eps_p, delta_p) == pytest.approx(expected)
+
+    def test_lambda_star_formula(self):
+        n, k, eps, delta_p = 1000, 10, 0.5, 0.01
+        combined = (1 - 1 / math.e) * alpha_term(delta_p) + beta_term(n, k, delta_p)
+        assert lambda_star(n, k, eps, delta_p) == pytest.approx(
+            2 * n * combined**2 / eps**2
+        )
+
+    def test_lambda_scales_inverse_eps_squared(self):
+        small = lambda_star(1000, 10, 0.1, 0.01)
+        large = lambda_star(1000, 10, 0.2, 0.01)
+        assert small / large == pytest.approx(4.0)
+
+    def test_lambda_grows_with_k(self):
+        assert lambda_star(1000, 20, 0.5, 0.01) > lambda_star(1000, 5, 0.5, 0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            lambda_prime(1, 1, 0.5, 0.1)
+        with pytest.raises(ValueError):
+            lambda_star(100, 0, 0.5, 0.1)
+        with pytest.raises(ValueError):
+            lambda_star(100, 5, -0.5, 0.1)
+        with pytest.raises(ValueError):
+            alpha_term(1.5)
+
+
+class TestDeltaPrimeFixedPoint:
+    """Chen's fix: delta' solves ceil(lambda*) * delta' = delta."""
+
+    def test_fixed_point_identity(self):
+        n, k, eps, delta = 10_000, 50, 0.5, 1e-4
+        delta_p = solve_delta_prime(n, k, eps, delta)
+        residual = math.ceil(lambda_star(n, k, eps, delta_p)) * delta_p
+        assert residual == pytest.approx(delta, rel=1e-6)
+
+    def test_smaller_than_delta(self):
+        delta = 0.01
+        delta_p = solve_delta_prime(1000, 10, 0.5, delta)
+        assert 0 < delta_p < delta
+
+    def test_invalid_delta(self):
+        with pytest.raises(ValueError):
+            solve_delta_prime(1000, 10, 0.5, 1.5)
+
+
+class TestImmParameters:
+    def test_compute_consistency(self):
+        params = ImmParameters.compute(2000, 10, 0.5, 1 / 2000)
+        assert params.eps_prime == pytest.approx(math.sqrt(2) * 0.5)
+        assert params.lambda_prime == pytest.approx(
+            lambda_prime(2000, 10, params.eps_prime, params.delta_prime)
+        )
+        assert params.max_search_rounds == int(math.log2(2000)) - 1
+
+    def test_theta_for_round_doubles(self):
+        params = ImmParameters.compute(2000, 10, 0.5, 1 / 2000)
+        t1 = params.theta_for_round(1)
+        t2 = params.theta_for_round(2)
+        assert t2 == pytest.approx(2 * t1, rel=0.01)
+
+    def test_theta_final_inverse_in_lb(self):
+        params = ImmParameters.compute(2000, 10, 0.5, 1 / 2000)
+        assert params.theta_final(100) > params.theta_final(200)
+
+    def test_theta_validation(self):
+        params = ImmParameters.compute(2000, 10, 0.5, 1 / 2000)
+        with pytest.raises(ValueError):
+            params.theta_for_round(0)
+        with pytest.raises(ValueError):
+            params.theta_final(0.5)
+
+    def test_paper_scale_parameters_computable(self):
+        """The bound machinery handles the paper's actual settings
+        (n = 41.7M, k = 50, eps = 0.01, delta = 1/n) without overflow."""
+        n = 41_700_000
+        params = ImmParameters.compute(n, 50, 0.01, 1.0 / n)
+        assert params.lambda_star > 0
+        assert math.isfinite(params.lambda_star)
+        # Hundreds of millions of RR sets, matching Table IV's magnitudes.
+        assert params.theta_final(n * 0.05) > 1e6

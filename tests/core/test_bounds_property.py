@@ -1,0 +1,89 @@
+"""Property-based tests (hypothesis) for the IMM bound formulas."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ImmParameters,
+    lambda_prime,
+    lambda_star,
+    log_binomial,
+    solve_delta_prime,
+)
+
+ns = st.integers(min_value=10, max_value=10**7)
+eps_values = st.floats(min_value=0.05, max_value=0.9, allow_nan=False)
+delta_values = st.floats(min_value=1e-9, max_value=0.4, allow_nan=False)
+
+
+@settings(max_examples=80, deadline=None)
+@given(n=ns, data=st.data())
+def test_log_binomial_monotone_to_middle(n, data):
+    k = data.draw(st.integers(min_value=1, max_value=min(n // 2, 200)))
+    assert log_binomial(n, k) >= log_binomial(n, k - 1) - 1e-9
+
+
+@settings(max_examples=80, deadline=None)
+@given(n=ns, eps=eps_values, delta_p=delta_values, data=st.data())
+def test_lambda_star_monotonicities(n, eps, delta_p, data):
+    k = data.draw(st.integers(min_value=1, max_value=min(n - 1, 100)))
+    base = lambda_star(n, k, eps, delta_p)
+    # Tighter epsilon requires more samples.
+    assert lambda_star(n, k, eps / 2, delta_p) > base
+    # Smaller failure probability requires more samples.
+    assert lambda_star(n, k, eps, delta_p / 2) > base
+    # Positivity.
+    assert base > 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(n=ns, eps=eps_values, delta_p=delta_values, data=st.data())
+def test_lambda_prime_positive_and_scaling(n, eps, delta_p, data):
+    k = data.draw(st.integers(min_value=1, max_value=min(n - 1, 100)))
+    value = lambda_prime(n, k, eps, delta_p)
+    assert value > 0
+    assert lambda_prime(n, k, eps / 2, delta_p) > value
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(min_value=100, max_value=10**6),
+    eps=st.floats(min_value=0.1, max_value=0.9),
+    delta=st.floats(min_value=1e-8, max_value=0.3),
+    data=st.data(),
+)
+def test_delta_prime_fixed_point_property(n, eps, delta, data):
+    k = data.draw(st.integers(min_value=1, max_value=min(n - 1, 60)))
+    delta_p = solve_delta_prime(n, k, eps, delta)
+    assert 0 < delta_p < delta
+    residual = math.ceil(lambda_star(n, k, eps, delta_p)) * delta_p
+    assert abs(residual - delta) <= 1e-5 * delta
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(min_value=16, max_value=10**6),
+    eps=st.floats(min_value=0.1, max_value=0.9),
+    data=st.data(),
+)
+def test_theta_schedule_doubles(n, eps, data):
+    k = data.draw(st.integers(min_value=1, max_value=min(n - 1, 60)))
+    params = ImmParameters.compute(n, k, eps, 1.0 / n)
+    for t in range(1, params.max_search_rounds):
+        ratio = params.theta_for_round(t + 1) / params.theta_for_round(t)
+        assert 1.9 <= ratio <= 2.1
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(min_value=16, max_value=10**6),
+    eps=st.floats(min_value=0.1, max_value=0.9),
+    lb=st.floats(min_value=1.0, max_value=1e6),
+    data=st.data(),
+)
+def test_theta_final_antitone_in_lb(n, eps, lb, data):
+    k = data.draw(st.integers(min_value=1, max_value=min(n - 1, 60)))
+    params = ImmParameters.compute(n, k, eps, 1.0 / n)
+    assert params.theta_final(lb) >= params.theta_final(lb * 2)

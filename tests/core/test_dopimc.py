@@ -1,0 +1,63 @@
+"""Unit tests for distributed OPIM-C."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import diimm, distributed_opimc
+from repro.diffusion import estimate_spread, exact_optimum, get_model
+from repro.graphs import erdos_renyi, weighted_cascade
+
+
+class TestDistributedOpimc:
+    def test_basic_run(self, medium_wc_graph):
+        result = distributed_opimc(medium_wc_graph, 5, 4, eps=0.5, seed=0)
+        assert result.algorithm == "DOPIM-C"
+        assert len(result.seeds) == 5
+        assert result.search_rounds >= 1
+
+    def test_certified_ratio_reached(self, medium_wc_graph):
+        result = distributed_opimc(medium_wc_graph, 5, 4, eps=0.5, seed=0)
+        # lower_bound stores the certified sigma_low / opt_high ratio.
+        assert result.lower_bound >= 1 - 1 / math.e - 0.5
+
+    def test_uses_fewer_rr_sets_than_diimm(self, medium_wc_graph):
+        """OPIM-C's selling point: early stopping needs fewer samples."""
+        opim = distributed_opimc(medium_wc_graph, 10, 4, eps=0.5, seed=1)
+        imm_result = diimm(medium_wc_graph, 10, 4, eps=0.5, seed=1)
+        assert opim.num_rr_sets < imm_result.num_rr_sets
+
+    def test_quality_comparable_to_diimm(self, medium_wc_graph):
+        opim = distributed_opimc(medium_wc_graph, 10, 4, eps=0.5, seed=1)
+        imm_result = diimm(medium_wc_graph, 10, 4, eps=0.5, seed=1)
+        rng = np.random.default_rng(2)
+        model = get_model("ic")
+        opim_mc = estimate_spread(medium_wc_graph, opim.seeds, model, 1500, rng)
+        imm_mc = estimate_spread(medium_wc_graph, imm_result.seeds, model, 1500, rng)
+        assert opim_mc.mean >= 0.85 * imm_mc.mean
+
+    def test_lt_model(self, medium_wc_graph):
+        result = distributed_opimc(medium_wc_graph, 5, 4, eps=0.5, model="lt", seed=0)
+        assert result.model == "lt"
+
+    def test_theta_initial_override(self, small_wc_graph):
+        result = distributed_opimc(
+            small_wc_graph, 3, 2, eps=0.5, seed=0, theta_initial=128
+        )
+        # Two collections of at least the initial size each.
+        assert result.num_rr_sets >= 256
+
+    def test_deterministic(self, small_wc_graph):
+        a = distributed_opimc(small_wc_graph, 3, 2, eps=0.5, seed=5)
+        b = distributed_opimc(small_wc_graph, 3, 2, eps=0.5, seed=5)
+        assert a.seeds == b.seeds
+
+    def test_approximation_on_brute_forceable_graph(self):
+        graph = weighted_cascade(erdos_renyi(10, 18, np.random.default_rng(3)))
+        result = distributed_opimc(graph, 2, 2, eps=0.3, seed=0)
+        __, opt = exact_optimum(graph, 2, model="ic")
+        mc = estimate_spread(
+            graph, result.seeds, get_model("ic"), 30000, np.random.default_rng(1)
+        )
+        assert mc.mean >= (1 - 1 / math.e - 0.3) * opt - 0.1

@@ -1,0 +1,53 @@
+"""Unit tests for distributed SSA (stop-and-stare)."""
+
+import numpy as np
+import pytest
+
+from repro.core import diimm, distributed_ssa
+from repro.diffusion import estimate_spread, get_model
+
+
+class TestDistributedSSA:
+    def test_basic_run(self, medium_wc_graph):
+        result = distributed_ssa(medium_wc_graph, 5, 4, eps=0.5, seed=0)
+        assert result.algorithm == "DSSA"
+        assert len(result.seeds) == 5
+        assert result.search_rounds >= 1
+        assert result.estimated_spread > 0
+
+    def test_deterministic(self, small_wc_graph):
+        a = distributed_ssa(small_wc_graph, 3, 2, eps=0.5, seed=5)
+        b = distributed_ssa(small_wc_graph, 3, 2, eps=0.5, seed=5)
+        assert a.seeds == b.seeds
+        assert a.num_rr_sets == b.num_rr_sets
+
+    def test_quality_comparable_to_diimm(self, medium_wc_graph):
+        ssa = distributed_ssa(medium_wc_graph, 10, 4, eps=0.5, seed=1)
+        ref = diimm(medium_wc_graph, 10, 4, eps=0.5, seed=1)
+        rng = np.random.default_rng(2)
+        model = get_model("ic")
+        ssa_mc = estimate_spread(medium_wc_graph, ssa.seeds, model, 1500, rng)
+        ref_mc = estimate_spread(medium_wc_graph, ref.seeds, model, 1500, rng)
+        assert ssa_mc.mean >= 0.85 * ref_mc.mean
+
+    def test_verification_estimate_close_to_mc(self, medium_wc_graph):
+        result = distributed_ssa(medium_wc_graph, 10, 4, eps=0.5, seed=3)
+        mc = estimate_spread(
+            medium_wc_graph,
+            result.seeds,
+            get_model("ic"),
+            2000,
+            np.random.default_rng(4),
+        )
+        assert result.estimated_spread == pytest.approx(mc.mean, rel=0.15)
+
+    def test_lt_model(self, medium_wc_graph):
+        result = distributed_ssa(medium_wc_graph, 5, 4, eps=0.5, model="lt", seed=0)
+        assert result.model == "lt"
+        assert len(result.seeds) == 5
+
+    def test_theta_initial_override(self, small_wc_graph):
+        result = distributed_ssa(
+            small_wc_graph, 3, 2, eps=0.5, seed=0, theta_initial=128
+        )
+        assert result.num_rr_sets >= 256  # select + verify collections

@@ -1,0 +1,157 @@
+"""Unit tests for the lazy bucket greedy and its naive oracle."""
+
+import pytest
+
+from repro.coverage import (
+    BucketQueue,
+    CoverageInstance,
+    greedy_max_coverage,
+    naive_greedy_max_coverage,
+)
+
+import numpy as np
+
+
+class TestBucketQueue:
+    def test_pops_max_count(self):
+        counts = np.array([1, 5, 3], dtype=np.int64)
+        queue = BucketQueue(counts)
+        assert queue.pop_max() == 1
+
+    def test_ties_break_to_lowest_id(self):
+        counts = np.array([4, 4, 4], dtype=np.int64)
+        queue = BucketQueue(counts)
+        assert queue.pop_max() == 0
+        assert queue.pop_max() == 1
+
+    def test_lazy_refile(self):
+        counts = np.array([5, 4], dtype=np.int64)
+        queue = BucketQueue(counts)
+        counts[0] = 1  # stale record: 0 sits in bucket 5 but is worth 1
+        assert queue.pop_max() == 1
+        assert queue.pop_max() == 0
+
+    def test_exhaustion_returns_none(self):
+        counts = np.array([1], dtype=np.int64)
+        queue = BucketQueue(counts)
+        assert queue.pop_max() == 0
+        assert queue.pop_max() is None
+
+    def test_zero_counts_never_enqueued(self):
+        counts = np.array([0, 0, 2], dtype=np.int64)
+        queue = BucketQueue(counts)
+        assert queue.pop_max() == 2
+        assert queue.pop_max() is None
+
+    def test_candidates_restriction(self):
+        counts = np.array([9, 5, 7], dtype=np.int64)
+        queue = BucketQueue(counts, candidates=[1, 2])
+        assert queue.pop_max() == 2
+        assert queue.pop_max() == 1
+        assert queue.pop_max() is None
+
+    def test_count_decayed_to_zero_skipped(self):
+        counts = np.array([3, 2], dtype=np.int64)
+        queue = BucketQueue(counts)
+        counts[0] = 0
+        assert queue.pop_max() == 1
+        assert queue.pop_max() is None
+
+
+class TestGreedyExample3:
+    """Paper Example 3: {v1, v2} covers all six RR sets."""
+
+    def test_selects_optimal_pair(self, paper_instance):
+        result = greedy_max_coverage([paper_instance], 2)
+        assert sorted(result.seeds) == [0, 1]
+        assert result.coverage == 6
+        assert result.fraction == 1.0
+
+    def test_first_pick_is_v2(self, paper_instance):
+        # v2 covers four RR sets, more than any other node.
+        result = greedy_max_coverage([paper_instance], 1)
+        assert result.seeds == [1]
+        assert result.coverage == 4
+
+    def test_marginals_decrease(self, paper_instance):
+        result = greedy_max_coverage([paper_instance], 3)
+        assert result.marginals == sorted(result.marginals, reverse=True)
+
+
+class TestGreedyGeneral:
+    def test_rejects_bad_k(self, paper_instance):
+        with pytest.raises(ValueError):
+            greedy_max_coverage([paper_instance], 0)
+
+    def test_rejects_empty_stores(self):
+        with pytest.raises(ValueError, match="at least one"):
+            greedy_max_coverage([], 1)
+
+    def test_rejects_mismatched_universes(self, paper_instance):
+        other = CoverageInstance(3, [[0]])
+        with pytest.raises(ValueError, match="same universe"):
+            greedy_max_coverage([paper_instance, other], 1)
+
+    def test_multiple_stores_equivalent_to_union(self, rng):
+        from tests.conftest import make_random_instance
+
+        inst = make_random_instance(rng)
+        parts = inst.split(3, rng=rng)
+        merged = greedy_max_coverage(parts, 4)
+        single = greedy_max_coverage([inst], 4)
+        assert merged.coverage == single.coverage
+        assert merged.seeds == single.seeds
+
+    def test_padding_when_everything_covered(self):
+        inst = CoverageInstance(5, [[4]])
+        result = greedy_max_coverage([inst], 3)
+        assert result.seeds == [4, 0, 1]
+        assert result.coverage == 1
+
+    def test_k_larger_than_universe(self):
+        inst = CoverageInstance(2, [[0], [1]])
+        result = greedy_max_coverage([inst], 5)
+        assert result.seeds == [0, 1]
+
+    def test_fraction_empty_store(self):
+        inst = CoverageInstance(2, [])
+        result = greedy_max_coverage([inst], 1)
+        assert result.fraction == 0.0
+
+
+class TestNaiveOracleAgreement:
+    def test_agreement_on_random_instances(self):
+        from tests.conftest import make_random_instance
+
+        rng = np.random.default_rng(99)
+        for __ in range(25):
+            inst = make_random_instance(rng)
+            k = int(rng.integers(1, 6))
+            fast = greedy_max_coverage([inst], k)
+            slow = naive_greedy_max_coverage([inst], k)
+            assert fast.seeds == slow.seeds
+            assert fast.coverage == slow.coverage
+
+    def test_naive_rejects_bad_k(self, paper_instance):
+        with pytest.raises(ValueError):
+            naive_greedy_max_coverage([paper_instance], 0)
+
+
+class TestApproximationGuarantee:
+    def test_greedy_at_least_1_minus_1_over_e(self):
+        """Greedy coverage >= (1 - 1/e) * optimal coverage (exhaustive)."""
+        import itertools
+        import math
+
+        from tests.conftest import make_random_instance
+
+        rng = np.random.default_rng(5)
+        for __ in range(10):
+            inst = make_random_instance(rng, max_sets=10, max_elements=25)
+            k = 3
+            result = greedy_max_coverage([inst], k)
+            best = max(
+                inst.coverage_of(combo)
+                for combo in itertools.combinations(range(inst.num_nodes), min(k, inst.num_nodes))
+            )
+            assert result.coverage >= (1 - 1 / math.e) * best - 1e-9

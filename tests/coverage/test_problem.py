@@ -1,0 +1,105 @@
+"""Unit tests for CoverageInstance."""
+
+import numpy as np
+import pytest
+
+from repro.coverage import CoverageInstance
+from repro.graphs import GraphBuilder, paper_coverage_example
+
+
+@pytest.fixture
+def instance(paper_instance):
+    return paper_instance
+
+
+class TestConstruction:
+    def test_counts(self, instance):
+        assert instance.num_nodes == 5
+        assert instance.num_sets == 6
+        assert len(instance) == 6
+
+    def test_total_size(self, instance):
+        assert instance.total_size == 12
+
+    def test_duplicate_members_collapsed(self):
+        inst = CoverageInstance(3, [[1, 1, 2]])
+        assert inst.get(0).tolist() == [1, 2]
+
+    def test_out_of_range_member_rejected(self):
+        with pytest.raises(ValueError, match="member ids"):
+            CoverageInstance(2, [[5]])
+
+    def test_invalid_universe_rejected(self):
+        with pytest.raises(ValueError):
+            CoverageInstance(0, [])
+
+    def test_empty_element_allowed(self):
+        inst = CoverageInstance(3, [[]])
+        assert inst.num_sets == 1
+        assert inst.get(0).size == 0
+
+
+class TestQueries:
+    def test_sets_containing(self, instance):
+        assert instance.sets_containing(0) == [0, 2, 4]  # v1 covers R1, R3, R5
+
+    def test_coverage_counts(self, instance):
+        counts = instance.coverage_counts()
+        assert counts[0] == 3  # v1
+        assert counts[1] == 4  # v2
+
+    def test_coverage_counts_start(self, instance):
+        counts = instance.coverage_counts(start=4)
+        assert counts.sum() == 4
+
+    def test_coverage_of(self, instance):
+        assert instance.coverage_of([0, 1]) == 6  # {v1, v2} covers all
+        assert instance.coverage_of([0, 3]) == 4  # {v1, v4}: R1, R3, R5, R6
+
+    def test_repr(self, instance):
+        assert "elements=6" in repr(instance)
+
+
+class TestFromGraph:
+    def test_neighborhood_sets(self):
+        graph = GraphBuilder.from_edges([(0, 1), (0, 2), (1, 2)], num_nodes=3)
+        inst = CoverageInstance.from_graph(graph)
+        # Element v lists v's in-neighbors.
+        assert inst.get(1).tolist() == [0]
+        assert inst.get(2).tolist() == [0, 1]
+        assert inst.get(0).size == 0
+        # Set u covers u's out-neighbors.
+        assert inst.sets_containing(0) == [1, 2]
+
+    def test_include_self(self):
+        graph = GraphBuilder.from_edges([(0, 1)], num_nodes=2)
+        inst = CoverageInstance.from_graph(graph, include_self=True)
+        assert inst.coverage_of([0]) == 2
+
+    def test_total_size_equals_edges(self):
+        graph = GraphBuilder.from_edges([(0, 1), (0, 2), (1, 2)], num_nodes=3)
+        assert CoverageInstance.from_graph(graph).total_size == 3
+
+
+class TestSplit:
+    def test_round_robin_partition(self, instance):
+        parts = instance.split(3)
+        assert [p.num_sets for p in parts] == [2, 2, 2]
+
+    def test_random_partition_preserves_elements(self, instance):
+        parts = instance.split(4, rng=np.random.default_rng(0))
+        assert sum(p.num_sets for p in parts) == 6
+        assert sum(p.total_size for p in parts) == instance.total_size
+
+    def test_single_part_is_whole(self, instance):
+        (part,) = instance.split(1)
+        assert part.num_sets == instance.num_sets
+
+    def test_invalid_parts(self, instance):
+        with pytest.raises(ValueError):
+            instance.split(0)
+
+    def test_subinstance_reindexes(self, instance):
+        sub = instance.subinstance([0, 5])
+        assert sub.num_sets == 2
+        assert sub.get(1).tolist() == sorted(paper_coverage_example()[5])

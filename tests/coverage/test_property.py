@@ -1,0 +1,106 @@
+"""Property-based tests (hypothesis) for the coverage layer.
+
+The central properties:
+
+* coverage is monotone and submodular as a set function;
+* the lazy bucket greedy equals the naive re-scan oracle exactly;
+* NEWGREEDI equals the centralized greedy for every machine count
+  (Lemma 2), under both round-robin and random element distribution.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import SimulatedCluster
+from repro.coverage import (
+    CoverageInstance,
+    greedy_max_coverage,
+    naive_greedy_max_coverage,
+    newgreedi,
+)
+
+
+@st.composite
+def coverage_instances(draw):
+    num_sets = draw(st.integers(min_value=2, max_value=15))
+    num_elements = draw(st.integers(min_value=1, max_value=25))
+    elements = [
+        draw(
+            st.lists(
+                st.integers(min_value=0, max_value=num_sets - 1),
+                min_size=1,
+                max_size=min(5, num_sets),
+            )
+        )
+        for __ in range(num_elements)
+    ]
+    return CoverageInstance(num_sets, elements)
+
+
+@settings(max_examples=60, deadline=None)
+@given(instance=coverage_instances(), data=st.data())
+def test_coverage_is_monotone(instance, data):
+    base = data.draw(
+        st.sets(st.integers(0, instance.num_nodes - 1), max_size=4)
+    )
+    extra = data.draw(st.integers(0, instance.num_nodes - 1))
+    assert instance.coverage_of(base | {extra}) >= instance.coverage_of(base)
+
+
+@settings(max_examples=60, deadline=None)
+@given(instance=coverage_instances(), data=st.data())
+def test_coverage_is_submodular(instance, data):
+    """f(A + x) - f(A) >= f(B + x) - f(B) whenever A is a subset of B."""
+    small = data.draw(st.sets(st.integers(0, instance.num_nodes - 1), max_size=3))
+    additional = data.draw(
+        st.sets(st.integers(0, instance.num_nodes - 1), max_size=3)
+    )
+    big = small | additional
+    x = data.draw(st.integers(0, instance.num_nodes - 1))
+    gain_small = instance.coverage_of(small | {x}) - instance.coverage_of(small)
+    gain_big = instance.coverage_of(big | {x}) - instance.coverage_of(big)
+    assert gain_small >= gain_big
+
+
+@settings(max_examples=50, deadline=None)
+@given(instance=coverage_instances(), k=st.integers(min_value=1, max_value=6))
+def test_lazy_greedy_equals_naive_oracle(instance, k):
+    fast = greedy_max_coverage([instance], k)
+    slow = naive_greedy_max_coverage([instance], k)
+    assert fast.seeds == slow.seeds
+    assert fast.coverage == slow.coverage
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    instance=coverage_instances(),
+    k=st.integers(min_value=1, max_value=5),
+    num_machines=st.integers(min_value=1, max_value=5),
+    shuffle_seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_newgreedi_equals_centralized_greedy(instance, k, num_machines, shuffle_seed):
+    """Lemma 2, property-based: any distribution of elements, any l."""
+    central = greedy_max_coverage([instance], k)
+    cluster = SimulatedCluster(num_machines, seed=0)
+    parts = instance.split(num_machines, rng=np.random.default_rng(shuffle_seed))
+    result = newgreedi(cluster, k, stores=parts)
+    assert result.seeds == central.seeds
+    assert result.coverage == central.coverage
+
+
+@settings(max_examples=40, deadline=None)
+@given(instance=coverage_instances(), k=st.integers(min_value=1, max_value=5))
+def test_greedy_coverage_matches_reported_seeds(instance, k):
+    """The reported coverage equals an independent recount of the seeds."""
+    result = greedy_max_coverage([instance], k)
+    assert result.coverage == instance.coverage_of(result.seeds)
+
+
+@settings(max_examples=40, deadline=None)
+@given(instance=coverage_instances(), k=st.integers(min_value=1, max_value=6))
+def test_greedy_returns_exactly_k_distinct_seeds(instance, k):
+    result = greedy_max_coverage([instance], k)
+    expected = min(k, instance.num_nodes)
+    assert len(result.seeds) == expected
+    assert len(set(result.seeds)) == expected

@@ -1,0 +1,91 @@
+"""Unit tests for exact spread enumeration and brute-force optima."""
+
+import pytest
+
+from repro.diffusion import (
+    IndependentCascade,
+    LinearThreshold,
+    estimate_spread,
+    exact_optimum,
+    exact_spread_ic,
+    exact_spread_lt,
+)
+from repro.graphs import GraphBuilder, erdos_renyi, uniform, path_graph, weighted_cascade
+
+import numpy as np
+
+
+class TestExactIC:
+    def test_single_edge(self):
+        graph = GraphBuilder.from_edges([(0, 1, 0.3)], num_nodes=2)
+        assert exact_spread_ic(graph, [0]) == pytest.approx(1.3)
+
+    def test_deterministic_diamond(self, diamond_graph):
+        assert exact_spread_ic(diamond_graph, [0]) == pytest.approx(4.0)
+
+    def test_two_hop_chain(self):
+        graph = GraphBuilder.from_edges([(0, 1, 0.5), (1, 2, 0.5)], num_nodes=3)
+        # sigma = 1 + 0.5 + 0.25.
+        assert exact_spread_ic(graph, [0]) == pytest.approx(1.75)
+
+    def test_all_seeds(self, diamond_graph):
+        assert exact_spread_ic(diamond_graph, range(4)) == pytest.approx(4.0)
+
+    def test_refuses_large_graphs(self, rng):
+        graph = erdos_renyi(30, 100, rng)
+        with pytest.raises(ValueError, match="enumeration limited"):
+            exact_spread_ic(graph, [0])
+
+    def test_matches_monte_carlo(self, rng):
+        graph = weighted_cascade(erdos_renyi(8, 14, np.random.default_rng(2)))
+        exact = exact_spread_ic(graph, [0, 1])
+        mc = estimate_spread(graph, [0, 1], IndependentCascade(), 40000, rng)
+        assert mc.mean == pytest.approx(exact, abs=0.06)
+
+
+class TestExactLT:
+    def test_single_edge(self):
+        graph = GraphBuilder.from_edges([(0, 1, 0.3)], num_nodes=2)
+        assert exact_spread_lt(graph, [0]) == pytest.approx(1.3)
+
+    def test_matches_monte_carlo(self, rng):
+        graph = weighted_cascade(erdos_renyi(8, 14, np.random.default_rng(2)))
+        exact = exact_spread_lt(graph, [0, 1])
+        mc = estimate_spread(graph, [0, 1], LinearThreshold(), 40000, rng)
+        assert mc.mean == pytest.approx(exact, abs=0.06)
+
+    def test_ic_lt_agree_on_single_in_edges(self):
+        # When every node has at most one in-edge the two models coincide.
+        graph = GraphBuilder.from_edges([(0, 1, 0.5), (1, 2, 0.4)], num_nodes=3)
+        assert exact_spread_ic(graph, [0]) == pytest.approx(exact_spread_lt(graph, [0]))
+
+    def test_infeasible_rejected(self):
+        graph = GraphBuilder.from_edges([(0, 2, 0.9), (1, 2, 0.9)], num_nodes=3)
+        with pytest.raises(ValueError):
+            exact_spread_lt(graph, [0])
+
+
+class TestExactOptimum:
+    def test_path_optimum_is_source(self):
+        graph = uniform(path_graph(4), 1.0)
+        seeds, value = exact_optimum(graph, 1)
+        assert seeds == (0,)
+        assert value == pytest.approx(4.0)
+
+    def test_k2_on_paper_graph(self, paper_graph):
+        seeds, value = exact_optimum(paper_graph, 2, model="ic")
+        assert 0 in seeds
+        assert value > exact_spread_ic(paper_graph, [0])
+
+    def test_candidates_restriction(self, paper_graph):
+        seeds, __ = exact_optimum(paper_graph, 1, candidates=[2, 3])
+        assert seeds[0] in (2, 3)
+
+    def test_k_exceeding_pool(self, paper_graph):
+        seeds, value = exact_optimum(paper_graph, 10)
+        assert len(seeds) == 4
+        assert value == pytest.approx(4.0)
+
+    def test_invalid_k(self, paper_graph):
+        with pytest.raises(ValueError):
+            exact_optimum(paper_graph, 0)

@@ -1,0 +1,79 @@
+"""Unit tests for the IC forward simulator."""
+
+import numpy as np
+import pytest
+
+from repro.diffusion import IndependentCascade, seeds_to_array
+from repro.graphs import GraphBuilder, path_graph, star_graph, uniform
+
+
+@pytest.fixture
+def model():
+    return IndependentCascade()
+
+
+class TestDeterministicCascades:
+    def test_unit_probabilities_reach_everything(self, model, diamond_graph, rng):
+        activated = model.simulate(diamond_graph, [0], rng)
+        assert activated.tolist() == [0, 1, 2, 3]
+
+    def test_zero_probabilities_stop_at_seeds(self, model, rng):
+        graph = uniform(path_graph(5), 0.0)
+        activated = model.simulate(graph, [0], rng)
+        assert activated.tolist() == [0]
+
+    def test_unit_path_full_chain(self, model, rng):
+        graph = uniform(path_graph(6), 1.0)
+        assert model.simulate(graph, [0], rng).size == 6
+
+    def test_chain_from_middle(self, model, rng):
+        graph = uniform(path_graph(6), 1.0)
+        activated = model.simulate(graph, [3], rng)
+        assert activated.tolist() == [3, 4, 5]
+
+    def test_seeds_always_active(self, model, rng):
+        graph = uniform(star_graph(3), 0.0)
+        activated = model.simulate(graph, [0, 2], rng)
+        assert activated.tolist() == [0, 2]
+
+    def test_isolated_node(self, model, rng):
+        graph = GraphBuilder.from_edges([(0, 1, 1.0)], num_nodes=3)
+        assert model.simulate(graph, [2], rng).tolist() == [2]
+
+
+class TestStochasticBehaviour:
+    def test_activation_probability_single_edge(self, model):
+        graph = GraphBuilder.from_edges([(0, 1, 0.3)], num_nodes=2)
+        rng = np.random.default_rng(0)
+        hits = sum(model.simulate(graph, [0], rng).size == 2 for __ in range(20000))
+        assert hits / 20000 == pytest.approx(0.3, abs=0.02)
+
+    def test_single_activation_chance(self, model):
+        # Node 1 gets exactly one chance to activate node 2, so the
+        # activation probability of 2 equals p(0,1) * p(1,2).
+        graph = GraphBuilder.from_edges([(0, 1, 0.5), (1, 2, 0.5)], num_nodes=3)
+        rng = np.random.default_rng(1)
+        count = sum(
+            2 in model.simulate(graph, [0], rng).tolist() for __ in range(20000)
+        )
+        assert count / 20000 == pytest.approx(0.25, abs=0.02)
+
+    def test_deterministic_given_seeded_rng(self, model, small_wc_graph):
+        first = model.simulate(small_wc_graph, [5], np.random.default_rng(9))
+        second = model.simulate(small_wc_graph, [5], np.random.default_rng(9))
+        assert np.array_equal(first, second)
+
+    def test_cascade_size_helper(self, model, diamond_graph, rng):
+        assert model.cascade_size(diamond_graph, [0], rng) == 4
+
+
+class TestSeedValidation:
+    def test_duplicate_seeds_collapsed(self):
+        assert seeds_to_array([3, 3, 1], 5).tolist() == [1, 3]
+
+    def test_out_of_range_seed_rejected(self, model, diamond_graph, rng):
+        with pytest.raises(ValueError, match="seed ids"):
+            model.simulate(diamond_graph, [99], rng)
+
+    def test_empty_seed_set(self, model, diamond_graph, rng):
+        assert model.simulate(diamond_graph, [], rng).size == 0

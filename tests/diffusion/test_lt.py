@@ -1,0 +1,77 @@
+"""Unit tests for the LT forward simulator."""
+
+import numpy as np
+import pytest
+
+from repro.diffusion import LinearThreshold, check_lt_feasible
+from repro.graphs import GraphBuilder, path_graph, uniform, weighted_cascade
+
+
+@pytest.fixture
+def model():
+    return LinearThreshold()
+
+
+class TestFeasibilityCheck:
+    def test_valid_graph_passes(self, paper_graph):
+        check_lt_feasible(paper_graph)
+
+    def test_oversubscribed_node_rejected(self):
+        graph = GraphBuilder.from_edges([(0, 2, 0.8), (1, 2, 0.8)], num_nodes=3)
+        with pytest.raises(ValueError, match="sum of incoming"):
+            check_lt_feasible(graph)
+
+    def test_simulate_enforces_check(self, model, rng):
+        graph = GraphBuilder.from_edges([(0, 2, 0.8), (1, 2, 0.8)], num_nodes=3)
+        with pytest.raises(ValueError):
+            model.simulate(graph, [0], rng)
+
+
+class TestDeterministicCascades:
+    def test_unit_chain(self, model, rng):
+        graph = uniform(path_graph(5), 1.0)
+        assert model.simulate(graph, [0], rng).size == 5
+
+    def test_guaranteed_activation_prob_one(self, model, paper_graph):
+        # v2 and v3 have a single incoming edge of probability 1, so any
+        # threshold is met once v1 is active.
+        for seed in range(50):
+            activated = model.simulate(
+                paper_graph, [0], np.random.default_rng(seed)
+            ).tolist()
+            assert 1 in activated and 2 in activated
+
+    def test_no_spontaneous_activation(self, model, rng):
+        # Thresholds never let a node with no active in-neighbor fire.
+        graph = weighted_cascade(path_graph(4))
+        activated = model.simulate(graph, [3], rng)
+        assert activated.tolist() == [3]
+
+
+class TestStochasticBehaviour:
+    def test_single_edge_probability(self, model):
+        graph = GraphBuilder.from_edges([(0, 1, 0.4)], num_nodes=2)
+        rng = np.random.default_rng(0)
+        hits = sum(model.simulate(graph, [0], rng).size == 2 for __ in range(20000))
+        # Under LT, node 1 activates iff threshold <= 0.4.
+        assert hits / 20000 == pytest.approx(0.4, abs=0.02)
+
+    def test_threshold_accumulates_across_neighbors(self, model):
+        # v2's incoming mass is 0.5 + 0.5; with both sources active it
+        # always activates (threshold <= 1 surely).
+        graph = GraphBuilder.from_edges([(0, 2, 0.5), (1, 2, 0.5)], num_nodes=3)
+        rng = np.random.default_rng(1)
+        for __ in range(200):
+            assert model.simulate(graph, [0, 1], rng).size == 3
+
+    def test_partial_activation_probability(self, model):
+        # Only one source seeded: activation probability equals 0.5.
+        graph = GraphBuilder.from_edges([(0, 2, 0.5), (1, 2, 0.5)], num_nodes=3)
+        rng = np.random.default_rng(2)
+        hits = sum(2 in model.simulate(graph, [0], rng).tolist() for __ in range(20000))
+        assert hits / 20000 == pytest.approx(0.5, abs=0.02)
+
+    def test_deterministic_given_seeded_rng(self, model, small_wc_graph):
+        first = model.simulate(small_wc_graph, [3], np.random.default_rng(4))
+        second = model.simulate(small_wc_graph, [3], np.random.default_rng(4))
+        assert np.array_equal(first, second)

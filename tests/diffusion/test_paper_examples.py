@@ -1,0 +1,60 @@
+"""Validation against the paper's worked Example 1 (Section II-A).
+
+The paper computes the exact influence spread of ``{v1}`` on the Fig 1
+graph: ``3.664`` under IC (case probabilities 0.4 / 0.264 / 0.336) and
+``3.9`` under LT (case probabilities 0.4 / 0.5 / 0.1).
+"""
+
+import numpy as np
+import pytest
+
+from repro.diffusion import (
+    IndependentCascade,
+    LinearThreshold,
+    estimate_spread,
+    exact_spread_ic,
+    exact_spread_lt,
+)
+
+
+class TestExample1Exact:
+    def test_ic_spread_of_v1(self, paper_graph):
+        assert exact_spread_ic(paper_graph, [0]) == pytest.approx(3.664)
+
+    def test_lt_spread_of_v1(self, paper_graph):
+        assert exact_spread_lt(paper_graph, [0]) == pytest.approx(3.9)
+
+    def test_ic_case_probabilities(self, paper_graph):
+        # P[all four active] = 0.4 + 0.264; P[three active] = 0.336.
+        # Derived from the exact spread decomposition: sigma = 4p4 + 3p3.
+        sigma = exact_spread_ic(paper_graph, [0])
+        p4 = sigma - 3.0  # p4 + p3 = 1 and 4 p4 + 3 p3 = sigma
+        assert p4 == pytest.approx(0.664)
+
+    def test_lt_case_probabilities(self, paper_graph):
+        sigma = exact_spread_lt(paper_graph, [0])
+        p4 = sigma - 3.0
+        assert p4 == pytest.approx(0.9)
+
+    def test_v2_v3_always_activated(self, paper_graph):
+        # p(v1,v2) = p(v1,v3) = 1: the spread of {v1} is at least 3.
+        assert exact_spread_ic(paper_graph, [0]) >= 3.0
+        assert exact_spread_lt(paper_graph, [0]) >= 3.0
+
+
+class TestExample1MonteCarlo:
+    def test_ic_simulator_matches(self, paper_graph):
+        rng = np.random.default_rng(42)
+        estimate = estimate_spread(paper_graph, [0], IndependentCascade(), 40000, rng)
+        low, high = estimate.ci(z=4.0)
+        assert low <= 3.664 <= high
+        assert estimate.mean == pytest.approx(3.664, abs=0.05)
+
+    def test_lt_simulator_matches(self, paper_graph):
+        rng = np.random.default_rng(42)
+        estimate = estimate_spread(paper_graph, [0], LinearThreshold(), 40000, rng)
+        assert estimate.mean == pytest.approx(3.9, abs=0.05)
+
+    def test_lt_spread_exceeds_ic_here(self, paper_graph):
+        # The paper's example: LT gives 3.9 > IC's 3.664 on this graph.
+        assert exact_spread_lt(paper_graph, [0]) > exact_spread_ic(paper_graph, [0])

@@ -1,0 +1,63 @@
+"""Unit tests for Monte-Carlo spread estimation."""
+
+import numpy as np
+import pytest
+
+from repro.diffusion import (
+    IndependentCascade,
+    estimate_spread,
+    get_model,
+    singleton_spreads,
+    spread_with_ci,
+)
+from repro.graphs import uniform, path_graph
+
+
+class TestEstimateSpread:
+    def test_deterministic_graph_zero_variance(self, diamond_graph, rng):
+        estimate = estimate_spread(diamond_graph, [0], IndependentCascade(), 50, rng)
+        assert estimate.mean == 4.0
+        assert estimate.stderr == 0.0
+
+    def test_requires_positive_samples(self, diamond_graph, rng):
+        with pytest.raises(ValueError, match="num_samples"):
+            estimate_spread(diamond_graph, [0], IndependentCascade(), 0, rng)
+
+    def test_single_sample_has_no_stderr(self, diamond_graph, rng):
+        estimate = estimate_spread(diamond_graph, [0], IndependentCascade(), 1, rng)
+        assert estimate.stderr == 0.0
+        assert estimate.num_samples == 1
+
+    def test_ci_contains_mean(self, small_wc_graph, rng):
+        estimate = estimate_spread(small_wc_graph, [0], IndependentCascade(), 300, rng)
+        low, high = estimate.ci()
+        assert low <= estimate.mean <= high
+
+    def test_spread_with_ci_wrapper(self, diamond_graph, rng):
+        mean, (low, high) = spread_with_ci(
+            diamond_graph, [0], IndependentCascade(), 10, rng
+        )
+        assert mean == 4.0
+        assert low == high == 4.0
+
+
+class TestSingletonSpreads:
+    def test_path_graph_values(self, rng):
+        graph = uniform(path_graph(4), 1.0)
+        spreads = singleton_spreads(graph, IndependentCascade(), 20, rng)
+        # Node i reaches nodes i..3 deterministically.
+        assert spreads.tolist() == [4.0, 3.0, 2.0, 1.0]
+
+    def test_every_singleton_at_least_one(self, small_wc_graph, rng):
+        spreads = singleton_spreads(small_wc_graph, get_model("ic"), 10, rng)
+        assert np.all(spreads >= 1.0)
+
+
+class TestGetModel:
+    def test_resolves_ic_and_lt(self):
+        assert get_model("ic").name == "ic"
+        assert get_model("LT").name == "lt"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError, match="unknown diffusion model"):
+            get_model("sir")

@@ -1,0 +1,88 @@
+"""Unit tests for timed cascades."""
+
+import numpy as np
+import pytest
+
+from repro.diffusion import (
+    IndependentCascade,
+    LinearThreshold,
+    simulate_ic_timed,
+    simulate_lt_timed,
+)
+from repro.graphs import uniform, path_graph, star_graph
+
+
+class TestTimedIC:
+    def test_rounds_on_unit_path(self, rng):
+        graph = uniform(path_graph(5), 1.0)
+        cascade = simulate_ic_timed(graph, [0], rng)
+        assert cascade.activation_round.tolist() == [0, 1, 2, 3, 4]
+        assert cascade.duration == 4
+        assert cascade.size == 5
+
+    def test_seeds_at_round_zero(self, rng):
+        graph = uniform(star_graph(3), 0.0)
+        cascade = simulate_ic_timed(graph, [0, 2], rng)
+        assert cascade.activation_round[0] == 0
+        assert cascade.activation_round[2] == 0
+        assert cascade.activated.tolist() == [0, 2]
+
+    def test_unreached_marked_minus_one(self, rng):
+        graph = uniform(path_graph(4), 0.0)
+        cascade = simulate_ic_timed(graph, [0], rng)
+        assert cascade.activation_round[3] == -1
+
+    def test_activated_at(self, rng):
+        graph = uniform(star_graph(4), 1.0)
+        cascade = simulate_ic_timed(graph, [0], rng)
+        assert cascade.activated_at(1).tolist() == [1, 2, 3, 4]
+
+    def test_reach_matches_plain_simulator(self, small_wc_graph):
+        timed = simulate_ic_timed(small_wc_graph, [0], np.random.default_rng(5))
+        plain = IndependentCascade().simulate(
+            small_wc_graph, [0], np.random.default_rng(5)
+        )
+        assert np.array_equal(timed.activated, plain)
+
+    def test_paper_example_dynamics(self, paper_graph):
+        """Example 1, case (ii): v4 is activated at slot 2 through v2/v3."""
+        hit_round2 = 0
+        trials = 20000
+        rng = np.random.default_rng(0)
+        for __ in range(trials):
+            cascade = simulate_ic_timed(paper_graph, [0], rng)
+            if cascade.activation_round[3] == 2:
+                hit_round2 += 1
+        assert hit_round2 / trials == pytest.approx(0.264, abs=0.01)
+
+
+class TestTimedLT:
+    def test_rounds_on_unit_path(self, rng):
+        graph = uniform(path_graph(4), 1.0)
+        cascade = simulate_lt_timed(graph, [0], rng)
+        assert cascade.activation_round.tolist() == [0, 1, 2, 3]
+
+    def test_reach_matches_plain_simulator(self, small_wc_graph):
+        timed = simulate_lt_timed(small_wc_graph, [0], np.random.default_rng(6))
+        plain = LinearThreshold().simulate(
+            small_wc_graph, [0], np.random.default_rng(6)
+        )
+        assert np.array_equal(timed.activated, plain)
+
+    def test_paper_example_case_probabilities(self, paper_graph):
+        """Example 1 LT: v4 at slot 1 w.p. 0.4, slot 2 w.p. 0.5, never 0.1."""
+        counts = {1: 0, 2: 0, -1: 0}
+        trials = 20000
+        rng = np.random.default_rng(1)
+        for __ in range(trials):
+            cascade = simulate_lt_timed(paper_graph, [0], rng)
+            counts[int(cascade.activation_round[3])] += 1
+        assert counts[1] / trials == pytest.approx(0.4, abs=0.015)
+        assert counts[2] / trials == pytest.approx(0.5, abs=0.015)
+        assert counts[-1] / trials == pytest.approx(0.1, abs=0.01)
+
+    def test_empty_cascade(self, rng):
+        graph = uniform(path_graph(3), 1.0)
+        cascade = simulate_lt_timed(graph, [], rng)
+        assert cascade.size == 0
+        assert cascade.duration == 0

@@ -1,0 +1,117 @@
+"""Unit tests for the triggering-model live-edge implementation.
+
+The key property: :class:`TriggeringModel` with the IC (resp. LT)
+triggering distribution agrees *in distribution* with the round-based IC
+(resp. LT) simulator — they are two implementations of the same process.
+"""
+
+import numpy as np
+import pytest
+
+from repro.diffusion import (
+    ICTriggering,
+    IndependentCascade,
+    LinearThreshold,
+    LTTriggering,
+    TriggeringModel,
+    estimate_spread,
+    reachable_from,
+)
+from repro.graphs import GraphBuilder, uniform, path_graph, weighted_cascade, erdos_renyi
+
+
+class TestReachability:
+    def test_direct_path(self):
+        sources = np.array([0, 1])
+        targets = np.array([1, 2])
+        assert reachable_from(3, sources, targets, np.array([0])).tolist() == [0, 1, 2]
+
+    def test_no_edges(self):
+        empty = np.array([], dtype=np.int64)
+        assert reachable_from(3, empty, empty, np.array([1])).tolist() == [1]
+
+    def test_disconnected(self):
+        sources = np.array([0])
+        targets = np.array([1])
+        assert reachable_from(4, sources, targets, np.array([2])).tolist() == [2]
+
+    def test_cycle(self):
+        sources = np.array([0, 1, 2])
+        targets = np.array([1, 2, 0])
+        assert reachable_from(3, sources, targets, np.array([1])).size == 3
+
+
+class TestICTriggering:
+    def test_live_edge_fraction(self, rng):
+        graph = uniform(path_graph(2), 0.5)
+        dist = ICTriggering()
+        live = sum(
+            dist.sample_live_edges(graph, rng)[0].size for __ in range(5000)
+        )
+        assert live / 5000 == pytest.approx(0.5, abs=0.03)
+
+    def test_unit_probability_keeps_all(self, rng, diamond_graph):
+        sources, __ = ICTriggering().sample_live_edges(diamond_graph, rng)
+        assert sources.size == diamond_graph.num_edges
+
+
+class TestLTTriggering:
+    def test_at_most_one_live_in_edge(self, rng):
+        graph = weighted_cascade(erdos_renyi(40, 300, np.random.default_rng(5)))
+        for __ in range(50):
+            __, targets = LTTriggering().sample_live_edges(graph, rng)
+            __, counts = np.unique(targets, return_counts=True)
+            assert np.all(counts <= 1)
+
+    def test_edge_selection_probability(self, rng):
+        # v2 has in-edges with probabilities 0.3 and 0.6; the first should
+        # be live 30% of the time, the second 60%, none 10%.
+        graph = GraphBuilder.from_edges([(0, 2, 0.3), (1, 2, 0.6)], num_nodes=3)
+        dist = LTTriggering()
+        picks = {0: 0, 1: 0, None: 0}
+        for __ in range(20000):
+            sources, targets = dist.sample_live_edges(graph, rng)
+            mask = targets == 2
+            if mask.any():
+                picks[int(sources[mask][0])] += 1
+            else:
+                picks[None] += 1
+        assert picks[0] / 20000 == pytest.approx(0.3, abs=0.02)
+        assert picks[1] / 20000 == pytest.approx(0.6, abs=0.02)
+        assert picks[None] / 20000 == pytest.approx(0.1, abs=0.02)
+
+    def test_infeasible_graph_rejected(self, rng):
+        graph = GraphBuilder.from_edges([(0, 2, 0.8), (1, 2, 0.8)], num_nodes=3)
+        with pytest.raises(ValueError):
+            LTTriggering().sample_live_edges(graph, rng)
+
+
+class TestDistributionEquivalence:
+    """Live-edge and round-based simulators agree in expectation."""
+
+    def test_ic_equivalence(self, paper_graph):
+        rng = np.random.default_rng(0)
+        direct = estimate_spread(paper_graph, [0], IndependentCascade(), 30000, rng)
+        viaedges = estimate_spread(
+            paper_graph, [0], TriggeringModel(ICTriggering()), 30000, rng
+        )
+        assert direct.mean == pytest.approx(viaedges.mean, abs=0.05)
+
+    def test_lt_equivalence(self, paper_graph):
+        rng = np.random.default_rng(0)
+        direct = estimate_spread(paper_graph, [0], LinearThreshold(), 30000, rng)
+        viaedges = estimate_spread(
+            paper_graph, [0], TriggeringModel(LTTriggering()), 30000, rng
+        )
+        assert direct.mean == pytest.approx(viaedges.mean, abs=0.05)
+
+    def test_ic_equivalence_random_graph(self, small_wc_graph):
+        rng = np.random.default_rng(0)
+        direct = estimate_spread(small_wc_graph, [0, 1], IndependentCascade(), 8000, rng)
+        viaedges = estimate_spread(
+            small_wc_graph, [0, 1], TriggeringModel(ICTriggering()), 8000, rng
+        )
+        assert direct.mean == pytest.approx(viaedges.mean, rel=0.1)
+
+    def test_repr_mentions_distribution(self):
+        assert "ICTriggering" in repr(TriggeringModel(ICTriggering()))

@@ -1,0 +1,45 @@
+"""Tests for the seed-quality comparison experiment."""
+
+from repro.experiments import heterogeneity, seed_quality_comparison
+
+
+class TestSeedQuality:
+    def test_diimm_competitive(self):
+        rows = seed_quality_comparison(
+            datasets=["facebook"], k=10, eps=0.6, num_machines=2, mc_samples=150
+        )
+        by_strategy = {row["strategy"]: row for row in rows}
+        assert set(by_strategy) == {
+            "DIIMM", "max-degree", "single-discount",
+            "degree-discount", "pagerank", "random",
+        }
+        # DIIMM is the guaranteed method: within a whisker of the best.
+        assert by_strategy["DIIMM"]["vs_best"] >= 0.95
+        # Random seeding is clearly worse on a heavy-tailed graph.
+        assert by_strategy["random"]["mc_spread"] < by_strategy["DIIMM"]["mc_spread"]
+
+
+class TestFrameworkComparison:
+    def test_reduced_run(self):
+        from repro.experiments import framework_comparison
+
+        rows = framework_comparison(
+            datasets=["facebook"], k=10, eps=0.6, num_machines=2, mc_samples=100
+        )
+        frameworks = {row["framework"] for row in rows}
+        assert frameworks == {"DIIMM", "DSSA", "DOPIM-C", "DSUBSIM"}
+        assert all(row["vs_best_spread"] >= 0.85 for row in rows)
+        # The adaptive-stopping frameworks need fewer RR sets than DIIMM.
+        by_name = {row["framework"]: row for row in rows}
+        assert by_name["DOPIM-C"]["num_rr_sets"] < by_name["DIIMM"]["num_rr_sets"]
+
+
+class TestHeterogeneityAblation:
+    def test_weighted_beats_even(self):
+        rows = heterogeneity(
+            dataset="facebook", num_machines=4, num_rr_sets=2000, max_slowdown=3.0
+        )
+        even = next(r for r in rows if r["strategy"] == "even")
+        weighted = next(r for r in rows if r["strategy"] == "weighted")
+        assert even["parallel_gen_s"] > weighted["parallel_gen_s"]
+        assert even["vs_weighted"] > 1.0

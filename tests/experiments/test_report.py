@@ -1,0 +1,42 @@
+"""Unit tests for experiment reporting utilities."""
+
+import json
+
+from repro.experiments import format_table, write_json
+
+
+class TestFormatTable:
+    def test_alignment_and_columns(self):
+        rows = [{"a": 1, "b": "xy"}, {"a": 22, "b": "z"}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "b" in lines[0]
+        assert len(lines) == 4  # header, rule, two rows
+
+    def test_title_prepended(self):
+        text = format_table([{"a": 1}], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_union_of_keys(self):
+        rows = [{"a": 1}, {"b": 2}]
+        text = format_table(rows)
+        assert "a" in text and "b" in text
+
+    def test_empty_rows(self):
+        assert "(no rows)" in format_table([])
+        assert format_table([], title="T").startswith("T")
+
+    def test_float_rendering(self):
+        text = format_table([{"x": 0.000123456, "y": 123456.789, "z": 0.5}])
+        assert "0.000123" in text
+        assert "1.23e+05" in text
+        assert "0.5" in text
+
+
+class TestWriteJson:
+    def test_roundtrip(self, tmp_path):
+        rows = [{"dataset": "facebook", "value": 1.5}]
+        path = tmp_path / "rows.json"
+        write_json(rows, path)
+        assert json.loads(path.read_text()) == rows

@@ -1,0 +1,95 @@
+"""Unit tests for GraphBuilder."""
+
+import pytest
+
+from repro.graphs import GraphBuilder
+
+
+class TestAddEdge:
+    def test_simple_build(self):
+        builder = GraphBuilder(num_nodes=3)
+        builder.add_edge(0, 1, 0.5)
+        builder.add_edge(1, 2, 0.25)
+        graph = builder.build()
+        assert graph.num_edges == 2
+        assert graph.edge_probability(0, 1) == pytest.approx(0.5)
+
+    def test_len_counts_accumulated_edges(self):
+        builder = GraphBuilder()
+        builder.add_edge(0, 1)
+        builder.add_edge(1, 2)
+        assert len(builder) == 2
+
+    def test_undirected_mirrors(self):
+        builder = GraphBuilder(num_nodes=2, undirected=True)
+        builder.add_edge(0, 1, 0.3)
+        graph = builder.build()
+        assert graph.has_edge(0, 1)
+        assert graph.has_edge(1, 0)
+        assert graph.num_edges == 2
+
+    def test_undirected_self_loop_not_doubled(self):
+        builder = GraphBuilder(num_nodes=2, undirected=True)
+        builder.add_edge(0, 0)
+        graph = builder.build(drop_self_loops=False)
+        assert graph.num_edges == 1
+
+    def test_negative_id_rejected(self):
+        builder = GraphBuilder()
+        with pytest.raises(ValueError, match="non-negative"):
+            builder.add_edge(-1, 0)
+
+    def test_bad_probability_rejected(self):
+        builder = GraphBuilder()
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            builder.add_edge(0, 1, 2.0)
+
+    def test_bad_num_nodes_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            GraphBuilder(num_nodes=-5)
+
+
+class TestBuild:
+    def test_infers_node_count(self):
+        graph = GraphBuilder.from_edges([(0, 7)])
+        assert graph.num_nodes == 8
+
+    def test_empty_builder(self):
+        graph = GraphBuilder().build()
+        assert graph.num_nodes == 0
+        assert graph.num_edges == 0
+
+    def test_dedup_keeps_last_probability(self):
+        builder = GraphBuilder(num_nodes=2)
+        builder.add_edge(0, 1, 0.2)
+        builder.add_edge(0, 1, 0.9)
+        graph = builder.build(dedup=True)
+        assert graph.num_edges == 1
+        assert graph.edge_probability(0, 1) == pytest.approx(0.9)
+
+    def test_dedup_disabled_keeps_parallel_edges(self):
+        builder = GraphBuilder(num_nodes=2)
+        builder.add_edge(0, 1, 0.2)
+        builder.add_edge(0, 1, 0.9)
+        graph = builder.build(dedup=False)
+        assert graph.num_edges == 2
+
+    def test_self_loops_dropped_by_default(self):
+        builder = GraphBuilder(num_nodes=2)
+        builder.add_edge(0, 0)
+        builder.add_edge(0, 1)
+        assert builder.build().num_edges == 1
+
+    def test_self_loops_kept_on_request(self):
+        builder = GraphBuilder(num_nodes=1)
+        builder.add_edge(0, 0)
+        assert builder.build(drop_self_loops=False).num_edges == 1
+
+    def test_add_edges_mixed_arity(self):
+        graph = GraphBuilder.from_edges([(0, 1), (1, 2, 0.4)])
+        assert graph.num_edges == 2
+        assert graph.edge_probability(1, 2) == pytest.approx(0.4)
+
+    def test_from_edges_respects_num_nodes(self):
+        graph = GraphBuilder.from_edges([(0, 1)], num_nodes=10)
+        assert graph.num_nodes == 10

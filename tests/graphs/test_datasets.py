@@ -1,0 +1,73 @@
+"""Unit tests for the dataset registry (Table III stand-ins)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import DATASET_NAMES, dataset_summary, load_dataset
+
+
+class TestRegistry:
+    def test_names_match_paper_order(self):
+        assert DATASET_NAMES == ("facebook", "googleplus", "livejournal", "twitter")
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            load_dataset("orkut")
+
+    def test_caching_returns_same_object(self):
+        assert load_dataset("facebook") is load_dataset("facebook")
+
+    def test_different_seed_different_graph(self):
+        first = load_dataset("facebook", seed=1)
+        second = load_dataset("facebook", seed=2)
+        assert first.graph != second.graph
+
+
+class TestDatasetProperties:
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_weighted_cascade_assigned(self, name):
+        graph = load_dataset(name).graph
+        sums = graph.in_probability_sums()
+        has_in = graph.in_degrees() > 0
+        assert np.allclose(sums[has_in], 1.0)
+
+    def test_facebook_full_scale(self):
+        ds = load_dataset("facebook")
+        assert ds.num_nodes == ds.paper_nodes == 4000
+        assert not ds.directed
+        # Undirected edge count within 5% of the paper's 88.2K.
+        assert abs(ds.num_edges - ds.paper_edges) / ds.paper_edges < 0.05
+
+    def test_relative_size_ordering(self):
+        sizes = {name: load_dataset(name).num_nodes for name in DATASET_NAMES}
+        assert sizes["facebook"] < sizes["googleplus"] < sizes["twitter"] < sizes["livejournal"] or (
+            sizes["facebook"] < sizes["googleplus"] < sizes["livejournal"]
+        )
+
+    def test_googleplus_densest_directed(self):
+        degrees = {
+            name: load_dataset(name).avg_degree
+            for name in ("googleplus", "livejournal", "twitter")
+        }
+        assert degrees["googleplus"] == max(degrees.values())
+
+    def test_avg_degree_conventions(self):
+        fb = load_dataset("facebook")
+        # Undirected: avg degree = 2m/n with m undirected edges.
+        assert fb.avg_degree == pytest.approx(
+            fb.graph.num_edges / fb.num_nodes, rel=1e-6
+        )
+        tw = load_dataset("twitter")
+        assert tw.avg_degree == pytest.approx(
+            tw.graph.num_edges / tw.num_nodes, rel=1e-6
+        )
+
+
+class TestSummary:
+    def test_rows_cover_all_datasets(self):
+        rows = dataset_summary()
+        assert [row["dataset"] for row in rows] == list(DATASET_NAMES)
+        for row in rows:
+            assert row["nodes"] > 0
+            assert row["edges"] > 0
+            assert row["paper_nodes"] >= row["nodes"]

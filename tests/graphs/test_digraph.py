@@ -1,0 +1,140 @@
+"""Unit tests for the CSR directed graph."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import DirectedGraph
+
+
+@pytest.fixture
+def triangle() -> DirectedGraph:
+    return DirectedGraph(3, [0, 1, 2], [1, 2, 0], [0.1, 0.2, 0.3])
+
+
+class TestConstruction:
+    def test_counts(self, triangle):
+        assert triangle.num_nodes == 3
+        assert triangle.num_edges == 3
+
+    def test_empty_graph(self):
+        graph = DirectedGraph(0, [], [])
+        assert graph.num_nodes == 0
+        assert graph.num_edges == 0
+
+    def test_nodes_without_edges(self):
+        graph = DirectedGraph(5, [0], [1])
+        assert graph.num_nodes == 5
+        assert graph.out_degree(4) == 0
+        assert graph.in_degree(4) == 0
+
+    def test_negative_node_count_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            DirectedGraph(-1, [], [])
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(ValueError, match="equal length"):
+            DirectedGraph(3, [0, 1], [1])
+
+    def test_out_of_range_ids_rejected(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            DirectedGraph(2, [0], [5])
+
+    def test_negative_ids_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            DirectedGraph(2, [-1], [0])
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            DirectedGraph(2, [0], [1], [1.5])
+
+    def test_prob_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="same length"):
+            DirectedGraph(2, [0], [1], [0.5, 0.5])
+
+
+class TestAdjacency:
+    def test_out_neighbors(self, triangle):
+        assert list(triangle.out_neighbors(0)) == [1]
+        assert list(triangle.out_neighbors(2)) == [0]
+
+    def test_in_neighbors(self, triangle):
+        assert list(triangle.in_neighbors(1)) == [0]
+        assert list(triangle.in_neighbors(0)) == [2]
+
+    def test_probabilities_follow_edges(self, triangle):
+        assert triangle.out_probabilities(0)[0] == pytest.approx(0.1)
+        assert triangle.in_probabilities(0)[0] == pytest.approx(0.3)
+
+    def test_degrees(self, triangle):
+        assert triangle.out_degree(0) == 1
+        assert triangle.in_degree(0) == 1
+        assert list(triangle.out_degrees()) == [1, 1, 1]
+        assert list(triangle.in_degrees()) == [1, 1, 1]
+
+    def test_multi_edges_from_one_source(self):
+        graph = DirectedGraph(4, [0, 0, 0], [1, 2, 3])
+        assert sorted(graph.out_neighbors(0).tolist()) == [1, 2, 3]
+        assert graph.out_degree(0) == 3
+
+    def test_csr_indptr_monotone(self, triangle):
+        assert np.all(np.diff(triangle.out_indptr) >= 0)
+        assert np.all(np.diff(triangle.in_indptr) >= 0)
+        assert triangle.out_indptr[-1] == triangle.num_edges
+        assert triangle.in_indptr[-1] == triangle.num_edges
+
+
+class TestQueries:
+    def test_has_edge(self, triangle):
+        assert triangle.has_edge(0, 1)
+        assert not triangle.has_edge(1, 0)
+
+    def test_edge_probability(self, triangle):
+        assert triangle.edge_probability(1, 2) == pytest.approx(0.2)
+
+    def test_edge_probability_missing(self, triangle):
+        with pytest.raises(KeyError):
+            triangle.edge_probability(1, 0)
+
+    def test_edges_iteration(self, triangle):
+        edges = list(triangle.edges())
+        assert edges == [(0, 1, 0.1), (1, 2, 0.2), (2, 0, 0.3)]
+
+    def test_edge_arrays_roundtrip(self, triangle):
+        sources, targets, probs = triangle.edge_arrays()
+        rebuilt = DirectedGraph(3, sources, targets, probs)
+        assert rebuilt == triangle
+
+    def test_in_probability_sums(self):
+        graph = DirectedGraph(3, [0, 1], [2, 2], [0.25, 0.5])
+        sums = graph.in_probability_sums()
+        assert sums[2] == pytest.approx(0.75)
+        assert sums[0] == 0.0
+        assert graph.in_probability_sum(2) == pytest.approx(0.75)
+
+    def test_in_probability_sums_empty_graph_nodes(self):
+        graph = DirectedGraph(4, [], [])
+        assert np.all(graph.in_probability_sums() == 0.0)
+
+
+class TestDerived:
+    def test_reversed(self, triangle):
+        rev = triangle.reversed()
+        assert rev.has_edge(1, 0)
+        assert rev.edge_probability(1, 0) == pytest.approx(0.1)
+        assert rev.reversed() == triangle
+
+    def test_with_probabilities(self, triangle):
+        new = triangle.with_probabilities(np.array([0.9, 0.8, 0.7]))
+        assert new.edge_probability(0, 1) == pytest.approx(0.9)
+        # Original untouched.
+        assert triangle.edge_probability(0, 1) == pytest.approx(0.1)
+
+    def test_equality(self, triangle):
+        same = DirectedGraph(3, [0, 1, 2], [1, 2, 0], [0.1, 0.2, 0.3])
+        assert triangle == same
+        different = DirectedGraph(3, [0, 1, 2], [1, 2, 0], [0.1, 0.2, 0.4])
+        assert triangle != different
+
+    def test_repr(self, triangle):
+        assert "n=3" in repr(triangle)
+        assert "m=3" in repr(triangle)

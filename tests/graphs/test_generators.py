@@ -1,0 +1,146 @@
+"""Unit tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    barabasi_albert,
+    chung_lu,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    paper_coverage_example,
+    paper_example_graph,
+    path_graph,
+    rmat,
+    star_graph,
+    watts_strogatz,
+)
+
+
+class TestPaperExamples:
+    def test_fig1_edges(self):
+        graph = paper_example_graph()
+        assert graph.num_nodes == 4
+        assert graph.edge_probability(0, 1) == 1.0
+        assert graph.edge_probability(0, 2) == 1.0
+        assert graph.edge_probability(0, 3) == pytest.approx(0.4)
+        assert graph.edge_probability(1, 3) == pytest.approx(0.3)
+        assert graph.edge_probability(2, 3) == pytest.approx(0.2)
+
+    def test_fig1_lt_feasible(self):
+        graph = paper_example_graph()
+        assert graph.in_probability_sum(3) == pytest.approx(0.9)
+
+    def test_fig2_coverage_facts(self):
+        rr_sets = paper_coverage_example()
+        assert len(rr_sets) == 6
+        # v1 covers R1, R3, R5 (Example 3).
+        assert [i for i, r in enumerate(rr_sets) if 0 in r] == [0, 2, 4]
+        # {v1, v4} covers R1, R3, R5, R6.
+        covered = {i for i, r in enumerate(rr_sets) if r & {0, 3}}
+        assert covered == {0, 2, 4, 5}
+        # {v1, v2} covers all six.
+        covered = {i for i, r in enumerate(rr_sets) if r & {0, 1}}
+        assert covered == set(range(6))
+
+
+class TestRandomGenerators:
+    def test_erdos_renyi_shape(self, rng):
+        graph = erdos_renyi(100, 500, rng)
+        assert graph.num_nodes == 100
+        assert 0 < graph.num_edges <= 500
+
+    def test_erdos_renyi_no_self_loops(self, rng):
+        graph = erdos_renyi(20, 200, rng)
+        for u, v, __ in graph.edges():
+            assert u != v
+
+    def test_erdos_renyi_deterministic(self):
+        first = erdos_renyi(50, 200, np.random.default_rng(3))
+        second = erdos_renyi(50, 200, np.random.default_rng(3))
+        assert first == second
+
+    def test_erdos_renyi_trivial_sizes(self, rng):
+        assert erdos_renyi(0, 10, rng).num_edges == 0
+        assert erdos_renyi(1, 10, rng).num_edges == 0
+
+    def test_barabasi_albert_edge_count(self, rng):
+        graph = barabasi_albert(100, 3, rng)
+        # (n - attach) arrivals each adding `attach` undirected edges.
+        assert graph.num_edges == 2 * 3 * 97
+
+    def test_barabasi_albert_is_symmetric(self, rng):
+        graph = barabasi_albert(50, 2, rng)
+        for u, v, __ in graph.edges():
+            assert graph.has_edge(v, u)
+
+    def test_barabasi_albert_rejects_bad_attach(self, rng):
+        with pytest.raises(ValueError):
+            barabasi_albert(10, 0, rng)
+        with pytest.raises(ValueError):
+            barabasi_albert(3, 5, rng)
+
+    def test_barabasi_albert_hubs_exist(self, rng):
+        graph = barabasi_albert(300, 2, rng)
+        degrees = graph.out_degrees()
+        assert degrees.max() >= 4 * degrees.mean()
+
+    def test_watts_strogatz_degree(self, rng):
+        graph = watts_strogatz(40, 4, 0.0, rng)
+        # No rewiring: a clean ring lattice, every node has degree 4.
+        assert np.all(graph.out_degrees() == 4)
+
+    def test_watts_strogatz_rewire_bounds(self, rng):
+        with pytest.raises(ValueError):
+            watts_strogatz(10, 3, 0.1, rng)
+        with pytest.raises(ValueError):
+            watts_strogatz(10, 4, 1.5, rng)
+
+    def test_chung_lu_heavy_tail(self, rng):
+        graph = chung_lu(2000, 20000, rng, exponent=2.2)
+        degrees = graph.in_degrees()
+        assert degrees.max() >= 10 * max(degrees.mean(), 1.0)
+
+    def test_chung_lu_rejects_bad_exponent(self, rng):
+        with pytest.raises(ValueError):
+            chung_lu(10, 20, rng, exponent=1.0)
+
+    def test_rmat_node_count(self, rng):
+        graph = rmat(8, 4, rng)
+        assert graph.num_nodes == 256
+        assert graph.num_edges > 0
+
+    def test_rmat_skewed(self, rng):
+        graph = rmat(10, 8, rng)
+        degrees = graph.out_degrees()
+        assert degrees.max() >= 5 * max(degrees.mean(), 1.0)
+
+    def test_rmat_rejects_bad_quadrants(self, rng):
+        with pytest.raises(ValueError):
+            rmat(4, 2, rng, a=0.5, b=0.4, c=0.2)
+
+
+class TestDeterministicGraphs:
+    def test_star_outward(self):
+        graph = star_graph(4)
+        assert graph.out_degree(0) == 4
+        assert graph.in_degree(0) == 0
+
+    def test_star_inward(self):
+        graph = star_graph(4, outward=False)
+        assert graph.in_degree(0) == 4
+
+    def test_path(self):
+        graph = path_graph(5)
+        assert graph.num_edges == 4
+        assert graph.has_edge(3, 4)
+
+    def test_cycle(self):
+        graph = cycle_graph(5)
+        assert graph.num_edges == 5
+        assert graph.has_edge(4, 0)
+
+    def test_complete(self):
+        graph = complete_graph(4)
+        assert graph.num_edges == 12

@@ -1,0 +1,54 @@
+"""Unit tests for the networkx bridge."""
+
+import networkx as nx
+import pytest
+
+from repro.graphs import from_networkx, to_networkx
+from repro.graphs.interop import PROBABILITY_KEY
+
+
+class TestFromNetworkx:
+    def test_directed_roundtrip(self, paper_graph):
+        rebuilt = from_networkx(to_networkx(paper_graph))
+        assert rebuilt == paper_graph
+
+    def test_probability_attribute(self):
+        g = nx.DiGraph()
+        g.add_nodes_from(range(2))
+        g.add_edge(0, 1, probability=0.7)
+        graph = from_networkx(g)
+        assert graph.edge_probability(0, 1) == pytest.approx(0.7)
+
+    def test_missing_probability_defaults_zero(self):
+        g = nx.DiGraph()
+        g.add_nodes_from(range(2))
+        g.add_edge(0, 1)
+        assert from_networkx(g).edge_probability(0, 1) == 0.0
+
+    def test_undirected_mirrors(self):
+        g = nx.Graph()
+        g.add_nodes_from(range(2))
+        g.add_edge(0, 1, probability=0.4)
+        graph = from_networkx(g)
+        assert graph.has_edge(0, 1)
+        assert graph.has_edge(1, 0)
+
+    def test_sparse_labels_rejected(self):
+        g = nx.DiGraph()
+        g.add_edge(0, 5)
+        with pytest.raises(ValueError, match="dense integers"):
+            from_networkx(g)
+
+
+class TestToNetworkx:
+    def test_edges_and_attributes(self, paper_graph):
+        g = to_networkx(paper_graph)
+        assert g.number_of_nodes() == 4
+        assert g.number_of_edges() == 5
+        assert g.edges[0, 3][PROBABILITY_KEY] == pytest.approx(0.4)
+
+    def test_isolated_nodes_preserved(self):
+        from repro.graphs import GraphBuilder
+
+        graph = GraphBuilder.from_edges([(0, 1)], num_nodes=5)
+        assert to_networkx(graph).number_of_nodes() == 5

@@ -1,0 +1,98 @@
+"""Unit tests for graph I/O."""
+
+import io
+
+import pytest
+
+from repro.graphs import (
+    GraphBuilder,
+    load_npz,
+    read_edge_list,
+    save_npz,
+    weighted_cascade,
+    write_edge_list,
+)
+from repro.graphs.io import iter_edge_lines
+
+
+@pytest.fixture
+def sample_graph():
+    return GraphBuilder.from_edges(
+        [(0, 1, 0.5), (1, 2, 0.25), (2, 0, 0.125)], num_nodes=3
+    )
+
+
+class TestEdgeListParsing:
+    def test_basic_pairs(self):
+        handle = io.StringIO("0\t1\n1 2\n")
+        assert list(iter_edge_lines(handle)) == [(0, 1, None), (1, 2, None)]
+
+    def test_comments_and_blanks_skipped(self):
+        handle = io.StringIO("# header\n\n% other\n0 1\n")
+        assert list(iter_edge_lines(handle)) == [(0, 1, None)]
+
+    def test_weighted_third_column(self):
+        handle = io.StringIO("0 1 0.5\n")
+        assert list(iter_edge_lines(handle)) == [(0, 1, 0.5)]
+
+    def test_malformed_field_count(self):
+        handle = io.StringIO("0 1 2 3\n")
+        with pytest.raises(ValueError, match="line 1"):
+            list(iter_edge_lines(handle))
+
+    def test_malformed_token(self):
+        handle = io.StringIO("a b\n")
+        with pytest.raises(ValueError, match="cannot parse"):
+            list(iter_edge_lines(handle))
+
+
+class TestReadWrite:
+    def test_text_roundtrip(self, sample_graph):
+        buffer = io.StringIO()
+        write_edge_list(sample_graph, buffer)
+        buffer.seek(0)
+        loaded = read_edge_list(buffer, num_nodes=3)
+        assert loaded == sample_graph
+
+    def test_write_without_probs(self, sample_graph):
+        buffer = io.StringIO()
+        write_edge_list(sample_graph, buffer, include_probs=False)
+        assert "0.5" not in buffer.getvalue()
+
+    def test_read_undirected(self):
+        loaded = read_edge_list(io.StringIO("0 1\n"), undirected=True)
+        assert loaded.has_edge(0, 1)
+        assert loaded.has_edge(1, 0)
+
+    def test_read_from_path(self, tmp_path, sample_graph):
+        path = tmp_path / "graph.txt"
+        write_edge_list(sample_graph, path)
+        assert read_edge_list(path, num_nodes=3) == sample_graph
+
+
+class TestGzip:
+    def test_reads_gzipped_edge_list(self, tmp_path, sample_graph):
+        import gzip
+        import io as iomod
+
+        buffer = iomod.StringIO()
+        write_edge_list(sample_graph, buffer)
+        path = tmp_path / "graph.txt.gz"
+        with gzip.open(path, "wt", encoding="utf-8") as handle:
+            handle.write(buffer.getvalue())
+        assert read_edge_list(path, num_nodes=3) == sample_graph
+
+
+class TestNpz:
+    def test_roundtrip(self, tmp_path, sample_graph):
+        path = tmp_path / "graph.npz"
+        save_npz(sample_graph, path)
+        assert load_npz(path) == sample_graph
+
+    def test_roundtrip_preserves_weights(self, tmp_path, rng):
+        from repro.graphs import erdos_renyi
+
+        graph = weighted_cascade(erdos_renyi(30, 100, rng))
+        path = tmp_path / "wc.npz"
+        save_npz(graph, path)
+        assert load_npz(path) == graph

@@ -1,0 +1,78 @@
+"""Property-based tests (hypothesis) for the graph substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import DirectedGraph, GraphBuilder, weighted_cascade
+
+
+@st.composite
+def edge_lists(draw):
+    num_nodes = draw(st.integers(min_value=1, max_value=20))
+    num_edges = draw(st.integers(min_value=0, max_value=40))
+    edges = [
+        (
+            draw(st.integers(0, num_nodes - 1)),
+            draw(st.integers(0, num_nodes - 1)),
+            draw(st.floats(0.0, 1.0, allow_nan=False)),
+        )
+        for __ in range(num_edges)
+    ]
+    return num_nodes, edges
+
+
+@settings(max_examples=80, deadline=None)
+@given(data=edge_lists())
+def test_csr_directions_are_consistent(data):
+    """Every out-edge appears as the matching in-edge with the same
+    probability, and degree sums agree."""
+    num_nodes, edges = data
+    graph = GraphBuilder.from_edges(edges, num_nodes=num_nodes)
+    assert graph.out_degrees().sum() == graph.in_degrees().sum() == graph.num_edges
+    for u, v, prob in graph.edges():
+        assert u in graph.in_neighbors(v)
+        idx = list(graph.in_neighbors(v)).index(u)
+        assert graph.in_probabilities(v)[idx] == prob
+
+
+@settings(max_examples=80, deadline=None)
+@given(data=edge_lists())
+def test_builder_dedup_keeps_unique_pairs(data):
+    num_nodes, edges = data
+    graph = GraphBuilder.from_edges(edges, num_nodes=num_nodes)
+    pairs = [(u, v) for u, v, __ in graph.edges()]
+    assert len(pairs) == len(set(pairs))
+    assert all(u != v for u, v in pairs)
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=edge_lists())
+def test_reversed_is_involution(data):
+    num_nodes, edges = data
+    graph = GraphBuilder.from_edges(edges, num_nodes=num_nodes)
+    assert graph.reversed().reversed() == graph
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=edge_lists())
+def test_weighted_cascade_sums(data):
+    """WC weighting: incoming probabilities sum to 1 for every node with
+    in-degree > 0, and each edge carries exactly 1/indeg."""
+    num_nodes, edges = data
+    graph = GraphBuilder.from_edges(edges, num_nodes=num_nodes)
+    wc = weighted_cascade(graph)
+    sums = wc.in_probability_sums()
+    indeg = wc.in_degrees()
+    assert np.allclose(sums[indeg > 0], 1.0)
+    for u, v, prob in wc.edges():
+        assert prob == 1.0 / wc.in_degree(v)
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=edge_lists())
+def test_edge_arrays_roundtrip(data):
+    num_nodes, edges = data
+    graph = GraphBuilder.from_edges(edges, num_nodes=num_nodes)
+    sources, targets, probs = graph.edge_arrays()
+    assert DirectedGraph(num_nodes, sources, targets, probs) == graph

@@ -1,0 +1,121 @@
+"""Unit tests for structural graph statistics."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    GraphBuilder,
+    chung_lu,
+    cycle_graph,
+    erdos_renyi,
+    path_graph,
+    star_graph,
+)
+from repro.graphs.stats import (
+    DegreeSummary,
+    degree_summary,
+    largest_wcc_fraction,
+    powerlaw_tail_exponent,
+    strongly_connected_components,
+    weakly_connected_components,
+)
+
+
+class TestDegreeSummary:
+    def test_star_summary(self):
+        summary = degree_summary(star_graph(10), "out")
+        assert summary.maximum == 10
+        assert summary.mean == pytest.approx(10 / 11)
+        assert summary.median == 0.0
+
+    def test_direction_switch(self):
+        graph = star_graph(5)
+        assert degree_summary(graph, "out").maximum == 5
+        assert degree_summary(graph, "in").maximum == 1
+
+    def test_invalid_direction(self):
+        with pytest.raises(ValueError):
+            degree_summary(star_graph(3), "sideways")
+
+    def test_gini_zero_for_regular_graph(self):
+        summary = degree_summary(cycle_graph(10), "out")
+        assert summary.gini == pytest.approx(0.0, abs=1e-9)
+
+    def test_gini_high_for_star(self):
+        summary = degree_summary(star_graph(50), "out")
+        assert summary.gini > 0.9
+
+    def test_empty_degrees(self):
+        summary = DegreeSummary.from_degrees(np.array([], dtype=np.int64))
+        assert summary.mean == 0.0
+
+
+class TestConnectedComponents:
+    def test_single_wcc_on_path(self):
+        labels = weakly_connected_components(path_graph(6))
+        assert len(set(labels.tolist())) == 1
+
+    def test_two_components(self):
+        graph = GraphBuilder.from_edges([(0, 1), (2, 3)], num_nodes=4)
+        labels = weakly_connected_components(graph)
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert labels[0] != labels[2]
+
+    def test_largest_wcc_fraction(self):
+        graph = GraphBuilder.from_edges([(0, 1), (1, 2)], num_nodes=5)
+        assert largest_wcc_fraction(graph) == pytest.approx(0.6)
+
+    def test_isolated_nodes_are_own_components(self):
+        graph = GraphBuilder(num_nodes=3).build()
+        labels = weakly_connected_components(graph)
+        assert len(set(labels.tolist())) == 3
+
+
+class TestStronglyConnectedComponents:
+    def test_cycle_is_one_scc(self):
+        labels = strongly_connected_components(cycle_graph(5))
+        assert len(set(labels.tolist())) == 1
+
+    def test_path_has_singleton_sccs(self):
+        labels = strongly_connected_components(path_graph(5))
+        assert len(set(labels.tolist())) == 5
+
+    def test_mixed_structure(self):
+        # 0 <-> 1 form an SCC; 2 dangles off it.
+        graph = GraphBuilder.from_edges([(0, 1), (1, 0), (1, 2)], num_nodes=3)
+        labels = strongly_connected_components(graph)
+        assert labels[0] == labels[1]
+        assert labels[2] != labels[0]
+
+    def test_matches_networkx(self):
+        import networkx as nx
+
+        from repro.graphs import to_networkx
+
+        graph = erdos_renyi(60, 200, np.random.default_rng(3))
+        ours = strongly_connected_components(graph)
+        theirs = list(nx.strongly_connected_components(to_networkx(graph)))
+        # Same partition: identical number of components and sizes.
+        our_sizes = sorted(np.bincount(ours).tolist())
+        their_sizes = sorted(len(c) for c in theirs)
+        assert our_sizes == their_sizes
+
+
+class TestPowerlawTail:
+    def test_heavy_tail_detected(self):
+        graph = chung_lu(3000, 25000, np.random.default_rng(0), exponent=2.2)
+        alpha = powerlaw_tail_exponent(graph.in_degrees())
+        assert 1.3 < alpha < 4.5
+
+    def test_light_tail_large_alpha(self):
+        rng = np.random.default_rng(1)
+        degrees = rng.poisson(20, size=5000)
+        alpha = powerlaw_tail_exponent(degrees)
+        assert alpha > 4.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            powerlaw_tail_exponent(np.array([1, 2, 3]))
+        with pytest.raises(ValueError):
+            powerlaw_tail_exponent(np.arange(100), tail_fraction=0.0)

@@ -1,0 +1,67 @@
+"""Unit tests for the edge weighting schemes."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    GraphBuilder,
+    erdos_renyi,
+    trivalency,
+    uniform,
+    weighted_cascade,
+)
+from repro.graphs.weights import TRIVALENCY_CHOICES
+
+
+@pytest.fixture
+def fan_in_graph():
+    # Node 3 has in-degree 3, node 1 has in-degree 1.
+    return GraphBuilder.from_edges([(0, 3), (1, 3), (2, 3), (0, 1)], num_nodes=4)
+
+
+class TestWeightedCascade:
+    def test_probability_is_reciprocal_indegree(self, fan_in_graph):
+        graph = weighted_cascade(fan_in_graph)
+        assert graph.edge_probability(0, 3) == pytest.approx(1 / 3)
+        assert graph.edge_probability(0, 1) == pytest.approx(1.0)
+
+    def test_incoming_sums_equal_one(self, rng):
+        graph = weighted_cascade(erdos_renyi(50, 300, rng))
+        sums = graph.in_probability_sums()
+        has_in = graph.in_degrees() > 0
+        assert np.allclose(sums[has_in], 1.0)
+        assert np.allclose(sums[~has_in], 0.0)
+
+    def test_original_untouched(self, fan_in_graph):
+        weighted_cascade(fan_in_graph)
+        assert fan_in_graph.edge_probability(0, 3) == 0.0
+
+    def test_empty_graph(self):
+        graph = weighted_cascade(GraphBuilder(num_nodes=3).build())
+        assert graph.num_edges == 0
+
+
+class TestTrivalency:
+    def test_values_from_choice_set(self, fan_in_graph, rng):
+        graph = trivalency(fan_in_graph, rng)
+        for __, __, prob in graph.edges():
+            assert prob in TRIVALENCY_CHOICES
+
+    def test_custom_choices(self, fan_in_graph, rng):
+        graph = trivalency(fan_in_graph, rng, choices=(0.5,))
+        assert all(prob == 0.5 for __, __, prob in graph.edges())
+
+    def test_deterministic_for_seed(self, fan_in_graph):
+        first = trivalency(fan_in_graph, np.random.default_rng(1))
+        second = trivalency(fan_in_graph, np.random.default_rng(1))
+        assert first == second
+
+
+class TestUniform:
+    def test_assigns_constant(self, fan_in_graph):
+        graph = uniform(fan_in_graph, 0.123)
+        assert all(prob == 0.123 for __, __, prob in graph.edges())
+
+    def test_out_of_range_rejected(self, fan_in_graph):
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            uniform(fan_in_graph, 1.01)

@@ -1,0 +1,89 @@
+"""Run every example script end-to-end (reduced parameters)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(script: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        proc = run_example(
+            "quickstart.py", "--k", "5", "--machines", "4", "--eps", "0.6",
+            "--mc-samples", "100",
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "selected 5 seeds" in proc.stdout
+        assert "Monte-Carlo validation" in proc.stdout
+
+    def test_viral_marketing_campaign(self):
+        proc = run_example(
+            "viral_marketing_campaign.py",
+            "--dataset", "facebook",
+            "--budget", "8",
+            "--machines", "2",
+            "--eps", "0.6",
+            "--mc-samples", "100",
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "Strategy comparison" in proc.stdout
+        assert "Diffusion-model sensitivity" in proc.stdout
+
+    def test_cluster_scaling_study(self):
+        proc = run_example(
+            "cluster_scaling_study.py",
+            "--dataset", "facebook",
+            "--k", "5",
+            "--eps", "0.6",
+            "--machines", "1", "2",
+            "--skip-multiprocessing",
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "DIIMM scaling" in proc.stdout
+
+    def test_influence_applications(self):
+        proc = run_example(
+            "influence_applications.py",
+            "--dataset", "facebook",
+            "--machines", "2",
+            "--rr-sets", "2000",
+            "--k", "5",
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "targeted IM" in proc.stdout
+        assert "profit maximization" in proc.stdout
+
+    def test_checkpoint_and_resume(self):
+        proc = run_example(
+            "checkpoint_and_resume.py",
+            "--dataset", "facebook",
+            "--machines", "2",
+            "--rr-sets", "2000",
+            "--budgets", "5", "10",
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "replay verified" in proc.stdout
+        assert "Budget sweep" in proc.stdout
+
+    def test_max_coverage_comparison(self):
+        proc = run_example(
+            "max_coverage_comparison.py",
+            "--dataset", "facebook",
+            "--k", "5",
+            "--cores", "2",
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "NEWGREEDI" in proc.stdout
+        assert "coverage ratio is always exactly 1.0" in proc.stdout

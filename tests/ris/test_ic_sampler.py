@@ -1,0 +1,98 @@
+"""Unit tests for the IC reverse-BFS RR-set sampler."""
+
+import numpy as np
+import pytest
+
+from repro.diffusion import exact_spread_ic
+from repro.graphs import GraphBuilder, uniform, path_graph, star_graph
+from repro.ris import ICReverseBFSSampler
+
+
+class TestStructure:
+    def test_root_always_included(self, small_wc_graph, rng):
+        sampler = ICReverseBFSSampler(small_wc_graph)
+        for __ in range(100):
+            sample = sampler.sample(rng)
+            assert sample.root in sample
+
+    def test_nodes_sorted_unique(self, small_wc_graph, rng):
+        sampler = ICReverseBFSSampler(small_wc_graph)
+        sample = sampler.sample(rng)
+        nodes = sample.nodes
+        assert np.all(np.diff(nodes) > 0)
+
+    def test_unit_probabilities_full_reverse_reachability(self, rng):
+        graph = uniform(path_graph(5), 1.0)
+        sampler = ICReverseBFSSampler(graph)
+        sample = sampler.sample(rng, root=4)
+        # Everything reaches node 4 along the path.
+        assert sample.nodes.tolist() == [0, 1, 2, 3, 4]
+
+    def test_zero_probabilities_rr_set_is_root(self, rng):
+        graph = uniform(star_graph(4), 0.0)
+        sampler = ICReverseBFSSampler(graph)
+        sample = sampler.sample(rng, root=2)
+        assert sample.nodes.tolist() == [2]
+
+    def test_edges_examined_counts_in_edges(self, rng):
+        graph = uniform(path_graph(4), 1.0)
+        sampler = ICReverseBFSSampler(graph)
+        sample = sampler.sample(rng, root=3)
+        # Nodes 3,2,1 each have one in-edge; node 0 has none.
+        assert sample.edges_examined == 3
+
+    def test_scratch_bitmap_reset_between_samples(self, small_wc_graph, rng):
+        sampler = ICReverseBFSSampler(small_wc_graph)
+        for __ in range(200):
+            sampler.sample(rng)
+        assert not sampler._visited.any()
+
+    def test_empty_graph_rejected(self):
+        from repro.graphs import DirectedGraph
+
+        with pytest.raises(ValueError, match="empty graph"):
+            ICReverseBFSSampler(DirectedGraph(0, [], []))
+
+
+class TestDistribution:
+    def test_example2_rr_set_probability(self, paper_graph):
+        """Paper Example 2: from root v4 under IC, the RR set {v1, v3, v4}.
+
+        The paper quotes 0.056 for one specific traversal realization
+        (v2->v4 fails, v1->v4 and v3->v4 succeed: 0.7 * 0.4 * 0.2).  The
+        total probability of the *set* {v1,v3,v4} is P[v2->v4 fails] *
+        P[v3->v4 succeeds] = 0.7 * 0.2 = 0.14, since v1 is then always
+        reached through the unit edge v1->v3.
+        """
+        sampler = ICReverseBFSSampler(paper_graph)
+        rng = np.random.default_rng(0)
+        target = frozenset({0, 2, 3})
+        hits = sum(
+            frozenset(sampler.sample(rng, root=3).nodes.tolist()) == target
+            for __ in range(50000)
+        )
+        assert hits / 50000 == pytest.approx(0.14, abs=0.01)
+
+    def test_lemma1_unbiased_spread(self, paper_graph):
+        """Lemma 1: sigma(S) = n * Pr[S covers a random RR set]."""
+        sampler = ICReverseBFSSampler(paper_graph)
+        rng = np.random.default_rng(1)
+        num = 60000
+        covered = sum(0 in sampler.sample(rng) for __ in range(num))
+        estimate = 4 * covered / num
+        assert estimate == pytest.approx(exact_spread_ic(paper_graph, [0]), abs=0.05)
+
+    def test_root_uniformity(self, rng):
+        graph = uniform(path_graph(4), 0.5)
+        sampler = ICReverseBFSSampler(graph)
+        roots = np.array([sampler.sample(rng).root for __ in range(8000)])
+        counts = np.bincount(roots, minlength=4)
+        assert np.all(np.abs(counts / 8000 - 0.25) < 0.03)
+
+    def test_pinned_root(self, small_wc_graph, rng):
+        sampler = ICReverseBFSSampler(small_wc_graph)
+        assert sampler.sample(rng, root=7).root == 7
+
+    def test_sample_many_count(self, small_wc_graph, rng):
+        sampler = ICReverseBFSSampler(small_wc_graph)
+        assert len(sampler.sample_many(25, rng)) == 25

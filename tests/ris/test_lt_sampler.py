@@ -1,0 +1,102 @@
+"""Unit tests for the LT reverse-walk RR-set sampler."""
+
+import numpy as np
+import pytest
+
+from repro.diffusion import exact_spread_lt
+from repro.graphs import GraphBuilder, cycle_graph, uniform, path_graph, weighted_cascade
+from repro.ris import LTReverseWalkSampler
+
+
+class TestStructure:
+    def test_rr_set_is_a_reverse_path(self, small_wc_graph, rng):
+        sampler = LTReverseWalkSampler(small_wc_graph)
+        for __ in range(50):
+            sample = sampler.sample(rng)
+            assert sample.root in sample
+            assert len(sample) >= 1
+
+    def test_walk_stops_at_indegree_zero(self, rng):
+        graph = uniform(path_graph(4), 1.0)
+        sampler = LTReverseWalkSampler(graph)
+        sample = sampler.sample(rng, root=3)
+        # Unit probabilities force the walk all the way back to node 0.
+        assert sample.nodes.tolist() == [0, 1, 2, 3]
+
+    def test_walk_stops_on_revisit(self, rng):
+        graph = uniform(cycle_graph(4), 1.0)
+        sampler = LTReverseWalkSampler(graph)
+        sample = sampler.sample(rng, root=0)
+        # The walk loops the cycle exactly once, then hits a visited node.
+        assert sample.nodes.size == 4
+
+    def test_stop_probability(self, rng):
+        # Single in-edge with probability 0.25: the walk extends past the
+        # root a quarter of the time.
+        graph = GraphBuilder.from_edges([(0, 1, 0.25)], num_nodes=2)
+        sampler = LTReverseWalkSampler(graph)
+        sizes = [len(sampler.sample(rng, root=1)) for __ in range(20000)]
+        assert np.mean([s == 2 for s in sizes]) == pytest.approx(0.25, abs=0.02)
+
+    def test_infeasible_graph_rejected(self):
+        graph = GraphBuilder.from_edges([(0, 2, 0.8), (1, 2, 0.8)], num_nodes=3)
+        with pytest.raises(ValueError, match="sum to <= 1"):
+            LTReverseWalkSampler(graph)
+
+    def test_edges_examined_counts_degrees(self, rng):
+        graph = uniform(path_graph(3), 1.0)
+        sampler = LTReverseWalkSampler(graph)
+        sample = sampler.sample(rng, root=2)
+        # Nodes 2 and 1 have one in-edge each; node 0 has none.
+        assert sample.edges_examined == 2
+
+
+class TestDistribution:
+    def test_example2_lt_path_probability(self, paper_graph):
+        """Under LT the RR set {v1, v3, v4} needs the walk v4 -> v3 -> v1.
+
+        Probability: pick the v3 in-edge at v4 (0.2), then at v3 the single
+        unit edge to v1 (1.0), then v1 has no in-edges: 0.2 total.
+        """
+        sampler = LTReverseWalkSampler(paper_graph)
+        rng = np.random.default_rng(0)
+        target = frozenset({0, 2, 3})
+        hits = sum(
+            frozenset(sampler.sample(rng, root=3).nodes.tolist()) == target
+            for __ in range(50000)
+        )
+        assert hits / 50000 == pytest.approx(0.2, abs=0.01)
+
+    def test_lemma1_unbiased_spread(self, paper_graph):
+        sampler = LTReverseWalkSampler(paper_graph)
+        rng = np.random.default_rng(1)
+        num = 60000
+        covered = sum(0 in sampler.sample(rng) for __ in range(num))
+        assert 4 * covered / num == pytest.approx(
+            exact_spread_lt(paper_graph, [0]), abs=0.05
+        )
+
+    def test_weighted_cascade_never_stops_midwalk(self, rng):
+        # WC sums incoming probabilities to exactly 1, so the walk only
+        # terminates at in-degree-zero nodes or revisits.
+        graph = weighted_cascade(uniform(cycle_graph(5), 1.0))
+        sampler = LTReverseWalkSampler(graph)
+        for __ in range(50):
+            assert len(sampler.sample(rng)) == 5
+
+    def test_nonuniform_probabilities_branch(self, rng):
+        # Exercises the binary-search path (unequal in-probabilities).
+        graph = GraphBuilder.from_edges(
+            [(0, 2, 0.7), (1, 2, 0.2)], num_nodes=3
+        )
+        sampler = LTReverseWalkSampler(graph)
+        first = sum(
+            1 in sampler.sample(rng, root=2).nodes.tolist() for __ in range(20000)
+        )
+        assert first / 20000 == pytest.approx(0.2, abs=0.015)
+
+    def test_deterministic_with_seed(self, small_wc_graph):
+        sampler = LTReverseWalkSampler(small_wc_graph)
+        a = sampler.sample_many(20, np.random.default_rng(5))
+        b = sampler.sample_many(20, np.random.default_rng(5))
+        assert all(np.array_equal(x.nodes, y.nodes) for x, y in zip(a, b))

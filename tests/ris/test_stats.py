@@ -1,0 +1,95 @@
+"""Unit tests for RR-set statistics and the Lemma 3 identity."""
+
+import numpy as np
+import pytest
+
+from repro.diffusion import IndependentCascade, LinearThreshold
+from repro.ris import (
+    ICReverseBFSSampler,
+    LTReverseWalkSampler,
+    RRSetStatistics,
+    collect_statistics,
+    empirical_eps,
+    empirical_ept,
+    lemma3_check,
+    make_sampler,
+)
+
+
+class TestBasicStatistics:
+    def test_empirical_eps(self, small_wc_graph, rng):
+        sampler = ICReverseBFSSampler(small_wc_graph)
+        samples = sampler.sample_many(100, rng)
+        assert empirical_eps(samples) == pytest.approx(
+            np.mean([len(s) for s in samples])
+        )
+
+    def test_empirical_ept(self, small_wc_graph, rng):
+        sampler = ICReverseBFSSampler(small_wc_graph)
+        samples = sampler.sample_many(100, rng)
+        assert empirical_ept(samples) == pytest.approx(
+            np.mean([s.edges_examined for s in samples])
+        )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            empirical_eps([])
+        with pytest.raises(ValueError):
+            empirical_ept([])
+
+    def test_statistics_fields(self, small_wc_graph, rng):
+        stats = collect_statistics(ICReverseBFSSampler(small_wc_graph), 50, rng)
+        assert stats.num_sets == 50
+        assert stats.total_size >= 50  # every RR set has at least the root
+        assert stats.max_size >= stats.eps
+        assert stats.ept >= 0
+
+    def test_collect_requires_positive_count(self, small_wc_graph, rng):
+        with pytest.raises(ValueError):
+            collect_statistics(ICReverseBFSSampler(small_wc_graph), 0, rng)
+
+    def test_from_samples_roundtrip(self, small_wc_graph, rng):
+        sampler = ICReverseBFSSampler(small_wc_graph)
+        samples = sampler.sample_many(40, rng)
+        stats = RRSetStatistics.from_samples(samples)
+        assert stats.total_size == sum(len(s) for s in samples)
+
+
+class TestLemma3:
+    """EPS equals the average singleton influence spread."""
+
+    def test_ic_identity(self, paper_graph):
+        rng = np.random.default_rng(0)
+        eps_emp, avg_spread = lemma3_check(
+            paper_graph,
+            ICReverseBFSSampler(paper_graph),
+            IndependentCascade(),
+            num_rr_sets=40000,
+            num_mc_samples=8000,
+            rng=rng,
+        )
+        assert eps_emp == pytest.approx(avg_spread, rel=0.03)
+
+    def test_lt_identity(self, paper_graph):
+        rng = np.random.default_rng(1)
+        eps_emp, avg_spread = lemma3_check(
+            paper_graph,
+            LTReverseWalkSampler(paper_graph),
+            LinearThreshold(),
+            num_rr_sets=40000,
+            num_mc_samples=8000,
+            rng=rng,
+        )
+        assert eps_emp == pytest.approx(avg_spread, rel=0.03)
+
+    def test_ic_identity_random_graph(self, small_wc_graph):
+        rng = np.random.default_rng(2)
+        eps_emp, avg_spread = lemma3_check(
+            small_wc_graph,
+            make_sampler(small_wc_graph, "ic"),
+            IndependentCascade(),
+            num_rr_sets=20000,
+            num_mc_samples=300,
+            rng=rng,
+        )
+        assert eps_emp == pytest.approx(avg_spread, rel=0.1)

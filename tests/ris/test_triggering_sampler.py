@@ -1,0 +1,80 @@
+"""Unit tests for the general triggering-model RR sampler."""
+
+import numpy as np
+import pytest
+
+from repro.diffusion import ICTriggering, LTTriggering, TriggeringDistribution
+from repro.diffusion.exact import exact_spread_ic, exact_spread_lt
+from repro.ris import (
+    ICReverseBFSSampler,
+    LTReverseWalkSampler,
+    TriggeringRRSampler,
+)
+
+
+class TestStructure:
+    def test_root_always_included(self, small_wc_graph, rng):
+        sampler = TriggeringRRSampler(small_wc_graph, ICTriggering())
+        for __ in range(50):
+            sample = sampler.sample(rng)
+            assert sample.root in sample
+
+    def test_scratch_reset(self, small_wc_graph, rng):
+        sampler = TriggeringRRSampler(small_wc_graph, LTTriggering())
+        for __ in range(50):
+            sampler.sample(rng)
+        assert not sampler._visited.any()
+
+    def test_lt_rr_sets_are_paths(self, small_wc_graph, rng):
+        """At most one live in-edge per node: the RR set is a path/cycle."""
+        sampler = TriggeringRRSampler(small_wc_graph, LTTriggering())
+        lt_ref = LTReverseWalkSampler(small_wc_graph)
+        sizes = [len(sampler.sample(rng)) for __ in range(300)]
+        ref_sizes = [len(lt_ref.sample(rng)) for __ in range(300)]
+        assert np.mean(sizes) == pytest.approx(np.mean(ref_sizes), rel=0.25)
+
+
+class TestDistributionAgreement:
+    """The generic sampler matches both specialised samplers and the
+    exact spreads on the paper graph."""
+
+    def test_ic_unbiased(self, paper_graph):
+        sampler = TriggeringRRSampler(paper_graph, ICTriggering())
+        rng = np.random.default_rng(0)
+        num = 60000
+        covered = sum(0 in sampler.sample(rng) for __ in range(num))
+        assert 4 * covered / num == pytest.approx(
+            exact_spread_ic(paper_graph, [0]), abs=0.05
+        )
+
+    def test_lt_unbiased(self, paper_graph):
+        sampler = TriggeringRRSampler(paper_graph, LTTriggering())
+        rng = np.random.default_rng(1)
+        num = 60000
+        covered = sum(0 in sampler.sample(rng) for __ in range(num))
+        assert 4 * covered / num == pytest.approx(
+            exact_spread_lt(paper_graph, [0]), abs=0.05
+        )
+
+    def test_matches_ic_specialised_sampler(self, small_wc_graph):
+        generic = TriggeringRRSampler(small_wc_graph, ICTriggering())
+        special = ICReverseBFSSampler(small_wc_graph)
+        num = 8000
+        g_sizes = [len(s) for s in generic.sample_many(num, np.random.default_rng(2))]
+        s_sizes = [len(s) for s in special.sample_many(num, np.random.default_rng(3))]
+        assert np.mean(g_sizes) == pytest.approx(np.mean(s_sizes), rel=0.1)
+
+    def test_generic_fallback_distribution(self, paper_graph):
+        """A custom distribution exercises the sample-whole-graph path."""
+
+        class EveryOtherEdge(TriggeringDistribution):
+            def sample_live_edges(self, graph, rng):
+                sources, targets, __ = graph.edge_arrays()
+                keep = rng.random(sources.size) < 0.5
+                return sources[keep], targets[keep]
+
+        sampler = TriggeringRRSampler(paper_graph, EveryOtherEdge())
+        rng = np.random.default_rng(4)
+        sample = sampler.sample(rng, root=3)
+        assert 3 in sample
+        assert all(0 <= v < 4 for v in sample.nodes)

@@ -1,0 +1,99 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.algorithm == "diimm"
+        assert args.k == 50
+
+    def test_experiment_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+
+class TestCommands:
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "facebook" in out
+        assert "paper_nodes" in out
+
+    def test_run_imm_small(self, capsys):
+        code = main(
+            [
+                "run", "--dataset", "facebook", "--algorithm", "imm",
+                "--k", "5", "--eps", "0.6",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "IMM on facebook" in out
+        assert "seeds:" in out
+
+    def test_run_diimm(self, capsys):
+        code = main(
+            [
+                "run", "--dataset", "facebook", "--k", "5", "--eps", "0.6",
+                "--machines", "2", "--network", "cluster",
+            ]
+        )
+        assert code == 0
+        assert "DIIMM on facebook" in capsys.readouterr().out
+
+    def test_validate(self, capsys):
+        code = main(
+            ["validate", "--dataset", "facebook", "--seeds", "0,1,2",
+             "--samples", "50"]
+        )
+        assert code == 0
+        assert "sigma" in capsys.readouterr().out
+
+    def test_validate_bad_seed_list(self, capsys):
+        code = main(["validate", "--dataset", "facebook", "--seeds", "a,b"])
+        assert code == 2
+        assert "cannot parse" in capsys.readouterr().err
+
+    def test_experiment_table3(self, capsys):
+        assert main(["experiment", "table3", "--datasets", "facebook"]) == 0
+        out = capsys.readouterr().out
+        assert "table3" in out
+        assert "facebook" in out
+
+    def test_app_targeted(self, capsys):
+        code = main(
+            ["app", "targeted", "--dataset", "facebook", "--machines", "2",
+             "--rr-sets", "1000", "--k", "5"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "targeted-influence-maximization" in out
+        assert "seeds:" in out
+
+    def test_app_seedmin(self, capsys):
+        code = main(
+            ["app", "seedmin", "--dataset", "facebook", "--machines", "2",
+             "--rr-sets", "1000", "--required-spread", "200"]
+        )
+        assert code == 0
+        assert "seed-minimization" in capsys.readouterr().out
+
+    def test_app_adaptive(self, capsys):
+        code = main(
+            ["app", "adaptive", "--dataset", "facebook", "--machines", "2",
+             "--rr-sets", "600", "--k", "3"]
+        )
+        assert code == 0
+        assert "adaptive-influence-maximization" in capsys.readouterr().out
+
+    def test_app_bad_name(self):
+        with pytest.raises(SystemExit):
+            main(["app", "unknown"])
