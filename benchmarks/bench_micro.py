@@ -4,13 +4,21 @@ Unlike the figure benchmarks (single metered sweep each), these use
 pytest-benchmark's statistical machinery — multiple rounds over small
 fixed workloads — to track the throughput of the primitives every
 experiment is built from: RR-set generation (three samplers), forward
-cascade simulation, and the lazy bucket greedy.
+cascade simulation, and the lazy bucket greedy under both coverage
+backends.  ``test_micro_kernel_backend_speedup`` additionally records the
+reference-vs-flat comparison to ``results/micro_kernel_backends`` and
+*fails* if the flat CSR kernel is ever slower than the reference loops —
+the CI regression gate for the vectorized backend.
 """
+
+import time
 
 import numpy as np
 import pytest
 
-from repro.coverage import CoverageInstance, greedy_max_coverage
+from repro.cluster import SimulatedCluster
+from repro.coverage import CoverageInstance, greedy_max_coverage, newgreedi
+from repro.coverage.kernel import as_flat
 from repro.diffusion import IndependentCascade, LinearThreshold
 from repro.graphs import load_dataset
 from repro.ris import make_sampler
@@ -26,6 +34,11 @@ def graph():
 @pytest.fixture(scope="module")
 def instance(graph):
     return CoverageInstance.from_graph(graph)
+
+
+@pytest.fixture(scope="module")
+def flat_instance(instance):
+    return as_flat(instance)
 
 
 def test_micro_ic_bfs_sampler(benchmark, graph):
@@ -71,4 +84,67 @@ def test_micro_lt_forward_simulation(benchmark, graph):
 
 
 def test_micro_lazy_greedy(benchmark, instance):
-    benchmark(greedy_max_coverage, [instance], 50)
+    benchmark(greedy_max_coverage, [instance], 50, backend="reference")
+
+
+def test_micro_lazy_greedy_flat(benchmark, flat_instance):
+    benchmark(greedy_max_coverage, [flat_instance], 50, backend="flat")
+
+
+def _best_of(callable_, repeats=3):
+    best = float("inf")
+    result = None
+    for __ in range(repeats):
+        start = time.perf_counter()
+        result = callable_()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def test_micro_kernel_backend_speedup(record_rows, instance, flat_instance):
+    """Reference vs flat CSR kernel on identical workloads; regression
+    gate: the flat backend must never be slower."""
+    k = 50
+    machines = 4
+
+    ref_greedy_s, ref_greedy = _best_of(
+        lambda: greedy_max_coverage([instance], k, backend="reference")
+    )
+    flat_greedy_s, flat_greedy = _best_of(
+        lambda: greedy_max_coverage([flat_instance], k, backend="flat")
+    )
+    assert flat_greedy.seeds == ref_greedy.seeds
+
+    rng = np.random.default_rng(0)
+    parts = instance.split(machines, rng=rng)
+    flat_parts = [as_flat(part) for part in parts]
+
+    def run_newgreedi(stores, backend):
+        cluster = SimulatedCluster(machines, seed=0)
+        return newgreedi(cluster, k, stores=list(stores), backend=backend)
+
+    ref_new_s, ref_new = _best_of(lambda: run_newgreedi(parts, "reference"))
+    flat_new_s, flat_new = _best_of(lambda: run_newgreedi(flat_parts, "flat"))
+    assert flat_new.seeds == ref_new.seeds
+
+    rows = [
+        {
+            "component": "lazy_greedy(facebook, k=50)",
+            "reference_s": round(ref_greedy_s, 4),
+            "flat_s": round(flat_greedy_s, 4),
+            "speedup": round(ref_greedy_s / flat_greedy_s, 2),
+        },
+        {
+            "component": f"newgreedi(facebook, k=50, m={machines})",
+            "reference_s": round(ref_new_s, 4),
+            "flat_s": round(flat_new_s, 4),
+            "speedup": round(ref_new_s / flat_new_s, 2),
+        },
+    ]
+    record_rows(
+        "micro_kernel_backends",
+        rows,
+        "Coverage kernel: reference dict loops vs flat CSR backend",
+    )
+    for row in rows:
+        assert row["speedup"] >= 1.0, f"flat backend slower on {row['component']}"

@@ -69,7 +69,7 @@ from .graphs import (
     read_edge_list,
     weighted_cascade,
 )
-from .ris import RRCollection, make_sampler
+from .ris import FlatRRCollection, RRCollection, make_sampler
 
 __version__ = "1.0.0"
 
@@ -90,6 +90,7 @@ __all__ = [
     # ris
     "make_sampler",
     "RRCollection",
+    "FlatRRCollection",
     # cluster
     "SimulatedCluster",
     "NetworkModel",

@@ -4,7 +4,7 @@ from .cluster import MachineFailure, SimulatedCluster
 from .machine import Machine
 from .metrics import COMMUNICATION, COMPUTATION, GENERATION, PhaseRecord, RunMetrics
 from .network import NetworkModel, gigabit_cluster, shared_memory_server
-from .parallel import generate_batch, generate_parallel
+from .parallel import generate_batch, generate_parallel, generate_parallel_flat
 from .tracing import render_timeline, summarize_phases
 
 __all__ = [
@@ -20,6 +20,7 @@ __all__ = [
     "COMPUTATION",
     "COMMUNICATION",
     "generate_parallel",
+    "generate_parallel_flat",
     "generate_batch",
     "summarize_phases",
     "render_timeline",

@@ -15,7 +15,7 @@ from typing import Any, Callable, Tuple
 
 import numpy as np
 
-from ..ris.collection import RRCollection
+from ..ris.flat import make_collection
 
 __all__ = ["Machine"]
 
@@ -53,13 +53,20 @@ class Machine:
         self.rng = rng
         self._clock = clock
         self.slowdown = float(slowdown)
-        self.collection: RRCollection | None = None
+        #: The machine's RR store — a :class:`RRCollection` or
+        #: :class:`~repro.ris.flat.FlatRRCollection`, per backend.
+        self.collection = None
         #: Scratch space algorithms may attach per-run state to.
         self.state: dict[str, Any] = {}
 
-    def init_collection(self, num_nodes: int) -> RRCollection:
-        """Create (or reset) this machine's RR collection."""
-        self.collection = RRCollection(num_nodes)
+    def init_collection(self, num_nodes: int, backend: str = "flat"):
+        """Create (or reset) this machine's RR collection.
+
+        ``backend="flat"`` (default) gives the CSR-backed store the
+        vectorized coverage kernel reads natively; ``"reference"`` gives
+        the dict-indexed :class:`RRCollection` oracle.
+        """
+        self.collection = make_collection(num_nodes, backend)
         return self.collection
 
     def run(self, work: Callable[["Machine"], Any]) -> Tuple[Any, float]:

@@ -6,6 +6,15 @@ closest local equivalent of the paper's MPI workers.  Because sampler
 state (the graph CSR arrays) is moderately large, each worker process
 builds its sampler once in an initializer and reuses it for every batch.
 
+Workers ship their batches back in the flat CSR layout — one contiguous
+``int32`` nodes array plus an offsets array per batch — so the IPC cost
+is four array pickles per batch instead of one small object per RR set.
+:func:`generate_parallel` re-wraps the arrays as :class:`RRSample`
+objects for callers that want the reference representation;
+:func:`generate_parallel_flat` hands the arrays straight to a
+:class:`~repro.ris.flat.FlatRRCollection`, never materialising per-set
+Python objects at all.
+
 Only generation is parallelised here — it dominates the running time in
 every figure of the paper — while seed selection still runs through
 NEWGREEDI on the gathered per-machine collections.
@@ -20,9 +29,13 @@ import numpy as np
 
 from ..graphs.digraph import DirectedGraph
 from ..ris import make_sampler
+from ..ris.flat import FlatRRCollection
 from ..ris.rrset import RRSample
 
-__all__ = ["generate_parallel", "generate_batch"]
+__all__ = ["generate_parallel", "generate_parallel_flat", "generate_batch"]
+
+#: A worker's flat batch: (nodes, offsets, roots, edges_examined).
+FlatBatch = Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
 
 # Worker-process globals, set once by _init_worker.
 _WORKER_SAMPLER = None
@@ -33,13 +46,38 @@ def _init_worker(graph: DirectedGraph, model: str, method: str) -> None:
     _WORKER_SAMPLER = make_sampler(graph, model=model, method=method)
 
 
-def _worker_generate(task: Tuple[int, int]) -> List[Tuple[np.ndarray, int, int]]:
+def _pack_flat(samples: Sequence[RRSample]) -> FlatBatch:
+    """Concatenate a batch of samples into the CSR wire format."""
+    count = len(samples)
+    sizes = np.fromiter((s.nodes.size for s in samples), dtype=np.int64, count=count)
+    offsets = np.zeros(count + 1, dtype=np.int64)
+    np.cumsum(sizes, out=offsets[1:])
+    if count:
+        nodes = np.concatenate([s.nodes for s in samples]).astype(np.int32, copy=False)
+    else:
+        nodes = np.zeros(0, dtype=np.int32)
+    roots = np.fromiter((s.root for s in samples), dtype=np.int64, count=count)
+    edges = np.fromiter((s.edges_examined for s in samples), dtype=np.int64, count=count)
+    return nodes, offsets, roots, edges
+
+
+def _unpack_flat(batch: FlatBatch) -> List[RRSample]:
+    """Re-wrap one flat batch as reference samples (views into the batch)."""
+    nodes, offsets, roots, edges = batch
+    return [
+        RRSample(
+            nodes=nodes[offsets[idx] : offsets[idx + 1]],
+            root=int(roots[idx]),
+            edges_examined=int(edges[idx]),
+        )
+        for idx in range(offsets.size - 1)
+    ]
+
+
+def _worker_generate(task: Tuple[int, int]) -> FlatBatch:
     count, seed = task
     rng = np.random.default_rng(seed)
-    samples = _WORKER_SAMPLER.sample_many(count, rng)
-    # RRSample is a frozen dataclass of numpy arrays; send plain tuples to
-    # keep pickling cheap.
-    return [(s.nodes, s.root, s.edges_examined) for s in samples]
+    return _pack_flat(_WORKER_SAMPLER.sample_many(count, rng))
 
 
 def generate_batch(
@@ -53,6 +91,29 @@ def generate_batch(
     sampler = make_sampler(graph, model=model, method=method)
     rng = np.random.default_rng(seed)
     return sampler.sample_many(count, rng)
+
+
+def _run_pool(
+    graph: DirectedGraph,
+    counts: Sequence[int],
+    seeds: Sequence[int],
+    model: str,
+    method: str,
+    processes: int | None,
+) -> List[FlatBatch]:
+    if len(counts) != len(seeds):
+        raise ValueError("counts and seeds must have the same length")
+    if not counts:
+        return []
+    if processes is None:
+        processes = min(len(counts), mp.cpu_count())
+    ctx = mp.get_context("fork" if "fork" in mp.get_all_start_methods() else "spawn")
+    with ctx.Pool(
+        processes=processes,
+        initializer=_init_worker,
+        initargs=(graph, model, method),
+    ) as pool:
+        return pool.map(_worker_generate, list(zip(counts, seeds)))
 
 
 def generate_parallel(
@@ -80,20 +141,29 @@ def generate_parallel(
     -------
     list of per-machine lists of :class:`RRSample`, in machine order.
     """
-    if len(counts) != len(seeds):
-        raise ValueError("counts and seeds must have the same length")
-    if not counts:
-        return []
-    if processes is None:
-        processes = min(len(counts), mp.cpu_count())
-    ctx = mp.get_context("fork" if "fork" in mp.get_all_start_methods() else "spawn")
-    with ctx.Pool(
-        processes=processes,
-        initializer=_init_worker,
-        initargs=(graph, model, method),
-    ) as pool:
-        raw = pool.map(_worker_generate, list(zip(counts, seeds)))
-    return [
-        [RRSample(nodes=nodes, root=root, edges_examined=edges) for nodes, root, edges in batch]
-        for batch in raw
-    ]
+    batches = _run_pool(graph, counts, seeds, model, method, processes)
+    return [_unpack_flat(batch) for batch in batches]
+
+
+def generate_parallel_flat(
+    graph: DirectedGraph,
+    counts: Sequence[int],
+    seeds: Sequence[int],
+    model: str = "ic",
+    method: str = "bfs",
+    processes: int | None = None,
+) -> List[FlatRRCollection]:
+    """Like :func:`generate_parallel`, returning flat per-machine stores.
+
+    The worker's CSR batch is appended to each machine's
+    :class:`FlatRRCollection` as-is — no per-set Python objects are ever
+    created on the master side, which is the cheap path for feeding the
+    flat coverage kernel directly.
+    """
+    batches = _run_pool(graph, counts, seeds, model, method, processes)
+    collections: List[FlatRRCollection] = []
+    for nodes, offsets, __, edges in batches:
+        collection = FlatRRCollection(graph.num_nodes)
+        collection.append_arrays(nodes, offsets, edges_examined=int(edges.sum()))
+        collections.append(collection)
+    return collections

@@ -46,6 +46,7 @@ def diimm(
     network: NetworkModel | None = None,
     seed: int = 0,
     algorithm_label: str = "DIIMM",
+    backend: str = "flat",
 ) -> IMResult:
     """Run DIIMM on a simulated cluster of ``num_machines`` machines.
 
@@ -58,6 +59,12 @@ def diimm(
         shared-memory server profile.
     algorithm_label:
         Reported algorithm name (the SUBSIM wrapper overrides it).
+    backend:
+        Coverage backend: ``"flat"`` (default) keeps each machine's
+        ``R_i`` in CSR arrays and selects seeds through the vectorized
+        kernel; ``"reference"`` uses the dict-indexed store and loops.
+        The selected seeds are identical either way (Lemma 2 holds for
+        both).
 
     Returns
     -------
@@ -71,7 +78,7 @@ def diimm(
     params = ImmParameters.compute(n, k, eps, delta)
     sampler = make_sampler(graph, model=model, method=method)
     cluster = SimulatedCluster(num_machines, network=network, seed=seed)
-    cluster.init_collections(n)
+    cluster.init_collections(n, backend=backend)
     running_counts = np.zeros(n, dtype=np.int64)
 
     def total_sets() -> int:
@@ -105,6 +112,7 @@ def diimm(
             k,
             initial_counts=running_counts,
             label=f"{label}/newgreedi",
+            backend=backend,
         )
 
     # Phase 1: distributed lower-bound search (Algorithm 2 lines 3-10).

@@ -32,7 +32,7 @@ from ..cluster.metrics import COMPUTATION, GENERATION
 from ..cluster.network import NetworkModel
 from ..coverage.newgreedi import newgreedi
 from ..graphs.digraph import DirectedGraph
-from ..ris import RRCollection, make_sampler
+from ..ris import make_collection, make_sampler
 from .bounds import ImmParameters
 from .result import IMResult
 
@@ -67,6 +67,7 @@ def distributed_opimc(
     network: NetworkModel | None = None,
     seed: int = 0,
     theta_initial: int | None = None,
+    backend: str = "flat",
 ) -> IMResult:
     """Run distributed OPIM-C; parameters mirror :func:`repro.core.diimm.diimm`.
 
@@ -89,8 +90,8 @@ def distributed_opimc(
     sampler = make_sampler(graph, model=model, method=method)
     cluster = SimulatedCluster(num_machines, network=network, seed=seed)
     for machine in cluster.machines:
-        machine.state["R1"] = RRCollection(n)
-        machine.state["R2"] = RRCollection(n)
+        machine.state["R1"] = make_collection(n, backend)
+        machine.state["R2"] = make_collection(n, backend)
 
     def grow(collection_key: str, target: int, label: str) -> None:
         current = sum(m.state[collection_key].num_sets for m in cluster.machines)
@@ -121,6 +122,7 @@ def distributed_opimc(
             k,
             stores=[m.state["R1"] for m in cluster.machines],
             label=f"round-{round_idx}/newgreedi",
+            backend=backend,
         )
         seeds = selection.seeds
 

@@ -30,6 +30,7 @@ def distributed_subsim(
     delta: float | None = None,
     network: NetworkModel | None = None,
     seed: int = 0,
+    backend: str = "flat",
 ) -> IMResult:
     """Distributed SUBSIM under the IC model.
 
@@ -48,4 +49,5 @@ def distributed_subsim(
         network=network,
         seed=seed,
         algorithm_label="DSUBSIM",
+        backend=backend,
     )

@@ -1,4 +1,9 @@
-"""Maximum coverage: problem abstraction, greedy engines, NEWGREEDI, GREEDI."""
+"""Maximum coverage: problem abstraction, greedy engines, NEWGREEDI, GREEDI.
+
+Every algorithm takes a ``backend`` switch: ``"flat"`` (default) runs the
+vectorized CSR kernel of :mod:`repro.coverage.kernel`; ``"reference"``
+keeps the dict/list-walking loops as the exactness oracle.
+"""
 
 from .greedi import greedi, partition_sets, randgreedi
 from .greedy import (
@@ -6,6 +11,13 @@ from .greedy import (
     GreedyResult,
     greedy_max_coverage,
     naive_greedy_max_coverage,
+)
+from .kernel import (
+    BACKENDS,
+    as_flat,
+    mark_and_decrement,
+    resolve_backend,
+    sparse_decrements,
 )
 from .newgreedi import NewGreeDiResult, gather_coverage_counts, newgreedi
 from .problem import CoverageInstance
@@ -22,4 +34,9 @@ __all__ = [
     "greedi",
     "randgreedi",
     "partition_sets",
+    "BACKENDS",
+    "as_flat",
+    "resolve_backend",
+    "mark_and_decrement",
+    "sparse_decrements",
 ]

@@ -21,6 +21,8 @@ from typing import Dict, List, Sequence
 
 import numpy as np
 
+from .kernel import as_flat, mark_and_decrement, resolve_backend
+
 __all__ = ["BucketQueue", "GreedyResult", "greedy_max_coverage", "naive_greedy_max_coverage"]
 
 
@@ -112,13 +114,21 @@ def _pad_with_unselected(seeds: List[int], k: int, num_universe_sets: int) -> No
         candidate += 1
 
 
-def greedy_max_coverage(stores: Sequence, k: int) -> GreedyResult:
+def greedy_max_coverage(stores: Sequence, k: int, backend: str = "flat") -> GreedyResult:
     """Lazy bucket greedy over one or more element stores.
 
     ``stores`` is any sequence of objects implementing the store protocol
-    (:class:`~repro.coverage.problem.CoverageInstance` or
-    :class:`~repro.ris.collection.RRCollection`); passing several emulates a
+    (:class:`~repro.coverage.problem.CoverageInstance`,
+    :class:`~repro.ris.collection.RRCollection` or
+    :class:`~repro.ris.flat.FlatRRCollection`); passing several emulates a
     centralized machine that has gathered all machines' elements.
+
+    ``backend`` selects the inner-loop implementation: ``"flat"`` (the
+    default) converts each store to CSR arrays and runs the vectorized
+    kernel of :mod:`repro.coverage.kernel`; ``"reference"`` walks the
+    store protocol element by element and serves as the oracle the
+    differential tests compare against.  Both produce byte-for-byte the
+    same result.
 
     Complexity is linear in the total incidence size: every
     (element, member) link is touched at most twice, matching the paper's
@@ -128,11 +138,15 @@ def greedy_max_coverage(stores: Sequence, k: int) -> GreedyResult:
         raise ValueError(f"k must be >= 1, got {k}")
     if not stores:
         raise ValueError("need at least one element store")
+    resolve_backend(backend)
     num_universe_sets = stores[0].num_nodes
-    counts = np.zeros(num_universe_sets, dtype=np.int64)
     for store in stores:
         if store.num_nodes != num_universe_sets:
             raise ValueError("all stores must share the same universe of sets")
+    if backend == "flat":
+        stores = [as_flat(store) for store in stores]
+    counts = np.zeros(num_universe_sets, dtype=np.int64)
+    for store in stores:
         counts += store.coverage_counts()
 
     covered = [np.zeros(store.num_sets, dtype=bool) for store in stores]
@@ -149,6 +163,9 @@ def greedy_max_coverage(stores: Sequence, k: int) -> GreedyResult:
         gained = 0
         for store_idx, store in enumerate(stores):
             flags = covered[store_idx]
+            if backend == "flat":
+                gained += mark_and_decrement(store, seed, flags, counts)
+                continue
             for element in store.sets_containing(seed):
                 if flags[element]:
                     continue

@@ -31,6 +31,7 @@ from ..cluster.cluster import SimulatedCluster
 from ..cluster.machine import Machine
 from ..cluster.metrics import COMPUTATION
 from .greedy import BucketQueue, GreedyResult, _pad_with_unselected
+from .kernel import as_flat, resolve_backend, sparse_decrements
 
 __all__ = ["NewGreeDiResult", "newgreedi", "gather_coverage_counts"]
 
@@ -107,6 +108,7 @@ def newgreedi(
     stores: Sequence | None = None,
     initial_counts: np.ndarray | None = None,
     label: str = "newgreedi",
+    backend: str = "flat",
 ) -> NewGreeDiResult:
     """Run Algorithm 1 on the cluster and return the size-``k`` solution.
 
@@ -125,6 +127,13 @@ def newgreedi(
         across its iterations); when omitted they are gathered here.
     label:
         Prefix for the recorded phase labels.
+    backend:
+        ``"flat"`` (default) runs each machine's map stage through the
+        vectorized CSR kernel, converting non-flat stores once inside the
+        metered reset phase; ``"reference"`` walks the store protocol
+        with the original dict-accumulating loop.  Seeds, marginals,
+        ``covered_per_machine`` and all charged bytes are identical
+        between the two (regression-tested).
 
     Returns
     -------
@@ -134,27 +143,35 @@ def newgreedi(
     """
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
+    resolve_backend(backend)
     stores = _stores_of(cluster, stores)
     num_universe_sets = stores[0].num_nodes
     for store in stores:
         if store.num_nodes != num_universe_sets:
             raise ValueError("all stores must share the same universe of sets")
 
-    if initial_counts is None:
-        counts = gather_coverage_counts(cluster, stores, label=f"{label}/init")
-    else:
-        if initial_counts.size != num_universe_sets:
-            raise ValueError("initial_counts has the wrong length")
-        counts = initial_counts.astype(np.int64, copy=True)
+    if initial_counts is not None and initial_counts.size != num_universe_sets:
+        raise ValueError("initial_counts has the wrong length")
 
     # Line 2 of Algorithm 1: label all RR sets as uncovered, per machine.
+    # With the flat backend each machine also materialises its CSR view
+    # here (a no-op for stores that are already flat), so any conversion
+    # cost is metered as that machine's computation.
     def reset_covered(machine: Machine) -> int:
         store = stores[machine.machine_id]
+        if backend == "flat":
+            store = as_flat(store)
+            stores[machine.machine_id] = store
         machine.state["covered"] = np.zeros(store.num_sets, dtype=bool)
         return store.num_sets
 
     element_counts = cluster.map(COMPUTATION, f"{label}/reset", reset_covered)
     num_elements = sum(element_counts)
+
+    if initial_counts is None:
+        counts = gather_coverage_counts(cluster, stores, label=f"{label}/init")
+    else:
+        counts = initial_counts.astype(np.int64, copy=True)
 
     queue = BucketQueue(counts)
     seeds: List[int] = []
@@ -171,9 +188,12 @@ def newgreedi(
         seeds.append(seed)
         cluster.broadcast(f"{label}/seed", SEED_BYTES)
 
-        def map_stage(machine: Machine, seed: int = seed) -> tuple[Dict[int, int], int]:
+        def map_stage(machine: Machine, seed: int = seed):
             store = stores[machine.machine_id]
             covered = machine.state["covered"]
+            if backend == "flat":
+                nodes, decrements, newly = sparse_decrements(store, seed, covered)
+                return (nodes, decrements), newly
             delta: Dict[int, int] = {}
             newly = 0
             for element in store.sets_containing(seed):
@@ -186,9 +206,15 @@ def newgreedi(
             return delta, newly
 
         responses = cluster.map(COMPUTATION, f"{label}/map", map_stage)
+        # A response carries one (node, decrement) tuple per distinct node,
+        # whichever backend produced it.
         cluster.gather(
             f"{label}/gather",
-            [TUPLE_BYTES * len(delta) for delta, __ in responses],
+            [
+                TUPLE_BYTES
+                * (delta[0].size if backend == "flat" else len(delta))
+                for delta, __ in responses
+            ],
         )
 
         def reduce_stage() -> int:
@@ -196,7 +222,11 @@ def newgreedi(
             for machine_idx, (delta, newly) in enumerate(responses):
                 covered_per_machine[machine_idx] += newly
                 gained += newly
-                if delta:
+                if backend == "flat":
+                    ids, decs = delta
+                    if ids.size:
+                        counts[ids] -= decs
+                elif delta:
                     ids = np.fromiter(delta.keys(), dtype=np.int64, count=len(delta))
                     decs = np.fromiter(delta.values(), dtype=np.int64, count=len(delta))
                     counts[ids] -= decs

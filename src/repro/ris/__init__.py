@@ -1,6 +1,7 @@
 """Reverse influence sampling: RR-set samplers, collections and statistics."""
 
 from .collection import RRCollection
+from .flat import FlatRRCollection, make_collection
 from .ic_sampler import ICReverseBFSSampler
 from .lt_sampler import LTReverseWalkSampler
 from .rrset import RRSample, RRSampler
@@ -11,7 +12,7 @@ from .stats import (
     empirical_ept,
     lemma3_check,
 )
-from .serialization import load_collection, save_collection
+from .serialization import load_collection, load_flat_collection, save_collection
 from .subsim import SubsimSampler
 from .triggering_sampler import TriggeringRRSampler
 
@@ -22,6 +23,8 @@ __all__ = [
     "LTReverseWalkSampler",
     "SubsimSampler",
     "RRCollection",
+    "FlatRRCollection",
+    "make_collection",
     "RRSetStatistics",
     "collect_statistics",
     "empirical_eps",
@@ -30,6 +33,7 @@ __all__ = [
     "make_sampler",
     "save_collection",
     "load_collection",
+    "load_flat_collection",
     "TriggeringRRSampler",
 ]
 

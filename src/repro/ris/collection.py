@@ -40,9 +40,18 @@ class RRCollection:
     # Mutation
     # ------------------------------------------------------------------
     def add(self, sample: RRSample) -> int:
-        """Append one RR set; returns its index within this collection."""
+        """Append one RR set; returns its index within this collection.
+
+        Raises :class:`ValueError` on node ids outside ``[0, num_nodes)``
+        — an out-of-range id would otherwise silently corrupt every
+        coverage count derived from the inverted index.
+        """
         idx = len(self._sets)
         nodes = sample.nodes
+        if nodes.size and (int(nodes.min()) < 0 or int(nodes.max()) >= self._num_nodes):
+            raise ValueError(
+                f"RR set contains node ids outside [0, {self._num_nodes})"
+            )
         self._sets.append(nodes)
         for node in nodes:
             self._index.setdefault(int(node), []).append(idx)

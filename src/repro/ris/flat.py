@@ -1,0 +1,299 @@
+"""CSR-layout RR-set store: the flat coverage backend's data structure.
+
+:class:`FlatRRCollection` keeps every RR set of a machine in two flat
+arrays — one ``int32`` ``nodes`` array concatenating all set contents and
+one ``int64`` ``offsets`` array delimiting them — exactly the layout the
+CSR graph and the checkpoint format already use.  The inverted index
+``I_i(v)`` is itself stored in CSR form (``inv_sets`` / ``inv_offsets``),
+built in one shot with a stable ``np.argsort`` over the nodes array plus
+an ``np.bincount`` prefix sum, instead of the reference
+:class:`~repro.ris.collection.RRCollection`'s per-node Python lists.
+
+The collection stays append-only like the reference store: DIIMM grows
+``R_i`` in waves, so appends are buffered and both CSR structures are
+rebuilt lazily on the next read.  With ``W`` waves over ``T`` total
+incidences the rebuild work is ``O(W * T)`` — negligible next to
+generation — and every read between waves hits pure NumPy arrays, which
+is what lets :mod:`repro.coverage.kernel` replace the per-element Python
+loops of the greedy hot path with fancy indexing.
+
+Ordering invariants (relied on by the exactness tests):
+
+* ``get(j)`` returns the ``j``-th RR set's nodes in their stored
+  (sorted) order, identical to the reference store;
+* ``sets_containing(v)`` returns element indices in ascending order,
+  matching the insertion-ordered lists of the reference inverted index —
+  the stable sort ties element ids back in ascending order.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List
+
+import numpy as np
+
+from .collection import RRCollection
+from .rrset import RRSample
+
+__all__ = ["FlatRRCollection", "make_collection", "gather_rows"]
+
+
+def gather_rows(values: np.ndarray, offsets: np.ndarray, rows: np.ndarray) -> np.ndarray:
+    """Concatenated CSR rows ``values[offsets[r]:offsets[r+1]] for r in rows``.
+
+    The standard vectorized multi-slice gather: repeat each row start over
+    its length and add the within-row ramp.  Returns an empty array when
+    ``rows`` is empty or all selected rows are.
+    """
+    rows = np.asarray(rows)
+    if rows.size == 0:
+        return values[:0]
+    starts = offsets[rows]
+    lengths = offsets[rows + 1] - starts
+    total = int(lengths.sum())
+    if total == 0:
+        return values[:0]
+    ends = np.cumsum(lengths)
+    ramp = np.arange(total, dtype=np.int64) - np.repeat(ends - lengths, lengths)
+    return values[np.repeat(starts, lengths) + ramp]
+
+
+class FlatRRCollection:
+    """An append-only RR-set store over flat CSR arrays.
+
+    Implements the same read protocol as :class:`RRCollection`
+    (``num_nodes`` / ``num_sets`` / ``total_size`` / ``get`` /
+    ``sets_containing`` / ``coverage_counts`` / ``coverage_of``), so every
+    coverage algorithm accepts either store; the flat kernel additionally
+    reads the raw arrays via :attr:`nodes`, :attr:`offsets`,
+    :attr:`inv_sets` and :attr:`inv_offsets`.
+    """
+
+    def __init__(self, num_nodes: int) -> None:
+        if num_nodes <= 0:
+            raise ValueError(f"num_nodes must be positive, got {num_nodes}")
+        self._num_nodes = num_nodes
+        self._nodes = np.zeros(0, dtype=np.int32)
+        self._offsets = np.zeros(1, dtype=np.int64)
+        self._inv_sets = np.zeros(0, dtype=np.int64)
+        self._inv_offsets = np.zeros(num_nodes + 1, dtype=np.int64)
+        # Appends land here until the next read rebuilds the CSR arrays.
+        self._pending: List[np.ndarray] = []
+        self._num_sets = 0
+        self._total_size = 0
+        self._total_edges_examined = 0
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def _validate(self, nodes: np.ndarray) -> np.ndarray:
+        nodes = np.asarray(nodes)
+        if nodes.size and (int(nodes.min()) < 0 or int(nodes.max()) >= self._num_nodes):
+            raise ValueError(
+                f"RR set contains node ids outside [0, {self._num_nodes})"
+            )
+        return nodes.astype(np.int32, copy=False)
+
+    def add(self, sample: RRSample) -> int:
+        """Append one RR set; returns its index within this collection."""
+        nodes = self._validate(sample.nodes)
+        idx = self._num_sets
+        self._pending.append(nodes)
+        self._num_sets += 1
+        self._total_size += int(nodes.size)
+        self._total_edges_examined += sample.edges_examined
+        return idx
+
+    def extend(self, samples: Iterable[RRSample]) -> None:
+        """Append many RR sets (one DIIMM generation wave)."""
+        for sample in samples:
+            self.add(sample)
+
+    def append_arrays(
+        self,
+        nodes: np.ndarray,
+        offsets: np.ndarray,
+        edges_examined: int = 0,
+    ) -> None:
+        """Append a whole flat batch (e.g. a worker's wave) in one call."""
+        offsets = np.asarray(offsets, dtype=np.int64)
+        if offsets.size == 0 or offsets[0] != 0 or offsets[-1] != np.asarray(nodes).size:
+            raise ValueError("offsets must start at 0 and end at nodes.size")
+        nodes = self._validate(nodes)
+        for idx in range(offsets.size - 1):
+            self._pending.append(nodes[offsets[idx] : offsets[idx + 1]])
+        self._num_sets += offsets.size - 1
+        self._total_size += int(nodes.size)
+        self._total_edges_examined += int(edges_examined)
+
+    def _materialize(self) -> None:
+        """Fold pending appends into the CSR arrays and rebuild the index."""
+        if not self._pending:
+            return
+        sizes = np.fromiter(
+            (arr.size for arr in self._pending), dtype=np.int64, count=len(self._pending)
+        )
+        self._nodes = np.concatenate([self._nodes, *self._pending])
+        new_offsets = self._offsets[-1] + np.cumsum(sizes)
+        self._offsets = np.concatenate([self._offsets, new_offsets])
+        self._pending = []
+        # CSR inverted index: stable sort keeps element ids ascending
+        # within each node bucket, matching the reference I_i(v) order.
+        order = np.argsort(self._nodes, kind="stable")
+        set_ids = np.repeat(
+            np.arange(self._num_sets, dtype=np.int64), np.diff(self._offsets)
+        )
+        self._inv_sets = set_ids[order]
+        counts = np.bincount(self._nodes, minlength=self._num_nodes)
+        self._inv_offsets = np.zeros(self._num_nodes + 1, dtype=np.int64)
+        np.cumsum(counts, out=self._inv_offsets[1:])
+
+    # ------------------------------------------------------------------
+    # Raw CSR access (the kernel's view)
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> np.ndarray:
+        """Flat ``int32`` concatenation of every RR set's nodes."""
+        self._materialize()
+        return self._nodes
+
+    @property
+    def offsets(self) -> np.ndarray:
+        """``int64`` array of length ``num_sets + 1`` delimiting the sets."""
+        self._materialize()
+        return self._offsets
+
+    @property
+    def inv_sets(self) -> np.ndarray:
+        """Element ids of the CSR inverted index, grouped by node."""
+        self._materialize()
+        return self._inv_sets
+
+    @property
+    def inv_offsets(self) -> np.ndarray:
+        """``int64`` array of length ``num_nodes + 1`` delimiting ``I_i(v)``."""
+        self._materialize()
+        return self._inv_offsets
+
+    # ------------------------------------------------------------------
+    # Store protocol (mirrors RRCollection)
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return self._num_nodes
+
+    @property
+    def num_sets(self) -> int:
+        """Number of RR sets stored (``|R_i|``)."""
+        return self._num_sets
+
+    @property
+    def total_size(self) -> int:
+        """Sum of RR-set sizes (drives NEWGREEDI's per-machine work)."""
+        return self._total_size
+
+    @property
+    def total_edges_examined(self) -> int:
+        """Sum of ``w(R)`` over stored sets (drives generation time)."""
+        return self._total_edges_examined
+
+    def get(self, idx: int) -> np.ndarray:
+        """Node array (a view) of the ``idx``-th RR set."""
+        self._materialize()
+        if idx < 0:
+            idx += self._num_sets
+        if not 0 <= idx < self._num_sets:
+            raise IndexError(f"set index {idx} out of range")
+        return self._nodes[self._offsets[idx] : self._offsets[idx + 1]]
+
+    def __len__(self) -> int:
+        return self._num_sets
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        self._materialize()
+        for idx in range(self._num_sets):
+            yield self._nodes[self._offsets[idx] : self._offsets[idx + 1]]
+
+    def sets_containing(self, node: int) -> np.ndarray:
+        """Ascending element ids of RR sets containing ``node`` (``I_i(node)``)."""
+        self._materialize()
+        node = int(node)
+        if not 0 <= node < self._num_nodes:
+            return self._inv_sets[:0]
+        return self._inv_sets[self._inv_offsets[node] : self._inv_offsets[node + 1]]
+
+    def coverage_counts(self, start: int = 0) -> np.ndarray:
+        """Per-node count of RR sets (with index >= ``start``) containing it."""
+        self._materialize()
+        lo = self._offsets[min(start, self._num_sets)]
+        return np.bincount(self._nodes[lo:], minlength=self._num_nodes).astype(np.int64)
+
+    def coverage_of(self, seeds: Iterable[int]) -> int:
+        """Number of stored RR sets covered by the seed set."""
+        self._materialize()
+        seeds = np.unique(np.fromiter((int(s) for s in seeds), dtype=np.int64))
+        seeds = seeds[(seeds >= 0) & (seeds < self._num_nodes)]
+        elements = gather_rows(self._inv_sets, self._inv_offsets, seeds)
+        return int(np.unique(elements).size)
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_store(cls, store) -> "FlatRRCollection":
+        """Build from any object exposing the store read protocol.
+
+        Accepts :class:`RRCollection`, :class:`CoverageInstance
+        <repro.coverage.problem.CoverageInstance>` or another flat
+        collection (copied).
+        """
+        flat = cls(store.num_nodes)
+        for idx in range(store.num_sets):
+            flat._pending.append(flat._validate(store.get(idx)))
+        flat._num_sets = store.num_sets
+        flat._total_size = store.total_size
+        flat._total_edges_examined = int(getattr(store, "total_edges_examined", 0))
+        return flat
+
+    # Alias matching the reference store's name in the issue/docs.
+    from_collection = from_store
+
+    def to_collection(self) -> RRCollection:
+        """Rebuild a reference :class:`RRCollection` with identical sets.
+
+        Per-sample edge attribution is not stored (only the aggregate), so
+        like :func:`repro.ris.serialization.load_collection` the edges are
+        spread evenly and each sample reports its smallest node as root.
+        """
+        self._materialize()
+        collection = RRCollection(self._num_nodes)
+        base, extra = (
+            divmod(self._total_edges_examined, self._num_sets)
+            if self._num_sets
+            else (0, 0)
+        )
+        for idx in range(self._num_sets):
+            nodes = self._nodes[self._offsets[idx] : self._offsets[idx + 1]].copy()
+            collection.add(
+                RRSample(
+                    nodes=nodes,
+                    root=int(nodes[0]) if nodes.size else 0,
+                    edges_examined=base + (1 if idx < extra else 0),
+                )
+            )
+        return collection
+
+    def __repr__(self) -> str:
+        return (
+            f"FlatRRCollection(num_sets={self._num_sets}, "
+            f"total_size={self._total_size}, num_nodes={self._num_nodes})"
+        )
+
+
+def make_collection(num_nodes: int, backend: str = "flat"):
+    """Factory for a per-machine RR store of the requested backend."""
+    if backend == "flat":
+        return FlatRRCollection(num_nodes)
+    if backend == "reference":
+        return RRCollection(num_nodes)
+    raise ValueError(f"unknown collection backend {backend!r}")

@@ -3,8 +3,11 @@
 DIIMM on large inputs spends nearly all its time generating RR sets;
 checkpointing a machine's collection lets a run resume (or lets seed
 selection be replayed with different ``k``) without regenerating.  The
-format packs all RR sets into two flat arrays (values + offsets), the
-same layout the CSR graph uses, so save/load is a handful of numpy calls.
+format packs all RR sets into two flat arrays (values + offsets) — the
+very layout :class:`~repro.ris.flat.FlatRRCollection` keeps in memory, so
+saving or loading a flat collection is a handful of numpy calls with no
+per-set loop at all; the reference :class:`RRCollection` takes the same
+format through one concatenate/slice pass.
 """
 
 from __future__ import annotations
@@ -14,20 +17,31 @@ import os
 import numpy as np
 
 from .collection import RRCollection
+from .flat import FlatRRCollection
 from .rrset import RRSample
 
-__all__ = ["save_collection", "load_collection"]
+__all__ = ["save_collection", "load_collection", "load_flat_collection"]
 
 
-def save_collection(collection: RRCollection, path: str | os.PathLike) -> None:
-    """Write a collection (and its accounting) to a compressed file."""
-    sizes = np.asarray([nodes.size for nodes in collection], dtype=np.int64)
-    offsets = np.zeros(sizes.size + 1, dtype=np.int64)
-    np.cumsum(sizes, out=offsets[1:])
-    if collection.num_sets:
-        values = np.concatenate(list(collection)).astype(np.int32)
+def save_collection(
+    collection: RRCollection | FlatRRCollection, path: str | os.PathLike
+) -> None:
+    """Write a collection (and its accounting) to a compressed file.
+
+    Accepts either store flavour; a flat collection's CSR arrays are
+    written as-is.
+    """
+    if isinstance(collection, FlatRRCollection):
+        values = collection.nodes.astype(np.int32, copy=False)
+        offsets = collection.offsets.astype(np.int64, copy=False)
     else:
-        values = np.zeros(0, dtype=np.int32)
+        sizes = np.asarray([nodes.size for nodes in collection], dtype=np.int64)
+        offsets = np.zeros(sizes.size + 1, dtype=np.int64)
+        np.cumsum(sizes, out=offsets[1:])
+        if collection.num_sets:
+            values = np.concatenate(list(collection)).astype(np.int32)
+        else:
+            values = np.zeros(0, dtype=np.int32)
     np.savez_compressed(
         path,
         num_nodes=np.int64(collection.num_nodes),
@@ -37,8 +51,18 @@ def save_collection(collection: RRCollection, path: str | os.PathLike) -> None:
     )
 
 
+def _read_arrays(path: str | os.PathLike):
+    with np.load(path) as data:
+        return (
+            int(data["num_nodes"]),
+            data["offsets"],
+            data["values"],
+            int(data["total_edges_examined"]),
+        )
+
+
 def load_collection(path: str | os.PathLike) -> RRCollection:
-    """Load a collection written by :func:`save_collection`.
+    """Load a reference collection written by :func:`save_collection`.
 
     The per-sample ``edges_examined`` breakdown and the root identities
     are not stored: coverage-based seed selection only consumes RR-set
@@ -46,11 +70,7 @@ def load_collection(path: str | os.PathLike) -> RRCollection:
     aggregate statistics are preserved) and report their smallest node as
     the root.
     """
-    with np.load(path) as data:
-        num_nodes = int(data["num_nodes"])
-        offsets = data["offsets"]
-        values = data["values"]
-        total_edges = int(data["total_edges_examined"])
+    num_nodes, offsets, values, total_edges = _read_arrays(path)
     collection = RRCollection(num_nodes)
     count = offsets.size - 1
     base, extra = divmod(total_edges, count) if count else (0, 0)
@@ -64,4 +84,17 @@ def load_collection(path: str | os.PathLike) -> RRCollection:
                 edges_examined=edges,
             )
         )
+    return collection
+
+
+def load_flat_collection(path: str | os.PathLike) -> FlatRRCollection:
+    """Load a checkpoint straight into a :class:`FlatRRCollection`.
+
+    The on-disk values/offsets pair *is* the flat store's CSR layout, so
+    this path performs no per-set work; only the inverted index is
+    rebuilt on first read.
+    """
+    num_nodes, offsets, values, total_edges = _read_arrays(path)
+    collection = FlatRRCollection(num_nodes)
+    collection.append_arrays(values, offsets, edges_examined=total_edges)
     return collection

@@ -50,6 +50,32 @@ class TestMachineFailure:
         healthy = RRCollection(small_wc_graph.num_nodes)
         poisoned = PoisonedStore(small_wc_graph.num_nodes)
         with pytest.raises(MachineFailure) as info:
-            newgreedi(cluster, 2, stores=[healthy, poisoned])
+            newgreedi(cluster, 2, stores=[healthy, poisoned], backend="reference")
+        assert info.value.machine_id == 1
+        assert isinstance(info.value.__cause__, OSError)
+
+    def test_flat_conversion_failure_attributes_machine(self, small_wc_graph):
+        """With the flat backend the CSR conversion runs inside the metered
+        reset phase, so a store erroring there is attributed too."""
+        import numpy as np
+
+        from repro.coverage import newgreedi
+        from repro.ris import RRCollection
+        from repro.ris.rrset import RRSample
+
+        class PoisonedStore(RRCollection):
+            def get(self, idx: int):
+                raise OSError("simulated storage failure")
+
+        cluster = SimulatedCluster(2, seed=0)
+        sample = RRSample(
+            nodes=np.asarray([0], dtype=np.int32), root=0, edges_examined=0
+        )
+        healthy = RRCollection(small_wc_graph.num_nodes)
+        healthy.add(sample)
+        poisoned = PoisonedStore(small_wc_graph.num_nodes)
+        poisoned.add(sample)
+        with pytest.raises(MachineFailure) as info:
+            newgreedi(cluster, 2, stores=[healthy, poisoned], backend="flat")
         assert info.value.machine_id == 1
         assert isinstance(info.value.__cause__, OSError)

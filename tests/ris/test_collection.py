@@ -35,6 +35,18 @@ class TestMutation:
         with pytest.raises(ValueError):
             RRCollection(0)
 
+    def test_add_rejects_out_of_range_ids(self):
+        """Regression: ids >= num_nodes used to be silently accepted and
+        then crash coverage_counts' bincount much later."""
+        coll = RRCollection(3)
+        with pytest.raises(ValueError, match=r"outside \[0, 3\)"):
+            coll.add(make_sample([1, 3]))
+        with pytest.raises(ValueError, match="outside"):
+            coll.add(
+                RRSample(nodes=np.asarray([-1], dtype=np.int32), root=0, edges_examined=0)
+            )
+        assert coll.num_sets == 0
+
 
 class TestAccounting:
     def test_num_sets(self, collection):

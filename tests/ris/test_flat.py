@@ -1,0 +1,190 @@
+"""Determinism tests for the CSR-backed FlatRRCollection."""
+
+import numpy as np
+import pytest
+
+from repro.ris import FlatRRCollection, RRCollection, make_collection, make_sampler
+from repro.ris.flat import gather_rows
+from repro.ris.rrset import RRSample
+
+
+def make_sample(nodes, edges=0):
+    arr = np.unique(np.asarray(nodes, dtype=np.int32))
+    root = int(arr[0]) if arr.size else 0
+    return RRSample(nodes=arr, root=root, edges_examined=edges)
+
+
+def drawn_samples(graph, count, seed=0, model="ic"):
+    sampler = make_sampler(graph, model)
+    return sampler.sample_many(count, np.random.default_rng(seed))
+
+
+class TestGatherRows:
+    def test_multi_row_gather(self):
+        values = np.asarray([10, 11, 20, 30, 31, 32], dtype=np.int32)
+        offsets = np.asarray([0, 2, 3, 3, 6], dtype=np.int64)
+        got = gather_rows(values, offsets, np.asarray([0, 2, 3]))
+        assert got.tolist() == [10, 11, 30, 31, 32]
+
+    def test_empty_rows(self):
+        values = np.asarray([1, 2], dtype=np.int32)
+        offsets = np.asarray([0, 2], dtype=np.int64)
+        assert gather_rows(values, offsets, np.zeros(0, dtype=np.int64)).size == 0
+
+
+class TestRoundTrip:
+    def test_from_collection_preserves_sets(self, small_wc_graph):
+        reference = RRCollection(small_wc_graph.num_nodes)
+        reference.extend(drawn_samples(small_wc_graph, 150))
+        flat = FlatRRCollection.from_collection(reference)
+        assert flat.num_sets == reference.num_sets
+        assert flat.total_size == reference.total_size
+        assert flat.total_edges_examined == reference.total_edges_examined
+        for idx in range(reference.num_sets):
+            assert np.array_equal(flat.get(idx), reference.get(idx))
+
+    def test_to_collection_round_trip(self, small_wc_graph):
+        flat = FlatRRCollection(small_wc_graph.num_nodes)
+        flat.extend(drawn_samples(small_wc_graph, 120, seed=3))
+        back = flat.to_collection()
+        assert back.num_sets == flat.num_sets
+        assert back.total_size == flat.total_size
+        assert back.total_edges_examined == flat.total_edges_examined
+        for idx in range(flat.num_sets):
+            assert np.array_equal(back.get(idx), flat.get(idx))
+        again = FlatRRCollection.from_collection(back)
+        assert np.array_equal(again.nodes, flat.nodes)
+        assert np.array_equal(again.offsets, flat.offsets)
+
+    def test_from_store_accepts_flat(self, small_wc_graph):
+        flat = FlatRRCollection(small_wc_graph.num_nodes)
+        flat.extend(drawn_samples(small_wc_graph, 40, seed=9))
+        copy = FlatRRCollection.from_store(flat)
+        assert copy is not flat
+        assert np.array_equal(copy.nodes, flat.nodes)
+
+
+class TestIncrementalAppend:
+    def test_waves_match_one_shot(self, small_wc_graph):
+        """Appending in DIIMM-style waves gives the same CSR arrays and
+        inverted index as building from all samples at once."""
+        samples = drawn_samples(small_wc_graph, 200, seed=5)
+        one_shot = FlatRRCollection(small_wc_graph.num_nodes)
+        one_shot.extend(samples)
+
+        waved = FlatRRCollection(small_wc_graph.num_nodes)
+        cut_a, cut_b = 70, 150
+        waved.extend(samples[:cut_a])
+        # Interleave reads so the index is rebuilt mid-growth.
+        assert waved.num_sets == cut_a
+        waved.coverage_counts()
+        waved.extend(samples[cut_a:cut_b])
+        waved.sets_containing(0)
+        waved.extend(samples[cut_b:])
+
+        assert np.array_equal(waved.nodes, one_shot.nodes)
+        assert np.array_equal(waved.offsets, one_shot.offsets)
+        assert np.array_equal(waved.inv_sets, one_shot.inv_sets)
+        assert np.array_equal(waved.inv_offsets, one_shot.inv_offsets)
+
+    def test_append_arrays_matches_add(self, small_wc_graph):
+        samples = drawn_samples(small_wc_graph, 50, seed=8)
+        by_add = FlatRRCollection(small_wc_graph.num_nodes)
+        by_add.extend(samples)
+        sizes = np.asarray([s.nodes.size for s in samples], dtype=np.int64)
+        offsets = np.zeros(sizes.size + 1, dtype=np.int64)
+        np.cumsum(sizes, out=offsets[1:])
+        nodes = np.concatenate([s.nodes for s in samples]).astype(np.int32)
+        edges = sum(s.edges_examined for s in samples)
+        by_batch = FlatRRCollection(small_wc_graph.num_nodes)
+        by_batch.append_arrays(nodes, offsets, edges_examined=edges)
+        assert np.array_equal(by_batch.nodes, by_add.nodes)
+        assert np.array_equal(by_batch.offsets, by_add.offsets)
+        assert by_batch.total_edges_examined == by_add.total_edges_examined
+
+    def test_append_arrays_rejects_bad_offsets(self):
+        flat = FlatRRCollection(4)
+        with pytest.raises(ValueError, match="offsets"):
+            flat.append_arrays(np.asarray([0, 1], dtype=np.int32), np.asarray([0, 1]))
+
+
+class TestInvertedIndexAgreement:
+    @pytest.mark.parametrize("model", ["ic", "lt"])
+    def test_index_matches_reference_node_for_node(self, small_wc_graph, model):
+        samples = drawn_samples(small_wc_graph, 180, seed=11, model=model)
+        reference = RRCollection(small_wc_graph.num_nodes)
+        reference.extend(samples)
+        flat = FlatRRCollection(small_wc_graph.num_nodes)
+        flat.extend(samples)
+        for node in range(small_wc_graph.num_nodes):
+            assert flat.sets_containing(node).tolist() == reference.sets_containing(node)
+
+    def test_coverage_views_match_reference(self, small_wc_graph):
+        samples = drawn_samples(small_wc_graph, 150, seed=13)
+        reference = RRCollection(small_wc_graph.num_nodes)
+        reference.extend(samples)
+        flat = FlatRRCollection(small_wc_graph.num_nodes)
+        flat.extend(samples)
+        assert np.array_equal(flat.coverage_counts(), reference.coverage_counts())
+        assert np.array_equal(
+            flat.coverage_counts(start=60), reference.coverage_counts(start=60)
+        )
+        seeds = [0, 5, 9, 9, 400, -3]
+        assert flat.coverage_of(seeds) == reference.coverage_of([0, 5, 9])
+        assert flat.coverage_of([]) == 0
+
+    def test_out_of_range_node_is_empty(self):
+        flat = FlatRRCollection(5)
+        flat.add(make_sample([0, 4]))
+        assert flat.sets_containing(7).size == 0
+        assert flat.sets_containing(4).tolist() == [0]
+
+
+class TestValidationAndProtocol:
+    def test_invalid_num_nodes(self):
+        with pytest.raises(ValueError):
+            FlatRRCollection(0)
+
+    def test_add_rejects_out_of_range_ids(self):
+        flat = FlatRRCollection(3)
+        with pytest.raises(ValueError, match=r"outside \[0, 3\)"):
+            flat.add(make_sample([1, 3]))
+        with pytest.raises(ValueError, match="outside"):
+            flat.add(RRSample(nodes=np.asarray([-1], dtype=np.int32), root=0, edges_examined=0))
+
+    def test_add_returns_index(self):
+        flat = FlatRRCollection(3)
+        assert flat.add(make_sample([0])) == 0
+        assert flat.add(make_sample([1, 2])) == 1
+
+    def test_get_bounds(self):
+        flat = FlatRRCollection(3)
+        flat.add(make_sample([0, 1]))
+        assert flat.get(-1).tolist() == [0, 1]
+        with pytest.raises(IndexError):
+            flat.get(1)
+
+    def test_iteration_and_len(self):
+        flat = FlatRRCollection(5)
+        flat.add(make_sample([0, 1]))
+        flat.add(make_sample([2]))
+        assert len(flat) == 2
+        assert [s.tolist() for s in flat] == [[0, 1], [2]]
+
+    def test_empty_set_supported(self):
+        flat = FlatRRCollection(3)
+        flat.add(RRSample(nodes=np.zeros(0, dtype=np.int32), root=0, edges_examined=0))
+        flat.add(make_sample([1]))
+        assert flat.get(0).size == 0
+        assert flat.coverage_counts().tolist() == [0, 1, 0]
+
+    def test_repr(self):
+        flat = FlatRRCollection(3)
+        flat.add(make_sample([0]))
+        assert "num_sets=1" in repr(flat)
+
+    def test_make_collection_factory(self):
+        assert isinstance(make_collection(4, "flat"), FlatRRCollection)
+        assert isinstance(make_collection(4, "reference"), RRCollection)
+        with pytest.raises(ValueError, match="backend"):
+            make_collection(4, "sparse")

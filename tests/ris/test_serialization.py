@@ -4,7 +4,14 @@ import numpy as np
 import pytest
 
 from repro.coverage import greedy_max_coverage
-from repro.ris import RRCollection, load_collection, make_sampler, save_collection
+from repro.ris import (
+    FlatRRCollection,
+    RRCollection,
+    load_collection,
+    load_flat_collection,
+    make_sampler,
+    save_collection,
+)
 
 
 @pytest.fixture
@@ -55,5 +62,33 @@ class TestRoundtrip:
         path = tmp_path / "empty.npz"
         save_collection(RRCollection(10), path)
         loaded = load_collection(path)
+        assert loaded.num_sets == 0
+        assert loaded.num_nodes == 10
+
+
+class TestFlatRoundtrip:
+    def test_save_flat_load_reference(self, populated, tmp_path):
+        """A flat checkpoint is readable as a reference collection."""
+        path = tmp_path / "flat.npz"
+        save_collection(FlatRRCollection.from_collection(populated), path)
+        loaded = load_collection(path)
+        assert loaded.num_sets == populated.num_sets
+        for idx in range(populated.num_sets):
+            assert np.array_equal(loaded.get(idx), populated.get(idx))
+
+    def test_save_reference_load_flat(self, populated, tmp_path):
+        """And the reverse: one on-disk format, either store."""
+        path = tmp_path / "ref.npz"
+        save_collection(populated, path)
+        loaded = load_flat_collection(path)
+        assert isinstance(loaded, FlatRRCollection)
+        assert loaded.num_sets == populated.num_sets
+        assert loaded.total_edges_examined == populated.total_edges_examined
+        assert np.array_equal(loaded.coverage_counts(), populated.coverage_counts())
+
+    def test_empty_flat_collection(self, tmp_path):
+        path = tmp_path / "empty.npz"
+        save_collection(FlatRRCollection(10), path)
+        loaded = load_flat_collection(path)
         assert loaded.num_sets == 0
         assert loaded.num_nodes == 10
