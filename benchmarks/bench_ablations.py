@@ -61,7 +61,11 @@ def test_ablation_heterogeneity(benchmark, record_rows):
         rounds=1,
         iterations=1,
     )
-    record_rows("ablation_heterogeneity", rows, "Ablation — even vs weighted split on a heterogeneous cluster")
+    record_rows(
+        "ablation_heterogeneity",
+        rows,
+        "Ablation — even vs weighted split on a heterogeneous cluster",
+    )
     even = next(r for r in rows if r["strategy"] == "even")
     assert even["vs_weighted"] > 1.0
 
@@ -78,7 +82,11 @@ def test_ablation_seed_quality(benchmark, record_rows):
         rounds=1,
         iterations=1,
     )
-    record_rows("ablation_seed_quality", rows, "Extension — DIIMM vs heuristic baselines (MC spread)")
+    record_rows(
+        "ablation_seed_quality",
+        rows,
+        "Extension — DIIMM vs heuristic baselines (MC spread)",
+    )
     diimm_rows = [r for r in rows if r["strategy"] == "DIIMM"]
     assert all(r["vs_best"] >= 0.9 for r in diimm_rows)
 

@@ -101,6 +101,53 @@ def _best_of(callable_, repeats=3):
     return best, result
 
 
+def test_micro_batch_generation_speedup(record_rows, graph):
+    """Per-set generation (sample_many + extend) vs the batched flat path
+    (sample_batch + append_batch) on identical RNG streams; regression
+    gate: the batch path must never be slower.  The tentpole target is
+    >= 1.5x on the BFS samplers."""
+    from repro.ris import FlatRRCollection, append_batch
+
+    count = 2000
+    rows = []
+    for label, model, method in [
+        ("ic-bfs", "ic", "bfs"),
+        ("lt-walk", "lt", "bfs"),
+        ("ic-subsim", "ic", "subsim"),
+    ]:
+        sampler = make_sampler(graph, model, method)
+
+        def per_set():
+            collection = FlatRRCollection(graph.num_nodes)
+            collection.extend(sampler.sample_many(count, np.random.default_rng(0)))
+            return collection
+
+        def batched():
+            collection = FlatRRCollection(graph.num_nodes)
+            append_batch(collection, sampler.sample_batch(np.random.default_rng(0), count))
+            return collection
+
+        per_set_s, reference = _best_of(per_set)
+        batch_s, result = _best_of(batched)
+        assert result.num_sets == reference.num_sets == count
+        assert result.total_edges_examined == reference.total_edges_examined
+        rows.append(
+            {
+                "sampler": f"{label}(facebook, {count} sets)",
+                "per_set_s": round(per_set_s, 4),
+                "batch_s": round(batch_s, 4),
+                "speedup": round(per_set_s / batch_s, 2),
+            }
+        )
+    record_rows(
+        "micro_batch_generation",
+        rows,
+        "RR-set generation: per-set RRSample path vs batched flat path",
+    )
+    for row in rows:
+        assert row["speedup"] >= 1.0, f"batch path slower on {row['sampler']}"
+
+
 def test_micro_kernel_backend_speedup(record_rows, instance, flat_instance):
     """Reference vs flat CSR kernel on identical workloads; regression
     gate: the flat backend must never be slower."""

@@ -24,7 +24,9 @@ RESULTS_DIR = Path(__file__).resolve().parent / "results"
 QUICK = os.environ.get("REPRO_QUICK", "") not in ("", "0")
 
 #: Sweep parameters, switched by REPRO_QUICK.
-DATASETS = ("facebook", "twitter") if QUICK else ("facebook", "googleplus", "livejournal", "twitter")
+DATASETS = (
+    ("facebook", "twitter") if QUICK else ("facebook", "googleplus", "livejournal", "twitter")
+)
 CLUSTER_MACHINES = (1, 4) if QUICK else (1, 2, 4, 8, 16)
 SERVER_CORES = (1, 16) if QUICK else (1, 4, 16, 64)
 K = 50

@@ -17,22 +17,30 @@ import time
 import numpy as np
 
 from repro import gigabit_cluster, load_dataset, shared_memory_server
-from repro.cluster import generate_parallel
+from repro.cluster import run_generation_pool
 from repro.experiments import print_table
 from repro.experiments.scaling import ScalingConfig, run_scaling
 
 
 def real_multiprocessing_check(graph, num_rr_sets: int, processes: int) -> None:
     """Generate the same batch serially and in parallel; print wall times."""
-    seeds = list(range(processes))
     counts = [num_rr_sets // processes] * processes
 
     start = time.perf_counter()
-    generate_parallel(graph, counts=[num_rr_sets], seeds=[0], processes=1)
+    run_generation_pool(
+        graph, "ic", "bfs", [num_rr_sets], [np.random.default_rng(0)], processes=1
+    )
     serial = time.perf_counter() - start
 
     start = time.perf_counter()
-    generate_parallel(graph, counts=counts, seeds=seeds, processes=processes)
+    run_generation_pool(
+        graph,
+        "ic",
+        "bfs",
+        counts,
+        [np.random.default_rng(i) for i in range(processes)],
+        processes=processes,
+    )
     parallel = time.perf_counter() - start
 
     print(

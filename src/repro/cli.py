@@ -48,6 +48,20 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--network", choices=("cluster", "server"), default="server"
     )
+    run.add_argument(
+        "--executor",
+        choices=("simulated", "multiprocessing"),
+        default="simulated",
+        help="phase-plan executor for distributed algorithms "
+        "(ignored by imm, which is single-machine)",
+    )
+    run.add_argument(
+        "--backend",
+        choices=("flat", "reference"),
+        default="flat",
+        help="RR-set store / coverage backend for distributed algorithms "
+        "(ignored by imm); seeds are identical either way",
+    )
 
     experiment = sub.add_parser(
         "experiment", help="regenerate a paper table/figure or an extension"
@@ -113,29 +127,35 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     dataset = load_dataset(args.dataset)
     network = gigabit_cluster() if args.network == "cluster" else shared_memory_server()
+    distributed_kwargs = dict(
+        eps=args.eps,
+        network=network,
+        seed=args.seed,
+        backend=args.backend,
+        executor=args.executor,
+    )
     if args.algorithm == "imm":
         result = imm(
             dataset.graph, args.k, eps=args.eps, model=args.model, seed=args.seed
         )
     elif args.algorithm == "diimm":
         result = diimm(
-            dataset.graph, args.k, args.machines, eps=args.eps,
-            model=args.model, network=network, seed=args.seed,
+            dataset.graph, args.k, args.machines, model=args.model,
+            **distributed_kwargs,
         )
     elif args.algorithm == "dsubsim":
         result = distributed_subsim(
-            dataset.graph, args.k, args.machines, eps=args.eps,
-            network=network, seed=args.seed,
+            dataset.graph, args.k, args.machines, **distributed_kwargs,
         )
     elif args.algorithm == "dssa":
         result = distributed_ssa(
-            dataset.graph, args.k, args.machines, eps=args.eps,
-            model=args.model, network=network, seed=args.seed,
+            dataset.graph, args.k, args.machines, model=args.model,
+            **distributed_kwargs,
         )
     else:
         result = distributed_opimc(
-            dataset.graph, args.k, args.machines, eps=args.eps,
-            model=args.model, network=network, seed=args.seed,
+            dataset.graph, args.k, args.machines, model=args.model,
+            **distributed_kwargs,
         )
     print_table([result.summary_row()], title=f"{result.algorithm} on {args.dataset}")
     print(f"\nseeds: {result.seeds}")

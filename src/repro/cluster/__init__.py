@@ -1,10 +1,24 @@
-"""Simulated master-slave cluster: machines, network model, metrics."""
+"""Simulated master-slave cluster: machines, network model, metrics, executors."""
 
 from .cluster import MachineFailure, SimulatedCluster
+from .executor import (
+    EXECUTORS,
+    BroadcastPhase,
+    Executor,
+    GatherPhase,
+    GeneratePhase,
+    MapPhase,
+    MasterPhase,
+    MultiprocessingExecutor,
+    PhaseResult,
+    SimulatedExecutor,
+    as_executor,
+    make_executor,
+)
 from .machine import Machine
 from .metrics import COMMUNICATION, COMPUTATION, GENERATION, PhaseRecord, RunMetrics
 from .network import NetworkModel, gigabit_cluster, shared_memory_server
-from .parallel import generate_batch, generate_parallel, generate_parallel_flat
+from .parallel import run_generation_pool
 from .tracing import render_timeline, summarize_phases
 
 __all__ = [
@@ -19,9 +33,19 @@ __all__ = [
     "GENERATION",
     "COMPUTATION",
     "COMMUNICATION",
-    "generate_parallel",
-    "generate_parallel_flat",
-    "generate_batch",
+    "Executor",
+    "SimulatedExecutor",
+    "MultiprocessingExecutor",
+    "GeneratePhase",
+    "MapPhase",
+    "GatherPhase",
+    "BroadcastPhase",
+    "MasterPhase",
+    "PhaseResult",
+    "EXECUTORS",
+    "make_executor",
+    "as_executor",
+    "run_generation_pool",
     "summarize_phases",
     "render_timeline",
 ]

@@ -78,7 +78,11 @@ class SimulatedCluster:
         if slowdowns is not None and len(slowdowns) != num_machines:
             raise ValueError("slowdowns must have one entry per machine")
         self.network = network if network is not None else shared_memory_server()
-        seed_seq = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+        seed_seq = (
+            seed
+            if isinstance(seed, np.random.SeedSequence)
+            else np.random.SeedSequence(seed)
+        )
         children = seed_seq.spawn(num_machines + 1)
         #: The master's own RNG (used e.g. for tie-breaking decisions).
         self.master_rng = np.random.default_rng(children[0])

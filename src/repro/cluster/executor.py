@@ -1,0 +1,358 @@
+"""The Executor layer: one phase-plan interface over both backends.
+
+Algorithms (DIIMM, D-SSA, D-SUBSIM, D-OPIM-C) describe each distributed
+step as a declarative *phase plan* — generate RR sets, map a work
+function, gather, broadcast, or run master-side code — and hand it to an
+:class:`Executor`.  The executor decides *how* the phase runs while
+keeping the accounting contract identical:
+
+* :class:`SimulatedExecutor` executes machines sequentially on the
+  simulated cluster, exactly as the algorithms previously did by calling
+  :meth:`SimulatedCluster.map <repro.cluster.cluster.SimulatedCluster.map>`
+  directly;
+* :class:`MultiprocessingExecutor` fans the generation phase out over
+  real OS processes (the closest local equivalent of the paper's MPI
+  workers), shipping each machine's private RNG to its worker and
+  restoring the advanced RNG state afterwards — so a run is
+  reproducible and *identical* to the simulated backend for a fixed
+  seed, which the conformance tests pin.
+
+Every phase lands in the cluster's :class:`~repro.cluster.metrics.RunMetrics`
+with per-machine times (scaled by each machine's ``slowdown``) and byte
+counts, whichever executor ran it.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Tuple
+
+from ..ris import make_sampler
+from ..ris.flat import append_batch
+from ..ris.rrset import RRSampler
+from .cluster import MachineFailure, SimulatedCluster
+from .machine import Machine
+from .metrics import COMPUTATION, GENERATION, RunMetrics
+from .parallel import run_generation_pool
+
+__all__ = [
+    "GeneratePhase",
+    "MapPhase",
+    "GatherPhase",
+    "BroadcastPhase",
+    "MasterPhase",
+    "PhaseResult",
+    "Executor",
+    "SimulatedExecutor",
+    "MultiprocessingExecutor",
+    "EXECUTORS",
+    "make_executor",
+    "as_executor",
+]
+
+
+# ----------------------------------------------------------------------
+# Phase plans
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class GeneratePhase:
+    """Generate RR sets on every machine and append them to its store.
+
+    Parameters
+    ----------
+    label:
+        Metrics label (category is always GENERATION).
+    counts:
+        Per-machine number of RR sets to draw; one entry per machine.
+    targets:
+        Per-machine stores the batches are appended to.  ``None``
+        (default) appends to each machine's ``collection``.
+    model, method:
+        Sampler selection, as in :func:`repro.ris.make_sampler`.
+    """
+
+    label: str
+    counts: Tuple[int, ...]
+    targets: Tuple[Any, ...] | None = None
+    model: str = "ic"
+    method: str = "bfs"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "counts", tuple(int(c) for c in self.counts))
+        if any(c < 0 for c in self.counts):
+            raise ValueError("generation counts must be >= 0")
+        if self.targets is not None:
+            object.__setattr__(self, "targets", tuple(self.targets))
+
+
+@dataclass(frozen=True)
+class MapPhase:
+    """Run ``work(machine)`` on every machine as a metered compute phase."""
+
+    label: str
+    work: Callable[[Machine], Any]
+    category: str = COMPUTATION
+
+
+@dataclass(frozen=True)
+class GatherPhase:
+    """Charge a slaves->master gather; one payload size per machine."""
+
+    label: str
+    byte_sizes: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "byte_sizes", tuple(int(b) for b in self.byte_sizes))
+
+
+@dataclass(frozen=True)
+class BroadcastPhase:
+    """Charge a master->slaves broadcast of ``num_bytes`` per slave."""
+
+    label: str
+    num_bytes: int
+
+
+@dataclass(frozen=True)
+class MasterPhase:
+    """Run ``work()`` on the master as a metered computation phase."""
+
+    label: str
+    work: Callable[[], Any]
+
+
+PhasePlan = GeneratePhase | MapPhase | GatherPhase | BroadcastPhase | MasterPhase
+
+
+@dataclass(frozen=True)
+class PhaseResult:
+    """Outcome of one executed phase, mirroring its metrics record.
+
+    ``results`` holds per-machine return values for generate/map phases
+    (RR sets appended per machine for generation), the master work's
+    return value for a master phase, and ``None`` for pure communication.
+    """
+
+    label: str
+    category: str
+    results: Any = None
+    machine_times: Tuple[float, ...] = field(default_factory=tuple)
+    parallel_time: float = 0.0
+    num_bytes: int = 0
+
+
+# ----------------------------------------------------------------------
+# Executors
+# ----------------------------------------------------------------------
+class Executor(ABC):
+    """Runs phase plans against a :class:`SimulatedCluster`'s state.
+
+    The executor owns *how* phases execute; the cluster keeps owning the
+    distributed state (machines, RNGs, collections) and the accounting
+    (metrics, network model).  Communication and master phases are pure
+    accounting and therefore shared by every implementation; generation
+    is the backend-specific part.
+    """
+
+    name: str = "abstract"
+
+    def __init__(self, cluster: SimulatedCluster, graph=None) -> None:
+        self.cluster = cluster
+        self.graph = graph
+        self._samplers: Dict[Tuple[str, str], RRSampler] = {}
+
+    # -- conveniences mirroring the cluster ----------------------------
+    @property
+    def machines(self):
+        return self.cluster.machines
+
+    @property
+    def num_machines(self) -> int:
+        return self.cluster.num_machines
+
+    @property
+    def metrics(self) -> RunMetrics:
+        return self.cluster.metrics
+
+    def sampler(self, model: str, method: str) -> RRSampler:
+        """The executor-wide sampler for ``(model, method)``, built once."""
+        if self.graph is None:
+            raise ValueError(
+                f"{type(self).__name__} needs a graph to run generation phases; "
+                "pass graph= when constructing the executor"
+            )
+        key = (model, method)
+        if key not in self._samplers:
+            self._samplers[key] = make_sampler(self.graph, model=model, method=method)
+        return self._samplers[key]
+
+    # -- phase dispatch -------------------------------------------------
+    def run_phase(self, plan: PhasePlan) -> PhaseResult:
+        """Execute one phase plan and return its metered outcome."""
+        if isinstance(plan, GeneratePhase):
+            if len(plan.counts) != self.num_machines:
+                raise ValueError(
+                    f"expected {self.num_machines} generation counts, got {len(plan.counts)}"
+                )
+            if plan.targets is not None and len(plan.targets) != self.num_machines:
+                raise ValueError(
+                    f"expected {self.num_machines} generation targets, got {len(plan.targets)}"
+                )
+            return self._run_generate(plan)
+        if isinstance(plan, MapPhase):
+            results = self.cluster.map(plan.category, plan.label, plan.work)
+            return self._result_from_last_phase(plan.label, results)
+        if isinstance(plan, GatherPhase):
+            self.cluster.gather(plan.label, list(plan.byte_sizes))
+            return self._result_from_last_phase(plan.label, None)
+        if isinstance(plan, BroadcastPhase):
+            self.cluster.broadcast(plan.label, plan.num_bytes)
+            return self._result_from_last_phase(plan.label, None)
+        if isinstance(plan, MasterPhase):
+            result = self.cluster.run_on_master(plan.label, plan.work)
+            return self._result_from_last_phase(plan.label, result)
+        raise TypeError(f"unknown phase plan {type(plan).__name__}")
+
+    def _result_from_last_phase(self, label: str, results: Any) -> PhaseResult:
+        record = self.metrics.phases[-1]
+        return PhaseResult(
+            label=label,
+            category=record.category,
+            results=results,
+            machine_times=record.machine_times,
+            parallel_time=record.parallel_time,
+            num_bytes=record.num_bytes,
+        )
+
+    def _generation_targets(self, plan: GeneratePhase) -> Tuple[Any, ...]:
+        if plan.targets is not None:
+            return plan.targets
+        targets = tuple(machine.collection for machine in self.machines)
+        if any(target is None for target in targets):
+            raise ValueError(
+                "generation phase has no targets and a machine has no collection; "
+                "call cluster.init_collections() or pass targets="
+            )
+        return targets
+
+    @abstractmethod
+    def _run_generate(self, plan: GeneratePhase) -> PhaseResult:
+        """Backend-specific generation of ``plan.counts`` RR sets."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(cluster={self.cluster!r})"
+
+
+class SimulatedExecutor(Executor):
+    """Sequential metered execution on the simulated cluster.
+
+    Generation draws each machine's batch with the machine's own RNG via
+    :meth:`RRSampler.sample_batch <repro.ris.rrset.RRSampler.sample_batch>`
+    inside a metered :meth:`SimulatedCluster.map`, so timing semantics
+    (per-machine wall clock x slowdown, parallel time = max) are exactly
+    the cluster's.
+    """
+
+    name = "simulated"
+
+    def _run_generate(self, plan: GeneratePhase) -> PhaseResult:
+        sampler = self.sampler(plan.model, plan.method)
+        targets = self._generation_targets(plan)
+        counts = plan.counts
+
+        def work(machine: Machine) -> int:
+            batch = sampler.sample_batch(machine.rng, counts[machine.machine_id])
+            append_batch(targets[machine.machine_id], batch)
+            return batch.count
+
+        results = self.cluster.map(GENERATION, plan.label, work)
+        return self._result_from_last_phase(plan.label, results)
+
+
+class MultiprocessingExecutor(Executor):
+    """Real OS-process fan-out for the generation phase.
+
+    Each machine's private RNG is pickled to its worker process, the
+    worker draws the machine's batch with it, and the advanced RNG state
+    is restored on the master — so collections *and* subsequent random
+    decisions are bit-identical to :class:`SimulatedExecutor` for the
+    same seed.  Worker wall-clock time is scaled by the machine's
+    ``slowdown``, keeping heterogeneous-cluster metering consistent.
+
+    Non-generation phases run through the shared accounting path: seed
+    selection is master-side and cheap compared to generation (the
+    paper parallelises generation only).
+    """
+
+    name = "multiprocessing"
+
+    def __init__(self, cluster: SimulatedCluster, graph=None, processes: int | None = None) -> None:
+        if graph is None:
+            raise ValueError("MultiprocessingExecutor requires the graph up front")
+        super().__init__(cluster, graph)
+        self.processes = processes
+
+    def _run_generate(self, plan: GeneratePhase) -> PhaseResult:
+        targets = self._generation_targets(plan)
+        outcomes = run_generation_pool(
+            self.graph,
+            plan.model,
+            plan.method,
+            list(plan.counts),
+            [machine.rng for machine in self.machines],
+            processes=self.processes,
+        )
+        times = []
+        results = []
+        for machine, target, (batch, rng_state, elapsed, error) in zip(
+            self.machines, targets, outcomes
+        ):
+            if error is not None:
+                raise MachineFailure(machine.machine_id, plan.label) from RuntimeError(error)
+            machine.set_rng_state(rng_state)
+            append_batch(target, batch)
+            times.append(elapsed * machine.slowdown)
+            results.append(batch.count)
+        self.metrics.record_compute_phase(GENERATION, plan.label, times)
+        return self._result_from_last_phase(plan.label, results)
+
+
+# ----------------------------------------------------------------------
+# Factories
+# ----------------------------------------------------------------------
+EXECUTORS: Tuple[str, ...] = ("simulated", "multiprocessing")
+
+
+def make_executor(
+    name: str,
+    cluster: SimulatedCluster,
+    graph=None,
+    processes: int | None = None,
+) -> Executor:
+    """Build the named executor over ``cluster``.
+
+    ``processes`` is only meaningful for the multiprocessing backend
+    (worker-pool size; defaults to one process per machine capped at the
+    CPU count).
+    """
+    if name == "simulated":
+        return SimulatedExecutor(cluster, graph=graph)
+    if name == "multiprocessing":
+        return MultiprocessingExecutor(cluster, graph=graph, processes=processes)
+    raise ValueError(f"unknown executor {name!r}; expected one of {EXECUTORS}")
+
+
+def as_executor(obj) -> Executor:
+    """Coerce a cluster (or executor) to an executor.
+
+    Lets phase-plan algorithms such as NEWGREEDI accept either: an
+    :class:`Executor` passes through; a bare :class:`SimulatedCluster`
+    is wrapped in a :class:`SimulatedExecutor` (no graph — generation
+    phases would need one, coordination phases do not).
+    """
+    if isinstance(obj, Executor):
+        return obj
+    if isinstance(obj, SimulatedCluster):
+        return SimulatedExecutor(obj)
+    raise TypeError(f"cannot build an executor from {type(obj).__name__}")

@@ -69,6 +69,15 @@ class Machine:
         self.collection = make_collection(num_nodes, backend)
         return self.collection
 
+    def set_rng_state(self, state: Any) -> None:
+        """Fast-forward this machine's RNG to ``state``.
+
+        Used by executors that ran the machine's draws elsewhere (e.g. a
+        worker process) to keep the master-side generator in sync, so
+        later draws continue the same stream.
+        """
+        self.rng.bit_generator.state = state
+
     def run(self, work: Callable[["Machine"], Any]) -> Tuple[Any, float]:
         """Execute ``work(self)`` and return ``(result, elapsed_seconds)``.
 

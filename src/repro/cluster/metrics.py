@@ -83,9 +83,13 @@ class RunMetrics:
     # ------------------------------------------------------------------
     def time_in(self, category: str) -> float:
         """Total simulated parallel time spent in one category."""
+        return sum(p.parallel_time for p in self.phases_in(category))
+
+    def phases_in(self, category: str) -> List[PhaseRecord]:
+        """The recorded phases of one category, in execution order."""
         if category not in _CATEGORIES:
             raise ValueError(f"unknown category {category!r}")
-        return sum(p.parallel_time for p in self.phases if p.category == category)
+        return [p for p in self.phases if p.category == category]
 
     @property
     def generation_time(self) -> float:

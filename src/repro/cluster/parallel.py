@@ -1,43 +1,48 @@
-"""Real multiprocessing backend for distributed RR-set generation.
+"""Worker-pool plumbing for the multiprocessing executor.
 
 The simulated cluster meters sequential execution; this module is the
-cross-check: it actually fans RR-set generation out over OS processes, the
-closest local equivalent of the paper's MPI workers.  Because sampler
-state (the graph CSR arrays) is moderately large, each worker process
-builds its sampler once in an initializer and reuses it for every batch.
+cross-check: it actually fans RR-set generation out over OS processes,
+the closest local equivalent of the paper's MPI workers.  Because
+sampler state (the graph CSR arrays) is moderately large, each worker
+process builds its sampler once in an initializer and reuses it for
+every batch.
 
-Workers ship their batches back in the flat CSR layout — one contiguous
-``int32`` nodes array plus an offsets array per batch — so the IPC cost
-is four array pickles per batch instead of one small object per RR set.
-:func:`generate_parallel` re-wraps the arrays as :class:`RRSample`
-objects for callers that want the reference representation;
-:func:`generate_parallel_flat` hands the arrays straight to a
-:class:`~repro.ris.flat.FlatRRCollection`, never materialising per-set
-Python objects at all.
+Workers draw straight into the flat CSR layout via
+:meth:`RRSampler.sample_batch <repro.ris.rrset.RRSampler.sample_batch>`,
+so the IPC cost is four array pickles per machine instead of one small
+object per RR set.  Each worker receives its machine's pickled
+:class:`numpy.random.Generator` and returns the advanced bit-generator
+state along with the batch, which lets
+:class:`~repro.cluster.executor.MultiprocessingExecutor` keep master-side
+RNGs bit-identical to the simulated backend.
 
-Only generation is parallelised here — it dominates the running time in
-every figure of the paper — while seed selection still runs through
-NEWGREEDI on the gathered per-machine collections.
+Only generation is parallelised — it dominates the running time in every
+figure of the paper — while seed selection still runs through NEWGREEDI
+on the gathered per-machine collections.  This module is deliberately
+executor-internal: algorithms go through
+:mod:`repro.cluster.executor`, never through the pool directly.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
-from typing import List, Sequence, Tuple
+import time
+from typing import Any, List, Sequence, Tuple
 
 import numpy as np
 
 from ..graphs.digraph import DirectedGraph
 from ..ris import make_sampler
-from ..ris.flat import FlatRRCollection
-from ..ris.rrset import RRSample
+from ..ris.rrset import FlatBatch
 
-__all__ = ["generate_parallel", "generate_parallel_flat", "generate_batch"]
+__all__ = ["run_generation_pool"]
 
-#: A worker's flat batch: (nodes, offsets, roots, edges_examined).
-FlatBatch = Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+#: One machine's generation outcome: ``(batch, rng_state, elapsed, error)``.
+#: ``error`` is ``None`` on success, otherwise a one-line description and
+#: ``batch`` / ``rng_state`` are ``None``.
+GenerationOutcome = Tuple[FlatBatch | None, Any, float, str | None]
 
-# Worker-process globals, set once by _init_worker.
+# Worker-process global, set once by _init_worker.
 _WORKER_SAMPLER = None
 
 
@@ -46,92 +51,40 @@ def _init_worker(graph: DirectedGraph, model: str, method: str) -> None:
     _WORKER_SAMPLER = make_sampler(graph, model=model, method=method)
 
 
-def _pack_flat(samples: Sequence[RRSample]) -> FlatBatch:
-    """Concatenate a batch of samples into the CSR wire format."""
-    count = len(samples)
-    sizes = np.fromiter((s.nodes.size for s in samples), dtype=np.int64, count=count)
-    offsets = np.zeros(count + 1, dtype=np.int64)
-    np.cumsum(sizes, out=offsets[1:])
-    if count:
-        nodes = np.concatenate([s.nodes for s in samples]).astype(np.int32, copy=False)
-    else:
-        nodes = np.zeros(0, dtype=np.int32)
-    roots = np.fromiter((s.root for s in samples), dtype=np.int64, count=count)
-    edges = np.fromiter((s.edges_examined for s in samples), dtype=np.int64, count=count)
-    return nodes, offsets, roots, edges
+def _worker_generate(
+    task: Tuple[int, int, np.random.Generator],
+) -> Tuple[int, FlatBatch | None, Any, float, str | None]:
+    machine_id, count, rng = task
+    start = time.perf_counter()
+    try:
+        batch = _WORKER_SAMPLER.sample_batch(rng, count)
+    except Exception as exc:  # shipped back; the executor re-raises
+        return machine_id, None, None, time.perf_counter() - start, f"{type(exc).__name__}: {exc}"
+    state = rng.bit_generator.state
+    return machine_id, batch, state, time.perf_counter() - start, None
 
 
-def _unpack_flat(batch: FlatBatch) -> List[RRSample]:
-    """Re-wrap one flat batch as reference samples (views into the batch)."""
-    nodes, offsets, roots, edges = batch
-    return [
-        RRSample(
-            nodes=nodes[offsets[idx] : offsets[idx + 1]],
-            root=int(roots[idx]),
-            edges_examined=int(edges[idx]),
-        )
-        for idx in range(offsets.size - 1)
-    ]
-
-
-def _worker_generate(task: Tuple[int, int]) -> FlatBatch:
-    count, seed = task
-    rng = np.random.default_rng(seed)
-    return _pack_flat(_WORKER_SAMPLER.sample_many(count, rng))
-
-
-def generate_batch(
+def run_generation_pool(
     graph: DirectedGraph,
     model: str,
     method: str,
-    count: int,
-    seed: int,
-) -> List[RRSample]:
-    """Single-process reference used by tests to compare against workers."""
-    sampler = make_sampler(graph, model=model, method=method)
-    rng = np.random.default_rng(seed)
-    return sampler.sample_many(count, rng)
-
-
-def _run_pool(
-    graph: DirectedGraph,
     counts: Sequence[int],
-    seeds: Sequence[int],
-    model: str,
-    method: str,
-    processes: int | None,
-) -> List[FlatBatch]:
-    if len(counts) != len(seeds):
-        raise ValueError("counts and seeds must have the same length")
-    if not counts:
-        return []
-    if processes is None:
-        processes = min(len(counts), mp.cpu_count())
-    ctx = mp.get_context("fork" if "fork" in mp.get_all_start_methods() else "spawn")
-    with ctx.Pool(
-        processes=processes,
-        initializer=_init_worker,
-        initargs=(graph, model, method),
-    ) as pool:
-        return pool.map(_worker_generate, list(zip(counts, seeds)))
-
-
-def generate_parallel(
-    graph: DirectedGraph,
-    counts: Sequence[int],
-    seeds: Sequence[int],
-    model: str = "ic",
-    method: str = "bfs",
+    rngs: Sequence[np.random.Generator],
     processes: int | None = None,
-) -> List[List[RRSample]]:
-    """Generate RR sets in real OS processes, one batch per machine.
+) -> List[GenerationOutcome]:
+    """Draw per-machine RR-set batches in a process pool.
 
     Parameters
     ----------
     graph:
         Weighted graph shared (copied) into every worker.
-    counts, seeds:
-        Per-machine batch sizes and RNG seeds; must have equal length.
+    counts:
+        Per-machine batch sizes.
+    rngs:
+        Per-machine generators; pickled to the workers with their state,
+        so the draws equal what the machines would have drawn locally.
+        The callers' generators are NOT advanced — restore the returned
+        state onto each machine to stay in sync.
     model, method:
         Sampler selection, as in :func:`repro.ris.make_sampler`.
     processes:
@@ -139,31 +92,22 @@ def generate_parallel(
 
     Returns
     -------
-    list of per-machine lists of :class:`RRSample`, in machine order.
+    One :data:`GenerationOutcome` per machine, in machine order.  Worker
+    exceptions are captured per machine, not raised here.
     """
-    batches = _run_pool(graph, counts, seeds, model, method, processes)
-    return [_unpack_flat(batch) for batch in batches]
-
-
-def generate_parallel_flat(
-    graph: DirectedGraph,
-    counts: Sequence[int],
-    seeds: Sequence[int],
-    model: str = "ic",
-    method: str = "bfs",
-    processes: int | None = None,
-) -> List[FlatRRCollection]:
-    """Like :func:`generate_parallel`, returning flat per-machine stores.
-
-    The worker's CSR batch is appended to each machine's
-    :class:`FlatRRCollection` as-is — no per-set Python objects are ever
-    created on the master side, which is the cheap path for feeding the
-    flat coverage kernel directly.
-    """
-    batches = _run_pool(graph, counts, seeds, model, method, processes)
-    collections: List[FlatRRCollection] = []
-    for nodes, offsets, __, edges in batches:
-        collection = FlatRRCollection(graph.num_nodes)
-        collection.append_arrays(nodes, offsets, edges_examined=int(edges.sum()))
-        collections.append(collection)
-    return collections
+    if len(counts) != len(rngs):
+        raise ValueError("counts and rngs must have the same length")
+    if not counts:
+        return []
+    if processes is None:
+        processes = min(len(counts), mp.cpu_count())
+    ctx = mp.get_context("fork" if "fork" in mp.get_all_start_methods() else "spawn")
+    tasks = [(i, int(count), rng) for i, (count, rng) in enumerate(zip(counts, rngs))]
+    with ctx.Pool(
+        processes=processes,
+        initializer=_init_worker,
+        initargs=(graph, model, method),
+    ) as pool:
+        raw = pool.map(_worker_generate, tasks)
+    ordered = sorted(raw, key=lambda outcome: outcome[0])
+    return [(batch, state, elapsed, error) for _, batch, state, elapsed, error in ordered]

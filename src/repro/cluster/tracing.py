@@ -23,17 +23,22 @@ def _group_of(label: str, depth: int) -> str:
     return "/".join(label.split("/")[:depth])
 
 
-def summarize_phases(metrics: RunMetrics, depth: int = 1) -> List[dict]:
+def summarize_phases(
+    metrics: RunMetrics, depth: int = 1, category: str | None = None
+) -> List[dict]:
     """Aggregate phases by the first ``depth`` segments of their label.
 
     Returns one row per group, ordered by first appearance, with the
     summed parallel time, category mix, phase count and bytes moved.
+    ``category`` restricts the summary to one metrics category (e.g. only
+    generation phases); ``None`` summarises everything.
     """
     if depth < 1:
         raise ValueError(f"depth must be >= 1, got {depth}")
+    phases = metrics.phases if category is None else metrics.phases_in(category)
     order: List[str] = []
     grouped: Dict[str, dict] = {}
-    for phase in metrics.phases:
+    for phase in phases:
         key = _group_of(phase.label, depth)
         if key not in grouped:
             order.append(key)
@@ -64,16 +69,19 @@ def summarize_phases(metrics: RunMetrics, depth: int = 1) -> List[dict]:
     return rows
 
 
-def render_timeline(metrics: RunMetrics, depth: int = 1, width: int = 50) -> str:
+def render_timeline(
+    metrics: RunMetrics, depth: int = 1, width: int = 50, category: str | None = None
+) -> str:
     """A proportional text Gantt of the phase groups.
 
     Each group gets one line; bar length is proportional to its share of
     the total parallel time.  Groups contributing under half a character
-    are shown with a single dot.
+    are shown with a single dot.  ``category`` restricts the timeline to
+    one metrics category, as in :func:`summarize_phases`.
     """
     if width < 10:
         raise ValueError(f"width must be >= 10, got {width}")
-    rows = summarize_phases(metrics, depth=depth)
+    rows = summarize_phases(metrics, depth=depth, category=category)
     total = sum(row["parallel_s"] for row in rows)
     if total == 0:
         return "(empty timeline)"

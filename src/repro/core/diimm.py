@@ -23,12 +23,10 @@ from __future__ import annotations
 import numpy as np
 
 from ..cluster.cluster import SimulatedCluster
-from ..cluster.machine import Machine
-from ..cluster.metrics import GENERATION
+from ..cluster.executor import GeneratePhase, make_executor
 from ..cluster.network import NetworkModel
 from ..coverage.newgreedi import gather_coverage_counts, newgreedi
 from ..graphs.digraph import DirectedGraph
-from ..ris import make_sampler
 from .bounds import ImmParameters
 from .result import IMResult
 
@@ -47,6 +45,8 @@ def diimm(
     seed: int = 0,
     algorithm_label: str = "DIIMM",
     backend: str = "flat",
+    executor: str = "simulated",
+    processes: int | None = None,
 ) -> IMResult:
     """Run DIIMM on a simulated cluster of ``num_machines`` machines.
 
@@ -65,6 +65,14 @@ def diimm(
         kernel; ``"reference"`` uses the dict-indexed store and loops.
         The selected seeds are identical either way (Lemma 2 holds for
         both).
+    executor:
+        Execution backend for the phase plans: ``"simulated"``
+        (sequential metered execution, the default) or
+        ``"multiprocessing"`` (generation fanned out over OS processes).
+        Seeds and collections are identical for a fixed random seed.
+    processes:
+        Worker-pool size for the multiprocessing executor; ignored by
+        the simulated one.
 
     Returns
     -------
@@ -76,9 +84,9 @@ def diimm(
     if delta is None:
         delta = 1.0 / n
     params = ImmParameters.compute(n, k, eps, delta)
-    sampler = make_sampler(graph, model=model, method=method)
     cluster = SimulatedCluster(num_machines, network=network, seed=seed)
     cluster.init_collections(n, backend=backend)
+    exec_ = make_executor(executor, cluster, graph=graph, processes=processes)
     running_counts = np.zeros(n, dtype=np.int64)
 
     def total_sets() -> int:
@@ -90,25 +98,25 @@ def diimm(
         missing = target - total_sets()
         if missing <= 0:
             return
-        shares = cluster.split_count(missing)
         previous_sizes = [machine.collection.num_sets for machine in cluster.machines]
-
-        def generate(machine: Machine) -> None:
-            machine.collection.extend(
-                sampler.sample_many(shares[machine.machine_id], machine.rng)
+        exec_.run_phase(
+            GeneratePhase(
+                f"{label}/generate",
+                counts=tuple(cluster.split_count(missing)),
+                model=model,
+                method=method,
             )
-
-        cluster.map(GENERATION, f"{label}/generate", generate)
+        )
         # Incremental master-side counts: tuples over the new sets only.
         running_counts = running_counts + gather_coverage_counts(
-            cluster,
+            exec_,
             start_indices=previous_sizes,
             label=f"{label}/counts",
         )
 
     def select(label: str):
         return newgreedi(
-            cluster,
+            exec_,
             k,
             initial_counts=running_counts,
             label=f"{label}/newgreedi",
@@ -145,5 +153,11 @@ def diimm(
         algorithm=algorithm_label,
         model=model,
         method=method,
-        params={"k": k, "eps": eps, "delta": delta, "num_machines": num_machines},
+        params={
+            "k": k,
+            "eps": eps,
+            "delta": delta,
+            "num_machines": num_machines,
+            "executor": exec_.name,
+        },
     )

@@ -24,15 +24,13 @@ from __future__ import annotations
 
 import math
 
-import numpy as np
-
 from ..cluster.cluster import SimulatedCluster
+from ..cluster.executor import GatherPhase, GeneratePhase, MapPhase, make_executor
 from ..cluster.machine import Machine
-from ..cluster.metrics import COMPUTATION, GENERATION
 from ..cluster.network import NetworkModel
 from ..coverage.newgreedi import newgreedi
 from ..graphs.digraph import DirectedGraph
-from ..ris import make_collection, make_sampler
+from ..ris import make_collection
 from .bounds import ImmParameters
 from .result import IMResult
 
@@ -68,6 +66,8 @@ def distributed_opimc(
     seed: int = 0,
     theta_initial: int | None = None,
     backend: str = "flat",
+    executor: str = "simulated",
+    processes: int | None = None,
 ) -> IMResult:
     """Run distributed OPIM-C; parameters mirror :func:`repro.core.diimm.diimm`.
 
@@ -87,8 +87,8 @@ def distributed_opimc(
     i_max = max(int(math.ceil(math.log2(max(theta_max / theta_initial, 2.0)))), 1)
     a = math.log(3.0 * i_max / delta)
 
-    sampler = make_sampler(graph, model=model, method=method)
     cluster = SimulatedCluster(num_machines, network=network, seed=seed)
+    exec_ = make_executor(executor, cluster, graph=graph, processes=processes)
     for machine in cluster.machines:
         machine.state["R1"] = make_collection(n, backend)
         machine.state["R2"] = make_collection(n, backend)
@@ -98,14 +98,15 @@ def distributed_opimc(
         missing = target - current
         if missing <= 0:
             return
-        shares = cluster.split_count(missing)
-
-        def generate(machine: Machine) -> None:
-            machine.state[collection_key].extend(
-                sampler.sample_many(shares[machine.machine_id], machine.rng)
+        exec_.run_phase(
+            GeneratePhase(
+                f"{label}/generate-{collection_key}",
+                counts=tuple(cluster.split_count(missing)),
+                targets=tuple(m.state[collection_key] for m in cluster.machines),
+                model=model,
+                method=method,
             )
-
-        cluster.map(GENERATION, f"{label}/generate-{collection_key}", generate)
+        )
 
     seeds: list[int] = []
     estimated_spread = 0.0
@@ -118,7 +119,7 @@ def distributed_opimc(
         grow("R2", theta, f"round-{round_idx}")
 
         selection = newgreedi(
-            cluster,
+            exec_,
             k,
             stores=[m.state["R1"] for m in cluster.machines],
             label=f"round-{round_idx}/newgreedi",
@@ -129,8 +130,12 @@ def distributed_opimc(
         def validate(machine: Machine) -> int:
             return machine.state["R2"].coverage_of(seeds)
 
-        per_machine = cluster.map(COMPUTATION, f"round-{round_idx}/validate", validate)
-        cluster.gather(f"round-{round_idx}/validate", [8] * cluster.num_machines)
+        per_machine = exec_.run_phase(
+            MapPhase(f"round-{round_idx}/validate", validate)
+        ).results
+        exec_.run_phase(
+            GatherPhase(f"round-{round_idx}/validate", (8,) * cluster.num_machines)
+        )
 
         r1_sets = sum(m.state["R1"].num_sets for m in cluster.machines)
         r2_sets = sum(m.state["R2"].num_sets for m in cluster.machines)
@@ -165,5 +170,11 @@ def distributed_opimc(
         algorithm="DOPIM-C",
         model=model,
         method=method,
-        params={"k": k, "eps": eps, "delta": delta, "num_machines": num_machines},
+        params={
+            "k": k,
+            "eps": eps,
+            "delta": delta,
+            "num_machines": num_machines,
+            "executor": exec_.name,
+        },
     )

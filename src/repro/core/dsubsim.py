@@ -31,6 +31,8 @@ def distributed_subsim(
     network: NetworkModel | None = None,
     seed: int = 0,
     backend: str = "flat",
+    executor: str = "simulated",
+    processes: int | None = None,
 ) -> IMResult:
     """Distributed SUBSIM under the IC model.
 
@@ -50,4 +52,6 @@ def distributed_subsim(
         seed=seed,
         algorithm_label="DSUBSIM",
         backend=backend,
+        executor=executor,
+        processes=processes,
     )

@@ -27,7 +27,14 @@ from typing import Dict, List, Sequence
 
 import numpy as np
 
-from ..cluster.cluster import SimulatedCluster
+from ..cluster.executor import (
+    BroadcastPhase,
+    Executor,
+    GatherPhase,
+    MapPhase,
+    MasterPhase,
+    as_executor,
+)
 from ..cluster.machine import Machine
 from ..cluster.metrics import COMPUTATION
 from .greedy import BucketQueue, GreedyResult, _pad_with_unselected
@@ -53,15 +60,15 @@ class NewGreeDiResult(GreedyResult):
         return None
 
 
-def _stores_of(cluster: SimulatedCluster, stores: Sequence | None) -> List:
+def _stores_of(executor: Executor, stores: Sequence | None) -> List:
     if stores is not None:
-        if len(stores) != cluster.num_machines:
+        if len(stores) != executor.num_machines:
             raise ValueError(
-                f"expected {cluster.num_machines} stores, got {len(stores)}"
+                f"expected {executor.num_machines} stores, got {len(stores)}"
             )
         return list(stores)
     resolved = []
-    for machine in cluster.machines:
+    for machine in executor.machines:
         if machine.collection is None:
             raise ValueError(f"machine {machine.machine_id} has no RR collection")
         resolved.append(machine.collection)
@@ -69,19 +76,22 @@ def _stores_of(cluster: SimulatedCluster, stores: Sequence | None) -> List:
 
 
 def gather_coverage_counts(
-    cluster: SimulatedCluster,
+    cluster,
     stores: Sequence | None = None,
     start_indices: Sequence[int] | None = None,
     label: str = "coverage-counts",
 ) -> np.ndarray:
     """Aggregate per-node coverage counts from all machines at the master.
 
-    Each machine responds with a sparse vector of ``(node, count)`` tuples
-    over its elements with index ``>= start_indices[i]`` — DIIMM passes the
-    previous collection sizes here so only *newly generated* RR sets are
-    communicated (the incremental variant of Section III-C).
+    ``cluster`` may be a :class:`~repro.cluster.cluster.SimulatedCluster`
+    or any :class:`~repro.cluster.executor.Executor` over one.  Each
+    machine responds with a sparse vector of ``(node, count)`` tuples
+    over its elements with index ``>= start_indices[i]`` — DIIMM passes
+    the previous collection sizes here so only *newly generated* RR sets
+    are communicated (the incremental variant of Section III-C).
     """
-    stores = _stores_of(cluster, stores)
+    executor = as_executor(cluster)
+    stores = _stores_of(executor, stores)
     starts = list(start_indices) if start_indices is not None else [0] * len(stores)
     if len(starts) != len(stores):
         raise ValueError("start_indices must have one entry per machine")
@@ -89,9 +99,9 @@ def gather_coverage_counts(
     def compute_counts(machine: Machine) -> np.ndarray:
         return stores[machine.machine_id].coverage_counts(start=starts[machine.machine_id])
 
-    per_machine = cluster.map(COMPUTATION, f"{label}/map", compute_counts)
-    payload_sizes = [TUPLE_BYTES * int(np.count_nonzero(c)) for c in per_machine]
-    cluster.gather(f"{label}/gather", payload_sizes)
+    per_machine = executor.run_phase(MapPhase(f"{label}/map", compute_counts)).results
+    payload_sizes = tuple(TUPLE_BYTES * int(np.count_nonzero(c)) for c in per_machine)
+    executor.run_phase(GatherPhase(f"{label}/gather", payload_sizes))
 
     def reduce_counts() -> np.ndarray:
         total = np.zeros_like(per_machine[0])
@@ -99,11 +109,11 @@ def gather_coverage_counts(
             total += counts
         return total
 
-    return cluster.run_on_master(f"{label}/reduce", reduce_counts)
+    return executor.run_phase(MasterPhase(f"{label}/reduce", reduce_counts)).results
 
 
 def newgreedi(
-    cluster: SimulatedCluster,
+    cluster,
     k: int,
     stores: Sequence | None = None,
     initial_counts: np.ndarray | None = None,
@@ -115,8 +125,11 @@ def newgreedi(
     Parameters
     ----------
     cluster:
-        The simulated cluster; timing/traffic is recorded into
-        ``cluster.metrics``.
+        The simulated cluster — or an
+        :class:`~repro.cluster.executor.Executor` over one — whose
+        metrics record the timing/traffic.  Every round is expressed as
+        phase plans (map / gather / broadcast / master), so whichever
+        executor runs them, the accounting shape is the same.
     k:
         Seed-set size.
     stores:
@@ -144,7 +157,8 @@ def newgreedi(
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
     resolve_backend(backend)
-    stores = _stores_of(cluster, stores)
+    executor = as_executor(cluster)
+    stores = _stores_of(executor, stores)
     num_universe_sets = stores[0].num_nodes
     for store in stores:
         if store.num_nodes != num_universe_sets:
@@ -165,18 +179,18 @@ def newgreedi(
         machine.state["covered"] = np.zeros(store.num_sets, dtype=bool)
         return store.num_sets
 
-    element_counts = cluster.map(COMPUTATION, f"{label}/reset", reset_covered)
+    element_counts = executor.run_phase(MapPhase(f"{label}/reset", reset_covered)).results
     num_elements = sum(element_counts)
 
     if initial_counts is None:
-        counts = gather_coverage_counts(cluster, stores, label=f"{label}/init")
+        counts = gather_coverage_counts(executor, stores, label=f"{label}/init")
     else:
         counts = initial_counts.astype(np.int64, copy=True)
 
     queue = BucketQueue(counts)
     seeds: List[int] = []
     marginals: List[int] = []
-    covered_per_machine = [0] * cluster.num_machines
+    covered_per_machine = [0] * executor.num_machines
     master_select_time = 0.0
 
     while len(seeds) < k:
@@ -186,7 +200,7 @@ def newgreedi(
         if seed is None:
             break
         seeds.append(seed)
-        cluster.broadcast(f"{label}/seed", SEED_BYTES)
+        executor.run_phase(BroadcastPhase(f"{label}/seed", SEED_BYTES))
 
         def map_stage(machine: Machine, seed: int = seed):
             store = stores[machine.machine_id]
@@ -205,16 +219,18 @@ def newgreedi(
                     delta[node] = delta.get(node, 0) + 1
             return delta, newly
 
-        responses = cluster.map(COMPUTATION, f"{label}/map", map_stage)
+        responses = executor.run_phase(MapPhase(f"{label}/map", map_stage)).results
         # A response carries one (node, decrement) tuple per distinct node,
         # whichever backend produced it.
-        cluster.gather(
-            f"{label}/gather",
-            [
-                TUPLE_BYTES
-                * (delta[0].size if backend == "flat" else len(delta))
-                for delta, __ in responses
-            ],
+        executor.run_phase(
+            GatherPhase(
+                f"{label}/gather",
+                tuple(
+                    TUPLE_BYTES
+                    * (delta[0].size if backend == "flat" else len(delta))
+                    for delta, __ in responses
+                ),
+            )
         )
 
         def reduce_stage() -> int:
@@ -232,9 +248,13 @@ def newgreedi(
                     counts[ids] -= decs
             return gained
 
-        marginals.append(cluster.run_on_master(f"{label}/reduce", reduce_stage))
+        marginals.append(
+            executor.run_phase(MasterPhase(f"{label}/reduce", reduce_stage)).results
+        )
 
-    cluster.metrics.record_compute_phase(COMPUTATION, f"{label}/select", [master_select_time])
+    executor.metrics.record_compute_phase(
+        COMPUTATION, f"{label}/select", [master_select_time]
+    )
     _pad_with_unselected(seeds, k, num_universe_sets)
     return NewGreeDiResult(
         seeds=seeds,

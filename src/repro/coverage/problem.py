@@ -142,7 +142,9 @@ class CoverageInstance:
             [self._elements[i] for i in element_indices],
         )
 
-    def split(self, num_parts: int, rng: np.random.Generator | None = None) -> List["CoverageInstance"]:
+    def split(
+        self, num_parts: int, rng: np.random.Generator | None = None
+    ) -> List["CoverageInstance"]:
         """Partition *elements* across ``num_parts`` stores (element-distributed).
 
         With ``rng`` the assignment is uniform random (the paper's

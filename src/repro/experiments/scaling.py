@@ -52,6 +52,7 @@ class ScalingConfig:
     k: int = 50
     eps: float = 0.5
     seed: int = 2022
+    executor: str = "simulated"
     extra: dict = field(default_factory=dict)
 
 
@@ -101,6 +102,7 @@ def run_scaling(config: ScalingConfig) -> list[dict]:
                     method=config.method,
                     network=config.network_factory(),
                     seed=config.seed,
+                    executor=config.executor,
                 )
             row = _result_row(config, dataset, num_machines, result)
             if baseline_total is None:

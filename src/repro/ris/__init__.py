@@ -1,10 +1,10 @@
 """Reverse influence sampling: RR-set samplers, collections and statistics."""
 
 from .collection import RRCollection
-from .flat import FlatRRCollection, make_collection
+from .flat import FlatRRCollection, append_batch, make_collection
 from .ic_sampler import ICReverseBFSSampler
 from .lt_sampler import LTReverseWalkSampler
-from .rrset import RRSample, RRSampler
+from .rrset import FlatBatch, RRSample, RRSampler, pack_samples
 from .stats import (
     RRSetStatistics,
     collect_statistics,
@@ -17,8 +17,11 @@ from .subsim import SubsimSampler
 from .triggering_sampler import TriggeringRRSampler
 
 __all__ = [
+    "FlatBatch",
     "RRSample",
     "RRSampler",
+    "pack_samples",
+    "append_batch",
     "ICReverseBFSSampler",
     "LTReverseWalkSampler",
     "SubsimSampler",

@@ -33,9 +33,9 @@ from typing import Iterable, Iterator, List
 import numpy as np
 
 from .collection import RRCollection
-from .rrset import RRSample
+from .rrset import FlatBatch, RRSample
 
-__all__ = ["FlatRRCollection", "make_collection", "gather_rows"]
+__all__ = ["FlatRRCollection", "append_batch", "make_collection", "gather_rows"]
 
 
 def gather_rows(values: np.ndarray, offsets: np.ndarray, rows: np.ndarray) -> np.ndarray:
@@ -297,3 +297,22 @@ def make_collection(num_nodes: int, backend: str = "flat"):
     if backend == "reference":
         return RRCollection(num_nodes)
     raise ValueError(f"unknown collection backend {backend!r}")
+
+
+def append_batch(collection, batch: FlatBatch) -> None:
+    """Append a sampler's :class:`~repro.ris.rrset.FlatBatch` to a store.
+
+    A :class:`FlatRRCollection` takes the CSR arrays as-is — no per-set
+    Python objects are ever created; the reference :class:`RRCollection`
+    (or any other store exposing ``extend``) receives re-wrapped
+    :class:`~repro.ris.rrset.RRSample` views, preserving per-set roots
+    and edge counts.
+    """
+    if isinstance(collection, FlatRRCollection):
+        collection.append_arrays(
+            batch.nodes,
+            batch.offsets,
+            edges_examined=int(batch.edges_examined.sum()),
+        )
+    else:
+        collection.extend(batch.to_samples())

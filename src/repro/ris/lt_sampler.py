@@ -15,10 +15,12 @@ stay small (they are simple reverse paths).
 
 from __future__ import annotations
 
+from bisect import bisect_left
+
 import numpy as np
 
 from ..graphs.digraph import DirectedGraph
-from .rrset import RRSample, RRSampler
+from .rrset import FlatBatch, RRSample, RRSampler
 
 __all__ = ["LTReverseWalkSampler"]
 
@@ -44,6 +46,21 @@ class LTReverseWalkSampler(RRSampler):
             seg = probs[indptr[v] : indptr[v + 1]]
             if seg.size:
                 self._uniform[v] = bool(np.all(seg == seg[0]))
+        # Plain-Python copies of the walk's lookup tables, built lazily by
+        # sample_batch: scalar indexing into lists is several times faster
+        # than numpy scalar indexing, and the walk is all scalar reads.
+        self._list_tables: tuple | None = None
+
+    def _batch_tables(self) -> tuple:
+        if self._list_tables is None:
+            self._list_tables = (
+                self.graph.in_indptr.tolist(),
+                self.graph.in_indices.tolist(),
+                self._prefix.tolist(),
+                self._uniform.tolist(),
+                self._sums.tolist(),
+            )
+        return self._list_tables
 
     def sample(self, rng: np.random.Generator, root: int | None = None) -> RRSample:
         """Draw one RR set; ``root`` can be pinned for testing."""
@@ -99,3 +116,75 @@ class LTReverseWalkSampler(RRSampler):
 
         nodes = np.unique(np.asarray(path, dtype=np.int32))
         return RRSample(nodes=nodes, root=root, edges_examined=edges_examined)
+
+    def sample_batch(self, rng: np.random.Generator, count: int) -> FlatBatch:
+        """Draw ``count`` reverse walks straight into flat CSR arrays.
+
+        Bit-identical to ``pack_samples(sample_many(count, rng))``: the
+        walk below consumes the RNG exactly like :meth:`sample` (one
+        fresh 64-draw buffer per root, the same per-step draws), but each
+        finished path is sorted in place into a shared ``int32`` buffer —
+        a walk never revisits a node, so the sorted path *is* the sorted
+        unique node set — skipping the per-set :class:`RRSample`,
+        ``np.unique`` and list plumbing.
+        """
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        n = self.graph.num_nodes
+        indptr, indices, prefix, uniform, sums = self._batch_tables()
+        random = rng.random
+
+        parts: list[np.ndarray] = []
+        offsets = np.zeros(count + 1, dtype=np.int64)
+        roots = np.empty(count, dtype=np.int64)
+        edges = np.empty(count, dtype=np.int64)
+        for j in range(count):
+            root = int(rng.integers(0, n))
+            visited = {root}
+            path = [root]
+            edges_examined = 0
+            current = root
+            # Same buffered-draw protocol as sample(): one fresh 64-draw
+            # buffer per root, refilled at the same cursor positions; the
+            # tolist() only changes how the draws are *read*.
+            buffer = random(64).tolist()
+            cursor = 0
+            while True:
+                start = indptr[current]
+                stop = indptr[current + 1]
+                degree = stop - start
+                edges_examined += degree
+                if degree == 0:
+                    break
+                if cursor >= 63:
+                    buffer = random(64).tolist()
+                    cursor = 0
+                if uniform[current]:
+                    total = sums[current]
+                    if total < 1.0:
+                        if buffer[cursor] >= total:
+                            cursor += 1
+                            break
+                        cursor += 1
+                    edge = start + int(buffer[cursor] * degree)
+                    cursor += 1
+                else:
+                    threshold = prefix[start] + buffer[cursor]
+                    cursor += 1
+                    edge = bisect_left(prefix, threshold) - 1
+                    if edge >= stop or edge < start:
+                        break
+                nxt = indices[edge]
+                if nxt in visited:
+                    break
+                visited.add(nxt)
+                path.append(nxt)
+                current = nxt
+            nodes = np.asarray(path, dtype=np.int32)
+            nodes.sort()
+            parts.append(nodes)
+            roots[j] = root
+            edges[j] = edges_examined
+            offsets[j + 1] = offsets[j] + nodes.size
+        nodes = np.concatenate(parts) if parts else np.zeros(0, dtype=np.int32)
+        return FlatBatch(nodes, offsets, roots, edges)

@@ -70,6 +70,25 @@ class RRSetStatistics:
         )
 
     @classmethod
+    def from_batch(cls, batch) -> "RRSetStatistics":
+        """Summarise a :class:`~repro.ris.rrset.FlatBatch` directly.
+
+        Works entirely on the CSR arrays — the batch-sampler counterpart
+        of :meth:`from_samples`, with identical numbers for matching
+        draws.
+        """
+        if batch.count == 0:
+            raise ValueError("need at least one RR set in the batch")
+        sizes = np.diff(batch.offsets)
+        return cls(
+            num_sets=batch.count,
+            total_size=int(sizes.sum()),
+            eps=float(sizes.mean()),
+            ept=float(batch.edges_examined.mean()),
+            max_size=int(sizes.max()),
+        )
+
+    @classmethod
     def from_collection(cls, collection) -> "RRSetStatistics":
         """Summarise a stored collection (either backend).
 

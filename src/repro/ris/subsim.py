@@ -39,6 +39,14 @@ class SubsimSampler(RRSampler):
                 self._p_max[v] = p_max
                 self._uniform[v] = bool(np.all(seg == p_max))
         self._visited = np.zeros(n, dtype=bool)
+        # True while a draw is in flight; left set by a draw that raised,
+        # which makes the next draw hard-reset the scratch bitmap.
+        self._scratch_dirty = False
+
+    def _reset_scratch(self) -> None:
+        if self._scratch_dirty:
+            self._visited[:] = False
+        self._scratch_dirty = True
 
     def _successful_in_edges(
         self,
@@ -84,24 +92,24 @@ class SubsimSampler(RRSampler):
         graph = self.graph
         if root is None:
             root = self.sample_root(rng)
+        self._reset_scratch()
         visited = self._visited
         collected = [root]
         visited[root] = True
         queue = [root]
         edges_examined = 0
         indices = graph.in_indices
-        try:
-            while queue:
-                node = queue.pop()
-                live_edges, draws = self._successful_in_edges(node, rng)
-                edges_examined += draws
-                for edge in live_edges:
-                    neighbor = int(indices[edge])
-                    if not visited[neighbor]:
-                        visited[neighbor] = True
-                        collected.append(neighbor)
-                        queue.append(neighbor)
-        finally:
-            visited[np.asarray(collected, dtype=np.int64)] = False
+        while queue:
+            node = queue.pop()
+            live_edges, draws = self._successful_in_edges(node, rng)
+            edges_examined += draws
+            for edge in live_edges:
+                neighbor = int(indices[edge])
+                if not visited[neighbor]:
+                    visited[neighbor] = True
+                    collected.append(neighbor)
+                    queue.append(neighbor)
+        visited[np.asarray(collected, dtype=np.int64)] = False
+        self._scratch_dirty = False
         nodes = np.unique(np.asarray(collected, dtype=np.int32))
         return RRSample(nodes=nodes, root=root, edges_examined=edges_examined)

@@ -23,7 +23,7 @@ from ..diffusion.triggering import (
     TriggeringDistribution,
 )
 from ..graphs.digraph import DirectedGraph
-from .rrset import RRSample, RRSampler
+from .rrset import FlatBatch, RRSample, RRSampler
 
 __all__ = ["TriggeringRRSampler"]
 
@@ -46,6 +46,14 @@ class TriggeringRRSampler(RRSampler):
         super().__init__(graph)
         self.distribution = distribution
         self._visited = np.zeros(graph.num_nodes, dtype=bool)
+        # True while a draw is in flight; left set by a draw that raised,
+        # which makes the next draw hard-reset the scratch bitmap.
+        self._scratch_dirty = False
+
+    def _reset_scratch(self) -> None:
+        if self._scratch_dirty:
+            self._visited[:] = False
+        self._scratch_dirty = True
 
     def _live_in_edges(self, node: int, rng: np.random.Generator) -> np.ndarray:
         """Sources of the live in-edges of one node (its triggering set)."""
@@ -78,12 +86,52 @@ class TriggeringRRSampler(RRSampler):
         graph = self.graph
         if root is None:
             root = self.sample_root(rng)
+        self._reset_scratch()
         visited = self._visited
         collected = [root]
         visited[root] = True
         queue = [root]
         edges_examined = 0
-        try:
+        while queue:
+            node = queue.pop()
+            edges_examined += graph.in_degree(node)
+            for source in self._live_in_edges(node, rng):
+                source = int(source)
+                if not visited[source]:
+                    visited[source] = True
+                    collected.append(source)
+                    queue.append(source)
+        visited[np.asarray(collected, dtype=np.int64)] = False
+        self._scratch_dirty = False
+        nodes = np.unique(np.asarray(collected, dtype=np.int32))
+        return RRSample(nodes=nodes, root=root, edges_examined=edges_examined)
+
+    def sample_batch(self, rng: np.random.Generator, count: int) -> FlatBatch:
+        """Draw ``count`` RR sets straight into flat CSR arrays.
+
+        Bit-identical to ``pack_samples(sample_many(count, rng))``: the
+        backward exploration visits nodes in the same LIFO order and
+        calls the triggering distribution with the same RNG stream; only
+        the per-set packaging (sorting the collected segment in place
+        instead of ``np.unique`` + :class:`RRSample`) differs.
+        """
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        graph = self.graph
+        n = graph.num_nodes
+        self._reset_scratch()
+        visited = self._visited
+
+        parts: list[np.ndarray] = []
+        offsets = np.zeros(count + 1, dtype=np.int64)
+        roots = np.empty(count, dtype=np.int64)
+        edges = np.empty(count, dtype=np.int64)
+        for j in range(count):
+            root = int(rng.integers(0, n))
+            collected = [root]
+            visited[root] = True
+            queue = [root]
+            edges_examined = 0
             while queue:
                 node = queue.pop()
                 edges_examined += graph.in_degree(node)
@@ -93,7 +141,13 @@ class TriggeringRRSampler(RRSampler):
                         visited[source] = True
                         collected.append(source)
                         queue.append(source)
-        finally:
-            visited[np.asarray(collected, dtype=np.int64)] = False
-        nodes = np.unique(np.asarray(collected, dtype=np.int32))
-        return RRSample(nodes=nodes, root=root, edges_examined=edges_examined)
+            nodes = np.asarray(collected, dtype=np.int32)
+            visited[nodes] = False
+            nodes.sort()
+            parts.append(nodes)
+            roots[j] = root
+            edges[j] = edges_examined
+            offsets[j + 1] = offsets[j] + nodes.size
+        self._scratch_dirty = False
+        nodes = np.concatenate(parts) if parts else np.zeros(0, dtype=np.int32)
+        return FlatBatch(nodes, offsets, roots, edges)

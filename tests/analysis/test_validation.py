@@ -1,6 +1,5 @@
 """Unit tests for seed-quality validation helpers."""
 
-import numpy as np
 import pytest
 
 from repro.analysis import (

@@ -1,6 +1,5 @@
 """Unit tests for adaptive influence maximization."""
 
-import numpy as np
 import pytest
 
 from repro.applications import adaptive_influence_maximization

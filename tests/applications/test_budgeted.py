@@ -18,10 +18,6 @@ class TestBudgetedIM:
 
     def test_uniform_costs_match_cardinality_greedy(self, small_wc_graph):
         """Unit costs and budget k reduce to plain k-seed greedy coverage."""
-        from repro.cluster import SimulatedCluster
-        from repro.coverage import newgreedi
-        from repro.ris import make_sampler
-
         costs = np.ones(small_wc_graph.num_nodes)
         result = budgeted_influence_maximization(
             small_wc_graph, costs, budget=4.0, num_machines=2,

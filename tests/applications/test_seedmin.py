@@ -1,6 +1,5 @@
 """Unit tests for seed minimization."""
 
-import numpy as np
 import pytest
 
 from repro.applications import seed_minimization

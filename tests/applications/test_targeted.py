@@ -1,10 +1,9 @@
 """Unit tests for targeted influence maximization."""
 
-import numpy as np
 import pytest
 
 from repro.applications import TargetedSampler, targeted_influence_maximization
-from repro.graphs import GraphBuilder, star_graph, uniform
+from repro.graphs import GraphBuilder
 from repro.ris import make_sampler
 
 

@@ -1,6 +1,5 @@
 """Unit tests for the heuristic seed-selection baselines."""
 
-import numpy as np
 import pytest
 
 from repro.baselines import (

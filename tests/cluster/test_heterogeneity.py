@@ -5,7 +5,13 @@ import itertools
 import numpy as np
 import pytest
 
-from repro.cluster import Machine, SimulatedCluster
+from repro.cluster import (
+    GENERATION,
+    GeneratePhase,
+    Machine,
+    SimulatedCluster,
+    make_executor,
+)
 
 
 class TestSlowdown:
@@ -51,28 +57,53 @@ class TestWeightedSplit:
         for total in (1, 7, 100, 101):
             assert sum(cluster.split_count_weighted(total)) == total
 
+    def test_zero_total(self):
+        cluster = SimulatedCluster(3, seed=0, slowdowns=[1.0, 2.0, 3.0])
+        assert cluster.split_count_weighted(0) == [0, 0, 0]
+
+    def test_single_machine_takes_everything(self):
+        cluster = SimulatedCluster(1, seed=0, slowdowns=[7.5])
+        assert cluster.split_count_weighted(42) == [42]
+
+    def test_uniform_non_unit_slowdowns_split_evenly(self):
+        """Equal machines split evenly no matter their absolute speed."""
+        cluster = SimulatedCluster(4, seed=0, slowdowns=[2.5] * 4)
+        assert cluster.split_count_weighted(10) == cluster.split_count(10)
+
     def test_weighted_split_improves_parallel_time(self, small_wc_graph):
         """On a 2-speed cluster, the weighted split's simulated parallel
         generation time beats the even split."""
-        from repro.cluster.metrics import GENERATION
-        from repro.ris import make_sampler
-
-        sampler = make_sampler(small_wc_graph, "ic")
         times = {}
         for strategy in ("even", "weighted"):
             cluster = SimulatedCluster(4, seed=1, slowdowns=[1, 1, 4, 4])
             cluster.init_collections(small_wc_graph.num_nodes)
+            executor = make_executor("simulated", cluster, graph=small_wc_graph)
             shares = (
                 cluster.split_count(2000)
                 if strategy == "even"
                 else cluster.split_count_weighted(2000)
             )
-
-            def generate(machine):
-                machine.collection.extend(
-                    sampler.sample_many(shares[machine.machine_id], machine.rng)
-                )
-
-            cluster.map(GENERATION, strategy, generate)
+            executor.run_phase(GeneratePhase(strategy, counts=tuple(shares)))
             times[strategy] = cluster.metrics.generation_time
         assert times["weighted"] < times["even"]
+
+    @pytest.mark.parametrize("executor_name", ["simulated", "multiprocessing"])
+    def test_executor_generation_on_heterogeneous_cluster(
+        self, executor_name, small_wc_graph
+    ):
+        """Both executors honour the weighted split and the slowdown
+        metering on a heterogeneous cluster."""
+        cluster = SimulatedCluster(3, seed=4, slowdowns=[1.0, 1.0, 50.0])
+        cluster.init_collections(small_wc_graph.num_nodes)
+        executor = make_executor(executor_name, cluster, graph=small_wc_graph)
+        shares = cluster.split_count_weighted(505)
+        assert shares[2] < shares[0]
+        result = executor.run_phase(GeneratePhase("hetero", counts=tuple(shares)))
+        assert [m.collection.num_sets for m in cluster.machines] == shares
+        record = cluster.metrics.phases_in(GENERATION)[-1]
+        assert record.machine_times == result.machine_times
+        # Machine 2 draws ~1/50 of the work but is metered 50x slower, so
+        # it still dominates neither by a huge margin nor trivially; at
+        # minimum its per-set cost must exceed the fast machines'.
+        per_set = [t / s for t, s in zip(result.machine_times, shares)]
+        assert per_set[2] > per_set[0]

@@ -5,7 +5,7 @@ import math
 import numpy as np
 import pytest
 
-from repro.cluster import COMMUNICATION, gigabit_cluster
+from repro.cluster import gigabit_cluster
 from repro.core import diimm, imm
 from repro.diffusion import estimate_spread, exact_optimum, get_model
 from repro.graphs import erdos_renyi, weighted_cascade

@@ -3,7 +3,6 @@
 import math
 
 import numpy as np
-import pytest
 
 from repro.core import diimm, distributed_opimc
 from repro.diffusion import estimate_spread, exact_optimum, get_model

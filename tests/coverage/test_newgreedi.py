@@ -10,7 +10,7 @@ from repro.coverage import (
     greedy_max_coverage,
     newgreedi,
 )
-from repro.ris import RRCollection, make_sampler
+from repro.ris import make_sampler
 from tests.conftest import make_random_instance
 
 

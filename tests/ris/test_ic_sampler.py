@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.diffusion import exact_spread_ic
-from repro.graphs import GraphBuilder, uniform, path_graph, star_graph
+from repro.graphs import uniform, path_graph, star_graph
 from repro.ris import ICReverseBFSSampler
 
 

@@ -10,7 +10,6 @@ import pytest
 
 from repro.diffusion import exact_spread_ic
 from repro.graphs import (
-    GraphBuilder,
     erdos_renyi,
     star_graph,
     uniform,

@@ -14,6 +14,19 @@ class TestParser:
         args = build_parser().parse_args(["run"])
         assert args.algorithm == "diimm"
         assert args.k == 50
+        assert args.executor == "simulated"
+        assert args.backend == "flat"
+
+    def test_run_executor_and_backend_choices(self):
+        args = build_parser().parse_args(
+            ["run", "--executor", "multiprocessing", "--backend", "reference"]
+        )
+        assert args.executor == "multiprocessing"
+        assert args.backend == "reference"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--executor", "mpi"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--backend", "sparse"])
 
     def test_experiment_choices(self):
         with pytest.raises(SystemExit):
@@ -48,6 +61,30 @@ class TestCommands:
         )
         assert code == 0
         assert "DIIMM on facebook" in capsys.readouterr().out
+
+    def test_run_diimm_multiprocessing_reference(self, capsys):
+        """The --executor/--backend flags reach the algorithm and agree
+        with the default flat/simulated run on the seed set."""
+        code = main(
+            [
+                "run", "--dataset", "facebook", "--k", "3", "--eps", "0.7",
+                "--machines", "2", "--executor", "multiprocessing",
+                "--backend", "reference",
+            ]
+        )
+        assert code == 0
+        mp_out = capsys.readouterr().out
+        assert "DIIMM on facebook" in mp_out
+        code = main(
+            [
+                "run", "--dataset", "facebook", "--k", "3", "--eps", "0.7",
+                "--machines", "2",
+            ]
+        )
+        assert code == 0
+        default_out = capsys.readouterr().out
+        seeds = lambda out: out[out.index("seeds:") :]  # noqa: E731
+        assert seeds(mp_out) == seeds(default_out)
 
     def test_validate(self, capsys):
         code = main(
