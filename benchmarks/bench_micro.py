@@ -195,3 +195,77 @@ def test_micro_kernel_backend_speedup(record_rows, instance, flat_instance):
     )
     for row in rows:
         assert row["speedup"] >= 1.0, f"flat backend slower on {row['component']}"
+
+
+def test_micro_incremental_coverage_speedup(record_rows, graph):
+    """Round-driver coverage maintenance: per-round full re-aggregation
+    (what D-SSA/D-OPIM-C did before the driver) vs the incremental
+    CoverageState fed sparse wave deltas; regression gate: the
+    incremental path must never be slower."""
+    from repro.cluster import SimulatedExecutor
+    from repro.coverage import CoverageState
+    from repro.ris import FlatRRCollection, append_batch
+
+    machines = 4
+    # Per-machine totals after each round, doubling like the adaptive loops.
+    totals = [1000, 2000, 4000, 8000, 16000, 32000]
+    sampler = make_sampler(graph, "ic", "bfs")
+
+    # Pre-build (outside the timed region — generation is its own phase in
+    # a real run) each round's store snapshots: round r holds the first
+    # totals[r] sets of every machine, exactly like a growing collection.
+    stores_at_round = []
+    stores = [FlatRRCollection(graph.num_nodes) for __ in range(machines)]
+    previous = 0
+    for total in totals:
+        round_stores = []
+        for m, store in enumerate(stores):
+            batch = sampler.sample_batch(
+                np.random.default_rng(97 * m + total), total - previous
+            )
+            append_batch(store, batch)
+            snapshot = FlatRRCollection(graph.num_nodes)
+            snapshot.append_arrays(
+                store.nodes.copy(), store.offsets.copy(),
+                edges_examined=store.total_edges_examined,
+            )
+            snapshot.coverage_counts()  # materialize up front
+            round_stores.append(snapshot)
+        stores_at_round.append(round_stores)
+        previous = total
+
+    def incremental():
+        state = CoverageState(graph.num_nodes, machines)
+        executor = SimulatedExecutor(SimulatedCluster(machines, seed=0))
+        for round_stores in stores_at_round:
+            state.ingest(executor, round_stores, communicate=False)
+            state.selection_counts()  # the round's working copy
+        return state.counts.copy()
+
+    def rebuild():
+        state = CoverageState(graph.num_nodes, machines)
+        counts = None
+        for round_stores in stores_at_round:
+            counts = state.rebuild_from(round_stores)
+        return counts
+
+    incremental_s, incremental_counts = _best_of(incremental)
+    rebuild_s, rebuild_counts = _best_of(rebuild)
+    assert np.array_equal(incremental_counts, rebuild_counts)
+
+    rows = [
+        {
+            "workload": f"facebook, m={machines}, rounds={len(totals)}, "
+            f"{totals[-1] * machines} sets",
+            "rebuild_s": round(rebuild_s, 4),
+            "incremental_s": round(incremental_s, 4),
+            "speedup": round(rebuild_s / incremental_s, 2),
+        }
+    ]
+    record_rows(
+        "micro_incremental_coverage",
+        rows,
+        "Coverage maintenance: per-round full rebuild vs incremental deltas",
+    )
+    for row in rows:
+        assert row["speedup"] >= 1.0, "incremental coverage maintenance slower than rebuild"

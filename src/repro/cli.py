@@ -62,6 +62,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="RR-set store / coverage backend for distributed algorithms "
         "(ignored by imm); seeds are identical either way",
     )
+    run.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="directory for per-round driver snapshots; a killed run can "
+        "be continued from the latest one with --resume",
+    )
+    run.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from the latest snapshot in --checkpoint-dir "
+        "(finishing with the identical seed set a fresh run would)",
+    )
 
     experiment = sub.add_parser(
         "experiment", help="regenerate a paper table/figure or an extension"
@@ -125,18 +137,24 @@ def _cmd_run(args: argparse.Namespace) -> int:
     from .experiments import print_table
     from .graphs import load_dataset
 
+    if args.resume and args.checkpoint_dir is None:
+        print("error: --resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
     dataset = load_dataset(args.dataset)
     network = gigabit_cluster() if args.network == "cluster" else shared_memory_server()
+    checkpoint_kwargs = dict(checkpoint_dir=args.checkpoint_dir, resume=args.resume)
     distributed_kwargs = dict(
         eps=args.eps,
         network=network,
         seed=args.seed,
         backend=args.backend,
         executor=args.executor,
+        **checkpoint_kwargs,
     )
     if args.algorithm == "imm":
         result = imm(
-            dataset.graph, args.k, eps=args.eps, model=args.model, seed=args.seed
+            dataset.graph, args.k, eps=args.eps, model=args.model, seed=args.seed,
+            **checkpoint_kwargs,
         )
     elif args.algorithm == "diimm":
         result = diimm(

@@ -19,7 +19,7 @@ from .machine import Machine
 from .metrics import COMMUNICATION, COMPUTATION, GENERATION, PhaseRecord, RunMetrics
 from .network import NetworkModel, gigabit_cluster, shared_memory_server
 from .parallel import run_generation_pool
-from .tracing import render_timeline, summarize_phases
+from .tracing import render_timeline, summarize_phases, summarize_rounds
 
 __all__ = [
     "SimulatedCluster",
@@ -47,5 +47,6 @@ __all__ = [
     "as_executor",
     "run_generation_pool",
     "summarize_phases",
+    "summarize_rounds",
     "render_timeline",
 ]

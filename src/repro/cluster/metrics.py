@@ -15,8 +15,9 @@ from asymptotic formulas.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, Iterator, List
 
 __all__ = ["PhaseRecord", "RunMetrics", "GENERATION", "COMPUTATION", "COMMUNICATION"]
 
@@ -28,13 +29,21 @@ _CATEGORIES = (GENERATION, COMPUTATION, COMMUNICATION)
 
 @dataclass(frozen=True)
 class PhaseRecord:
-    """One metered phase: a map over machines or a communication round."""
+    """One metered phase: a map over machines or a communication round.
+
+    ``round_index`` and ``rule`` are the adaptive-sampling annotations the
+    :class:`~repro.core.driver.RoundDriver` stamps on every phase executed
+    inside one of its rounds (``None`` for phases recorded outside a
+    driver loop), letting tracing attribute time to doubling rounds.
+    """
 
     category: str
     label: str
     parallel_time: float
     machine_times: tuple[float, ...] = ()
     num_bytes: int = 0
+    round_index: int | None = None
+    rule: str | None = None
 
     @property
     def total_machine_time(self) -> float:
@@ -48,6 +57,25 @@ class RunMetrics:
     """Accumulated metrics of one distributed run."""
 
     phases: List[PhaseRecord] = field(default_factory=list)
+    _round_index: int | None = field(default=None, init=False, repr=False, compare=False)
+    _rule: str | None = field(default=None, init=False, repr=False, compare=False)
+
+    @contextmanager
+    def annotated(self, round_index: int | None = None, rule: str | None = None) -> Iterator[None]:
+        """Stamp every phase recorded inside the block with round/rule.
+
+        The round driver wraps each adaptive-sampling round in this
+        context, so generation, selection and communication phases carry
+        the round they belong to without the inner algorithms (NEWGREEDI,
+        the executors) knowing anything about rounds.  Nesting restores
+        the outer annotation on exit.
+        """
+        previous = (self._round_index, self._rule)
+        self._round_index, self._rule = round_index, rule
+        try:
+            yield
+        finally:
+            self._round_index, self._rule = previous
 
     def record_compute_phase(
         self,
@@ -64,6 +92,8 @@ class RunMetrics:
                 label=label,
                 parallel_time=max(machine_times) if machine_times else 0.0,
                 machine_times=tuple(machine_times),
+                round_index=self._round_index,
+                rule=self._rule,
             )
         )
 
@@ -75,6 +105,8 @@ class RunMetrics:
                 label=label,
                 parallel_time=elapsed,
                 num_bytes=num_bytes,
+                round_index=self._round_index,
+                rule=self._rule,
             )
         )
 
@@ -90,6 +122,18 @@ class RunMetrics:
         if category not in _CATEGORIES:
             raise ValueError(f"unknown category {category!r}")
         return [p for p in self.phases if p.category == category]
+
+    def phases_in_round(self, round_index: int) -> List[PhaseRecord]:
+        """The phases annotated with one driver round, in execution order."""
+        return [p for p in self.phases if p.round_index == round_index]
+
+    def rounds(self) -> List[int]:
+        """The distinct driver round indices seen, in execution order."""
+        seen: List[int] = []
+        for phase in self.phases:
+            if phase.round_index is not None and phase.round_index not in seen:
+                seen.append(phase.round_index)
+        return seen
 
     @property
     def generation_time(self) -> float:

@@ -5,6 +5,9 @@ this module turns that record into something a human can scan:
 
 * :func:`summarize_phases` groups phases by label prefix (the algorithm's
   own naming, e.g. ``search-3/newgreedi/map``) and aggregates times;
+* :func:`summarize_rounds` groups phases by the round/stopping-rule
+  annotations the :class:`~repro.core.driver.RoundDriver` stamps on them,
+  giving the per-doubling-round cost curve directly;
 * :func:`render_timeline` draws a proportional text Gantt of the top
   phase groups, the quickest way to see *where* a run spent its time and
   whether a figure's breakdown makes sense.
@@ -14,9 +17,9 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from .metrics import RunMetrics
+from .metrics import COMMUNICATION, COMPUTATION, GENERATION, RunMetrics
 
-__all__ = ["summarize_phases", "render_timeline"]
+__all__ = ["summarize_phases", "summarize_rounds", "render_timeline"]
 
 
 def _group_of(label: str, depth: int) -> str:
@@ -64,6 +67,56 @@ def summarize_phases(
                 "phases": entry["phases"],
                 "bytes": entry["bytes"],
                 "categories": "+".join(sorted(entry["categories"])),
+            }
+        )
+    return rows
+
+
+def summarize_rounds(metrics: RunMetrics) -> List[dict]:
+    """Aggregate phases by their driver-round annotation.
+
+    Returns one row per ``(round, rule)`` pair in execution order, with
+    the per-category parallel times and bytes of that round.  Phases
+    recorded outside any driver round (``round_index is None``) are
+    collected into a trailing row labelled round ``None`` so the total
+    always reconciles with :meth:`RunMetrics.total_time`.
+    """
+    order: List[tuple] = []
+    grouped: Dict[tuple, dict] = {}
+    for phase in metrics.phases:
+        key = (phase.round_index, phase.rule)
+        if key not in grouped:
+            order.append(key)
+            grouped[key] = {
+                "round": phase.round_index,
+                "rule": phase.rule,
+                GENERATION: 0.0,
+                COMPUTATION: 0.0,
+                COMMUNICATION: 0.0,
+                "parallel_s": 0.0,
+                "phases": 0,
+                "bytes": 0,
+            }
+        entry = grouped[key]
+        entry[phase.category] += phase.parallel_time
+        entry["parallel_s"] += phase.parallel_time
+        entry["phases"] += 1
+        entry["bytes"] += phase.num_bytes
+    # Annotated rounds first (execution order), unannotated overhead last.
+    ordered = [k for k in order if k[0] is not None] + [k for k in order if k[0] is None]
+    rows = []
+    for key in ordered:
+        entry = grouped[key]
+        rows.append(
+            {
+                "round": entry["round"],
+                "rule": entry["rule"],
+                "generation_s": round(entry[GENERATION], 6),
+                "computation_s": round(entry[COMPUTATION], 6),
+                "communication_s": round(entry[COMMUNICATION], 6),
+                "parallel_s": round(entry["parallel_s"], 6),
+                "phases": entry["phases"],
+                "bytes": entry["bytes"],
             }
         )
     return rows

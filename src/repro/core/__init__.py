@@ -1,4 +1,5 @@
-"""Core influence-maximization algorithms: bounds, IMM, DIIMM, SUBSIM, OPIM-C."""
+"""Core influence-maximization algorithms: bounds, the round driver, IMM,
+DIIMM, SUBSIM, SSA, OPIM-C."""
 
 from .bounds import (
     ImmParameters,
@@ -7,10 +8,23 @@ from .bounds import (
     lambda_prime,
     lambda_star,
     log_binomial,
+    opim_opt_upper_bound,
+    opim_spread_lower_bound,
     solve_delta_prime,
 )
+from .checkpoint import CheckpointManager, DriverSnapshot
 from .diimm import diimm
 from .dopimc import distributed_opimc
+from .driver import (
+    DriverRun,
+    ImmScheduleRule,
+    OpimStoppingRule,
+    RoundDriver,
+    RoundPlan,
+    StareStoppingRule,
+    StoppingRule,
+    SubsimScheduleRule,
+)
 from .dssa import distributed_ssa
 from .dsubsim import distributed_subsim
 from .imm import imm
@@ -24,6 +38,18 @@ __all__ = [
     "alpha_term",
     "beta_term",
     "solve_delta_prime",
+    "opim_spread_lower_bound",
+    "opim_opt_upper_bound",
+    "RoundDriver",
+    "RoundPlan",
+    "StoppingRule",
+    "ImmScheduleRule",
+    "SubsimScheduleRule",
+    "StareStoppingRule",
+    "OpimStoppingRule",
+    "DriverRun",
+    "CheckpointManager",
+    "DriverSnapshot",
     "imm",
     "diimm",
     "distributed_subsim",

@@ -31,6 +31,8 @@ __all__ = [
     "lambda_star",
     "solve_delta_prime",
     "ImmParameters",
+    "opim_spread_lower_bound",
+    "opim_opt_upper_bound",
 ]
 
 
@@ -151,3 +153,29 @@ class ImmParameters:
         if lower_bound < 1.0:
             raise ValueError(f"lower bound must be >= 1, got {lower_bound}")
         return int(math.ceil(self.lambda_star / lower_bound))
+
+
+def opim_spread_lower_bound(coverage: int, num_sets: int, n: int, a: float) -> float:
+    """OPIM-C's martingale lower bound on ``sigma(S)`` from validation coverage.
+
+    ``coverage`` is the number of validation (``R2``) RR sets hit by the
+    solution, ``num_sets`` the validation-collection size and ``a`` the
+    union-bound-adjusted log term ``ln(3 * i_max / delta)``.
+    """
+    if num_sets == 0:
+        return 0.0
+    inner = math.sqrt(coverage + 2.0 * a / 9.0) - math.sqrt(a / 2.0)
+    return (inner * inner - a / 18.0) * n / num_sets
+
+
+def opim_opt_upper_bound(coverage: int, num_sets: int, n: int, a: float) -> float:
+    """OPIM-C's martingale upper bound on OPT from the greedy coverage.
+
+    The greedy coverage on the selection collection ``R1`` is inflated by
+    ``1 / (1 - 1/e)`` before the concentration bound is applied.
+    """
+    if num_sets == 0:
+        return float(n)
+    base = coverage / (1.0 - 1.0 / math.e)
+    inner = math.sqrt(base + a / 2.0) + math.sqrt(a / 2.0)
+    return inner * inner * n / num_sets

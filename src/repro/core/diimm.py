@@ -12,22 +12,22 @@ DIIMM is IMM with both phases distributed over ``l`` machines:
   centralized greedy solution (Lemma 2), so DIIMM inherits IMM's
   ``(1 - 1/e - eps)`` guarantee (Theorem 1) unchanged.
 
-The master maintains the aggregated coverage-count vector incrementally:
-after each wave, machines respond with sparse ``(node, count)`` tuples over
-their *newly generated* RR sets only — the traffic optimisation described
-at the end of Section III-C.
+The loop itself — generate, ingest sparse coverage deltas, select, check
+— is the shared :class:`~repro.core.driver.RoundDriver` running the
+:class:`~repro.core.driver.ImmScheduleRule`; this module only assembles
+the pieces and reads the result.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
 from ..cluster.cluster import SimulatedCluster
-from ..cluster.executor import GeneratePhase, make_executor
+from ..cluster.executor import make_executor
 from ..cluster.network import NetworkModel
-from ..coverage.newgreedi import gather_coverage_counts, newgreedi
 from ..graphs.digraph import DirectedGraph
+from ..ris import make_collection
 from .bounds import ImmParameters
+from .checkpoint import manager_for
+from .driver import ImmScheduleRule, RoundDriver, SubsimScheduleRule
 from .result import IMResult
 
 __all__ = ["diimm"]
@@ -47,6 +47,8 @@ def diimm(
     backend: str = "flat",
     executor: str = "simulated",
     processes: int | None = None,
+    checkpoint_dir: str | None = None,
+    resume: bool = False,
 ) -> IMResult:
     """Run DIIMM on a simulated cluster of ``num_machines`` machines.
 
@@ -73,82 +75,65 @@ def diimm(
     processes:
         Worker-pool size for the multiprocessing executor; ignored by
         the simulated one.
+    checkpoint_dir:
+        When set, the driver snapshots the loop state there after every
+        non-final round (collections, coverage counts, RNG streams, rule
+        position) — see :mod:`repro.core.checkpoint`.
+    resume:
+        Restore the latest snapshot from ``checkpoint_dir`` and continue
+        the run from there.  The resumed run ends in the identical seed
+        set a fresh run would produce.
 
     Returns
     -------
     IMResult
         ``metrics`` carries the Fig 5-9 breakdown (generation /
-        computation / communication, all simulated-parallel).
+        computation / communication, all simulated-parallel), with every
+        phase annotated by its round index and stopping rule.
     """
     n = graph.num_nodes
     if delta is None:
         delta = 1.0 / n
     params = ImmParameters.compute(n, k, eps, delta)
     cluster = SimulatedCluster(num_machines, network=network, seed=seed)
-    cluster.init_collections(n, backend=backend)
     exec_ = make_executor(executor, cluster, graph=graph, processes=processes)
-    running_counts = np.zeros(n, dtype=np.int64)
-
-    def total_sets() -> int:
-        return sum(machine.collection.num_sets for machine in cluster.machines)
-
-    def generate_to(target: int, label: str) -> None:
-        """Grow the distributed collection to ``target`` RR sets in total."""
-        nonlocal running_counts
-        missing = target - total_sets()
-        if missing <= 0:
-            return
-        previous_sizes = [machine.collection.num_sets for machine in cluster.machines]
-        exec_.run_phase(
-            GeneratePhase(
-                f"{label}/generate",
-                counts=tuple(cluster.split_count(missing)),
-                model=model,
-                method=method,
-            )
-        )
-        # Incremental master-side counts: tuples over the new sets only.
-        running_counts = running_counts + gather_coverage_counts(
-            exec_,
-            start_indices=previous_sizes,
-            label=f"{label}/counts",
-        )
-
-    def select(label: str):
-        return newgreedi(
-            exec_,
-            k,
-            initial_counts=running_counts,
-            label=f"{label}/newgreedi",
-            backend=backend,
-        )
-
-    # Phase 1: distributed lower-bound search (Algorithm 2 lines 3-10).
-    lower_bound = 1.0
-    search_rounds = 0
-    for t in range(1, params.max_search_rounds + 1):
-        search_rounds = t
-        x = n / (2.0**t)
-        generate_to(params.theta_for_round(t), f"search-{t}")
-        candidate = select(f"search-{t}")
-        if n * candidate.fraction >= (1.0 + params.eps_prime) * x:
-            lower_bound = n * candidate.fraction / (1.0 + params.eps_prime)
-            break
-
-    # Phase 2: final distributed sampling and selection (lines 11-13).
-    generate_to(params.theta_final(lower_bound), "final")
-    final = select("final")
+    rule_type = SubsimScheduleRule if method == "subsim" else ImmScheduleRule
+    rule = rule_type(params)
+    stores = {"main": [make_collection(n, backend) for _ in range(num_machines)]}
+    checkpoint = manager_for(
+        checkpoint_dir,
+        algorithm=algorithm_label,
+        n=n,
+        k=k,
+        eps=eps,
+        delta=delta,
+        seed=seed,
+        num_machines=num_machines,
+        model=model,
+        method=method,
+        backend=backend,
+    )
+    driver = RoundDriver(
+        exec_,
+        rule,
+        k,
+        stores,
+        model=model,
+        method=method,
+        backend=backend,
+        checkpoint=checkpoint,
+        resume=resume,
+    )
+    run = driver.run()
 
     return IMResult(
-        seeds=final.seeds,
-        estimated_spread=n * final.fraction,
-        num_rr_sets=total_sets(),
-        total_rr_size=sum(m.collection.total_size for m in cluster.machines),
-        total_edges_examined=sum(
-            m.collection.total_edges_examined for m in cluster.machines
-        ),
-        lower_bound=lower_bound,
-        search_rounds=search_rounds,
+        seeds=run.selection.seeds,
+        estimated_spread=n * run.selection.fraction,
+        num_rr_sets=driver.total_sets("main"),
+        total_rr_size=driver.total_size("main"),
+        total_edges_examined=driver.total_edges_examined("main"),
+        lower_bound=rule.lower_bound,
+        search_rounds=rule.search_rounds,
         metrics=cluster.metrics,
         algorithm=algorithm_label,
         model=model,

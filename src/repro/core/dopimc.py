@@ -9,15 +9,20 @@ a data-dependent bound certifies the current solution:
 * an upper bound on OPT from the greedy coverage on ``R1`` divided by
   ``(1 - 1/e)``,
 
-both via martingale concentration.  When the ratio clears
+both via martingale concentration
+(:func:`~repro.core.bounds.opim_spread_lower_bound` /
+:func:`~repro.core.bounds.opim_opt_upper_bound`).  When the ratio clears
 ``1 - 1/e - eps`` the solution is certified and typically needs far fewer
 RR sets than IMM's worst-case schedule.
 
 The paper claims (Section III-C, Remark in IV-B) that distributed RIS and
 NEWGREEDI accelerate OPIM-C the same way they accelerate IMM; this module
-substantiates that claim: both collections are generated across machines,
-selection runs through NEWGREEDI, and validation coverage is gathered as a
-single integer per machine.
+substantiates that claim by running the shared
+:class:`~repro.core.driver.RoundDriver` with an
+:class:`~repro.core.driver.OpimStoppingRule`: both collections are
+generated across machines, ``R1``'s coverage counts are maintained
+incrementally, selection runs through NEWGREEDI, and validation coverage
+is gathered as a single integer per machine.
 """
 
 from __future__ import annotations
@@ -25,33 +30,16 @@ from __future__ import annotations
 import math
 
 from ..cluster.cluster import SimulatedCluster
-from ..cluster.executor import GatherPhase, GeneratePhase, MapPhase, make_executor
-from ..cluster.machine import Machine
+from ..cluster.executor import make_executor
 from ..cluster.network import NetworkModel
-from ..coverage.newgreedi import newgreedi
 from ..graphs.digraph import DirectedGraph
 from ..ris import make_collection
 from .bounds import ImmParameters
+from .checkpoint import manager_for
+from .driver import OpimStoppingRule, RoundDriver
 from .result import IMResult
 
 __all__ = ["distributed_opimc"]
-
-
-def _spread_lower_bound(coverage: int, num_sets: int, n: int, a: float) -> float:
-    """Martingale lower bound on ``sigma(S)`` from validation coverage."""
-    if num_sets == 0:
-        return 0.0
-    inner = math.sqrt(coverage + 2.0 * a / 9.0) - math.sqrt(a / 2.0)
-    return (inner * inner - a / 18.0) * n / num_sets
-
-
-def _opt_upper_bound(coverage: int, num_sets: int, n: int, a: float) -> float:
-    """Martingale upper bound on OPT from the greedy selection coverage."""
-    if num_sets == 0:
-        return float(n)
-    base = coverage / (1.0 - 1.0 / math.e)
-    inner = math.sqrt(base + a / 2.0) + math.sqrt(a / 2.0)
-    return inner * inner * n / num_sets
 
 
 def distributed_opimc(
@@ -68,6 +56,8 @@ def distributed_opimc(
     backend: str = "flat",
     executor: str = "simulated",
     processes: int | None = None,
+    checkpoint_dir: str | None = None,
+    resume: bool = False,
 ) -> IMResult:
     """Run distributed OPIM-C; parameters mirror :func:`repro.core.diimm.diimm`.
 
@@ -89,83 +79,48 @@ def distributed_opimc(
 
     cluster = SimulatedCluster(num_machines, network=network, seed=seed)
     exec_ = make_executor(executor, cluster, graph=graph, processes=processes)
-    for machine in cluster.machines:
-        machine.state["R1"] = make_collection(n, backend)
-        machine.state["R2"] = make_collection(n, backend)
-
-    def grow(collection_key: str, target: int, label: str) -> None:
-        current = sum(m.state[collection_key].num_sets for m in cluster.machines)
-        missing = target - current
-        if missing <= 0:
-            return
-        exec_.run_phase(
-            GeneratePhase(
-                f"{label}/generate-{collection_key}",
-                counts=tuple(cluster.split_count(missing)),
-                targets=tuple(m.state[collection_key] for m in cluster.machines),
-                model=model,
-                method=method,
-            )
-        )
-
-    seeds: list[int] = []
-    estimated_spread = 0.0
-    certified_ratio = 0.0
-    rounds = 0
-    theta = theta_initial
-    for round_idx in range(1, i_max + 1):
-        rounds = round_idx
-        grow("R1", theta, f"round-{round_idx}")
-        grow("R2", theta, f"round-{round_idx}")
-
-        selection = newgreedi(
-            exec_,
-            k,
-            stores=[m.state["R1"] for m in cluster.machines],
-            label=f"round-{round_idx}/newgreedi",
-            backend=backend,
-        )
-        seeds = selection.seeds
-
-        def validate(machine: Machine) -> int:
-            return machine.state["R2"].coverage_of(seeds)
-
-        per_machine = exec_.run_phase(
-            MapPhase(f"round-{round_idx}/validate", validate)
-        ).results
-        exec_.run_phase(
-            GatherPhase(f"round-{round_idx}/validate", (8,) * cluster.num_machines)
-        )
-
-        r1_sets = sum(m.state["R1"].num_sets for m in cluster.machines)
-        r2_sets = sum(m.state["R2"].num_sets for m in cluster.machines)
-        validation_coverage = sum(per_machine)
-        estimated_spread = n * validation_coverage / r2_sets if r2_sets else 0.0
-        sigma_low = _spread_lower_bound(validation_coverage, r2_sets, n, a)
-        opt_high = _opt_upper_bound(selection.coverage, r1_sets, n, a)
-        certified_ratio = sigma_low / opt_high if opt_high > 0 else 0.0
-        if certified_ratio >= 1.0 - 1.0 / math.e - eps:
-            break
-        theta *= 2
-
-    total_rr = sum(
-        m.state["R1"].num_sets + m.state["R2"].num_sets for m in cluster.machines
+    rule = OpimStoppingRule(n, eps=eps, theta_initial=theta_initial, i_max=i_max, a=a)
+    stores = {
+        key: [make_collection(n, backend) for _ in range(num_machines)]
+        for key in rule.collection_keys
+    }
+    checkpoint = manager_for(
+        checkpoint_dir,
+        algorithm="DOPIM-C",
+        n=n,
+        k=k,
+        eps=eps,
+        delta=delta,
+        seed=seed,
+        num_machines=num_machines,
+        model=model,
+        method=method,
+        backend=backend,
     )
-    total_size = sum(
-        m.state["R1"].total_size + m.state["R2"].total_size for m in cluster.machines
+    driver = RoundDriver(
+        exec_,
+        rule,
+        k,
+        stores,
+        model=model,
+        method=method,
+        backend=backend,
+        checkpoint=checkpoint,
+        resume=resume,
     )
-    total_edges = sum(
-        m.state["R1"].total_edges_examined + m.state["R2"].total_edges_examined
-        for m in cluster.machines
-    )
+    run = driver.run()
+
+    total_rr = driver.total_sets("R1") + driver.total_sets("R2")
+    total_size = driver.total_size("R1") + driver.total_size("R2")
+    total_edges = driver.total_edges_examined("R1") + driver.total_edges_examined("R2")
     return IMResult(
-        seeds=seeds,
-        estimated_spread=estimated_spread,
+        seeds=run.selection.seeds,
+        estimated_spread=rule.estimated_spread,
         num_rr_sets=total_rr,
         total_rr_size=total_size,
         total_edges_examined=total_edges,
-        lower_bound=certified_ratio,
-        search_rounds=rounds,
+        lower_bound=rule.certified_ratio,
+        search_rounds=rule.rounds,
         metrics=cluster.metrics,
         algorithm="DOPIM-C",
         model=model,

@@ -1,0 +1,608 @@
+"""The RoundDriver: one adaptive sampling loop for every RIS algorithm.
+
+Every algorithm in this package — IMM, DIIMM, D-SSA, D-OPIM-C, D-SUBSIM —
+is the *same* loop with a different stopping policy::
+
+    repeat:
+        generate RR sets up to the round's targets      (distributed RIS)
+        fold the new sets into the coverage counts      (incremental)
+        select a candidate seed set                     (NEWGREEDI / greedy)
+        ask the stopping rule: certified?               (policy-specific)
+    until the rule says stop
+
+Previously each entry point carried a private copy of that loop; this
+module hoists it into :class:`RoundDriver` and turns the policies into
+:class:`StoppingRule` objects:
+
+* :class:`ImmScheduleRule` — IMM's precomputed lower-bound search plus
+  final sampling (paper Algorithm 2);
+* :class:`SubsimScheduleRule` — the same schedule under SUBSIM's sampler
+  (the paper's Fig 7 configuration);
+* :class:`StareStoppingRule` — SSA's stop-and-stare comparison against an
+  independent verification collection;
+* :class:`OpimStoppingRule` — OPIM-C's martingale lower/upper-bound
+  certificate.
+
+The driver owns a persistent
+:class:`~repro.coverage.state.CoverageState` per tracked collection and
+updates it *incrementally* from each wave's sparse ``(node, count)``
+deltas — the Section III-C traffic optimisation DIIMM already used, now
+applied to all four distributed algorithms and the selection path (D-SSA
+and D-OPIM-C previously re-aggregated their full collections before
+every selection).  Every phase a round issues is annotated with the
+round index and rule name in the run metrics
+(:meth:`RunMetrics.annotated <repro.cluster.metrics.RunMetrics.annotated>`),
+so ``summarize_rounds`` can attribute time and traffic per round.
+
+Checkpoint/resume: give the driver a
+:class:`~repro.core.checkpoint.CheckpointManager` and it snapshots the
+full loop state — collections, coverage counts, RNG streams, rule state
+and position — after every round it decides to continue past.  A crashed
+run resumed from the latest snapshot deterministically re-executes the
+interrupted round and finishes with the identical seed set.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
+
+from ..cluster.executor import Executor, GatherPhase, GeneratePhase, MapPhase
+from ..cluster.machine import Machine
+from ..coverage.greedy import GreedyResult, greedy_max_coverage
+from ..coverage.newgreedi import newgreedi
+from ..coverage.state import CoverageState
+from .bounds import ImmParameters, opim_opt_upper_bound, opim_spread_lower_bound
+
+__all__ = [
+    "RoundPlan",
+    "StoppingRule",
+    "ImmScheduleRule",
+    "SubsimScheduleRule",
+    "StareStoppingRule",
+    "OpimStoppingRule",
+    "DriverRun",
+    "RoundDriver",
+    "SELECTION_MODES",
+]
+
+#: Bytes for one scalar (coverage integer) in a gather.
+SCALAR_BYTES = 8
+
+#: How the driver runs seed selection each round.
+SELECTION_MODES = ("newgreedi", "central")
+
+
+@dataclass(frozen=True)
+class RoundPlan:
+    """One round's worth of work, as prescribed by a stopping rule.
+
+    ``targets`` maps each collection key to the *total* number of RR sets
+    it must reach this round (growth, not increment — re-running a round
+    after a crash generates only what is still missing).
+    """
+
+    label: str
+    targets: Mapping[str, int]
+
+
+class StoppingRule(ABC):
+    """Policy half of the adaptive loop: scheduling and termination.
+
+    A rule owns the algorithm-specific decisions — how many RR sets the
+    next round needs, which collections exist, and whether the current
+    selection is good enough to stop — while the
+    :class:`RoundDriver` owns the mechanics (generation, incremental
+    coverage maintenance, selection, metering, checkpointing).
+
+    Contract: the driver alternates ``plan = rule.next_round()`` and
+    ``stop = rule.check(driver, selection, plan)`` until ``check``
+    returns ``True``.  Rules carry their results (lower bounds, spread
+    estimates, round counts) as attributes the entry points read after
+    the run, and must round-trip through ``state_dict`` /
+    ``load_state_dict`` for checkpointing.
+    """
+
+    #: Rule identifier, stamped on every phase record of the run.
+    name: str = "abstract"
+    #: Collection keys this rule samples into, in generation order.
+    collection_keys: Tuple[str, ...] = ()
+    #: The key seed selection runs on (its coverage state is maintained).
+    selection_key: str = ""
+
+    @abstractmethod
+    def next_round(self) -> RoundPlan:
+        """Advance to the next round and return its targets."""
+
+    @abstractmethod
+    def check(self, driver: "RoundDriver", selection: GreedyResult, plan: RoundPlan) -> bool:
+        """Inspect the round's selection; return ``True`` to stop.
+
+        Rules may issue further phases through the driver (e.g. a
+        verification-coverage gather via :meth:`RoundDriver.coverage_of`);
+        those land inside the same round annotation.
+        """
+
+    @abstractmethod
+    def state_dict(self) -> Dict[str, Any]:
+        """JSON-serializable snapshot of the rule's mutable state."""
+
+    @abstractmethod
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore a :meth:`state_dict` snapshot."""
+
+
+class ImmScheduleRule(StoppingRule):
+    """IMM's sampling schedule (Algorithm 2): search rounds, then final.
+
+    Search round ``t`` targets ``theta_t = lambda' / x`` RR sets for the
+    OPT guess ``x = n / 2^t`` and accepts
+    ``LB = n * F_R(S_t) / (1 + eps')`` once the estimate clears
+    ``(1 + eps') * x``; the final round grows the collection to
+    ``lambda* / LB`` and its selection is the answer.
+    """
+
+    name = "imm-schedule"
+    collection_keys = ("main",)
+    selection_key = "main"
+
+    def __init__(self, params: ImmParameters) -> None:
+        self.params = params
+        self.t = 0
+        self.final_pending = False
+        self.lower_bound = 1.0
+        self.search_rounds = 0
+
+    def next_round(self) -> RoundPlan:
+        if self.final_pending:
+            return RoundPlan(
+                "final", {"main": self.params.theta_final(self.lower_bound)}
+            )
+        self.t += 1
+        return RoundPlan(
+            f"search-{self.t}", {"main": self.params.theta_for_round(self.t)}
+        )
+
+    def check(self, driver: "RoundDriver", selection: GreedyResult, plan: RoundPlan) -> bool:
+        if self.final_pending:
+            return True
+        n = self.params.n
+        self.search_rounds = self.t
+        x = n / (2.0**self.t)
+        if n * selection.fraction >= (1.0 + self.params.eps_prime) * x:
+            self.lower_bound = n * selection.fraction / (1.0 + self.params.eps_prime)
+            self.final_pending = True
+        elif self.t >= self.params.max_search_rounds:
+            # Search exhausted without certification: fall through to the
+            # final round with the trivial bound, exactly as Algorithm 2's
+            # for-loop does.
+            self.final_pending = True
+        return False
+
+    def state_dict(self) -> Dict[str, Any]:
+        return {
+            "t": self.t,
+            "final_pending": self.final_pending,
+            "lower_bound": self.lower_bound,
+            "search_rounds": self.search_rounds,
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        self.t = int(state["t"])
+        self.final_pending = bool(state["final_pending"])
+        self.lower_bound = float(state["lower_bound"])
+        self.search_rounds = int(state["search_rounds"])
+
+
+class SubsimScheduleRule(ImmScheduleRule):
+    """IMM's schedule driven by SUBSIM's subset-sampling generator.
+
+    SUBSIM changes how an RR set is *drawn*, not how many are needed, so
+    the rule is the IMM schedule under a different name — the name is
+    what round annotations and checkpoints record.
+    """
+
+    name = "subsim-schedule"
+
+
+class StareStoppingRule(StoppingRule):
+    """SSA's stop-and-stare check over selection/verification collections.
+
+    Each round greedy-selects on ``select`` and re-estimates the
+    candidate's spread on the independent ``verify`` collection; the loop
+    stops once the estimates agree within ``(1 + eps_1)`` and the
+    candidate's coverage clears the minimum-support threshold, or the
+    doubling hits IMM's worst-case cap ``theta_max``.
+    """
+
+    name = "stop-and-stare"
+    collection_keys = ("select", "verify")
+    selection_key = "select"
+
+    def __init__(
+        self,
+        n: int,
+        eps_1: float,
+        min_coverage: float,
+        theta_initial: int,
+        theta_max: int,
+    ) -> None:
+        self.n = n
+        self.eps_1 = eps_1
+        self.min_coverage = min_coverage
+        self.theta_max = theta_max
+        self.theta = min(theta_initial, theta_max)
+        self.rounds = 0
+        self.verify_estimate = 0.0
+
+    def next_round(self) -> RoundPlan:
+        self.rounds += 1
+        return RoundPlan(
+            f"round-{self.rounds}",
+            {"select": self.theta, "verify": self.theta},
+        )
+
+    def check(self, driver: "RoundDriver", selection: GreedyResult, plan: RoundPlan) -> bool:
+        select_sets = driver.total_sets("select")
+        select_estimate = self.n * selection.coverage / select_sets
+        verify_coverage = driver.coverage_of(
+            "verify", selection.seeds, f"{plan.label}/stare"
+        )
+        verify_sets = driver.total_sets("verify")
+        self.verify_estimate = self.n * verify_coverage / verify_sets
+
+        consistent = self.verify_estimate >= select_estimate / (1.0 + self.eps_1)
+        supported = selection.coverage >= self.min_coverage
+        if (consistent and supported) or self.theta >= self.theta_max:
+            return True
+        self.theta = min(self.theta * 2, self.theta_max)
+        return False
+
+    def state_dict(self) -> Dict[str, Any]:
+        return {
+            "theta": self.theta,
+            "rounds": self.rounds,
+            "verify_estimate": self.verify_estimate,
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        self.theta = int(state["theta"])
+        self.rounds = int(state["rounds"])
+        self.verify_estimate = float(state["verify_estimate"])
+
+
+class OpimStoppingRule(StoppingRule):
+    """OPIM-C's certificate check over the ``R1``/``R2`` collections.
+
+    Each round doubles both collections, selects on ``R1``, validates on
+    ``R2``, and stops once the martingale lower bound on ``sigma(S)``
+    over the upper bound on OPT certifies a
+    ``(1 - 1/e - eps)``-approximation — or the round budget ``i_max``
+    (which the union-bound term ``a`` was sized for) is spent.
+    """
+
+    name = "opim-c"
+    collection_keys = ("R1", "R2")
+    selection_key = "R1"
+
+    def __init__(
+        self,
+        n: int,
+        eps: float,
+        theta_initial: int,
+        i_max: int,
+        a: float,
+    ) -> None:
+        self.n = n
+        self.eps = eps
+        self.i_max = i_max
+        self.a = a
+        self.theta = theta_initial
+        self.rounds = 0
+        self.certified_ratio = 0.0
+        self.estimated_spread = 0.0
+
+    def next_round(self) -> RoundPlan:
+        self.rounds += 1
+        return RoundPlan(
+            f"round-{self.rounds}", {"R1": self.theta, "R2": self.theta}
+        )
+
+    def check(self, driver: "RoundDriver", selection: GreedyResult, plan: RoundPlan) -> bool:
+        validation_coverage = driver.coverage_of(
+            "R2", selection.seeds, f"{plan.label}/validate"
+        )
+        r1_sets = driver.total_sets("R1")
+        r2_sets = driver.total_sets("R2")
+        self.estimated_spread = (
+            self.n * validation_coverage / r2_sets if r2_sets else 0.0
+        )
+        sigma_low = opim_spread_lower_bound(validation_coverage, r2_sets, self.n, self.a)
+        opt_high = opim_opt_upper_bound(selection.coverage, r1_sets, self.n, self.a)
+        self.certified_ratio = sigma_low / opt_high if opt_high > 0 else 0.0
+        if self.certified_ratio >= 1.0 - 1.0 / math.e - self.eps:
+            return True
+        if self.rounds >= self.i_max:
+            return True
+        self.theta *= 2
+        return False
+
+    def state_dict(self) -> Dict[str, Any]:
+        return {
+            "theta": self.theta,
+            "rounds": self.rounds,
+            "certified_ratio": self.certified_ratio,
+            "estimated_spread": self.estimated_spread,
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        self.theta = int(state["theta"])
+        self.rounds = int(state["rounds"])
+        self.certified_ratio = float(state["certified_ratio"])
+        self.estimated_spread = float(state["estimated_spread"])
+
+
+@dataclass
+class DriverRun:
+    """Outcome of a :meth:`RoundDriver.run`."""
+
+    #: The stopping round's selection — the algorithm's answer.
+    selection: GreedyResult
+    #: Driver rounds executed in this process (excludes checkpointed ones).
+    rounds_executed: int
+    #: Index of the round the run stopped in (counts checkpointed rounds).
+    final_round: int
+    #: Round index the run resumed after, or ``None`` for a fresh run.
+    resumed_from: int | None = None
+
+
+class RoundDriver:
+    """Mechanism half of the adaptive loop: generate, ingest, select.
+
+    Parameters
+    ----------
+    executor:
+        The :class:`~repro.cluster.executor.Executor` all phases run
+        through (simulated or multiprocessing — the loop is identical).
+    rule:
+        The :class:`StoppingRule` providing targets and termination.
+    k:
+        Seed-set size.
+    stores:
+        Per-machine RR stores for each of the rule's collection keys,
+        ``{key: [store_machine_0, ...]}``.  The driver owns their growth;
+        machines only contribute RNG streams.
+    model, method:
+        Sampler selection for the generation phases.
+    backend:
+        Coverage backend (``"flat"`` / ``"reference"``), as everywhere.
+    selection:
+        ``"newgreedi"`` (default) runs the element-distributed protocol
+        of Algorithm 1; ``"central"`` runs the centralized lazy greedy in
+        a single metered compute phase — the single-machine baselines'
+        mode, which issues no communication phases at all.
+    checkpoint:
+        Optional :class:`~repro.core.checkpoint.CheckpointManager`.  When
+        set, the driver snapshots the loop state after every round whose
+        check decides to *continue* (the stopping round produces the
+        result, so there is nothing left to resume).
+    resume:
+        Restore the latest checkpoint before looping.  Raises
+        :class:`FileNotFoundError` if the checkpoint directory holds no
+        usable snapshot.
+    """
+
+    def __init__(
+        self,
+        executor: Executor,
+        rule: StoppingRule,
+        k: int,
+        stores: Dict[str, List],
+        model: str = "ic",
+        method: str = "bfs",
+        backend: str = "flat",
+        selection: str = "newgreedi",
+        checkpoint=None,
+        resume: bool = False,
+    ) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if selection not in SELECTION_MODES:
+            raise ValueError(
+                f"selection must be one of {SELECTION_MODES}, got {selection!r}"
+            )
+        if set(stores) != set(rule.collection_keys):
+            raise ValueError(
+                f"stores keys {sorted(stores)} do not match the rule's "
+                f"collection keys {sorted(rule.collection_keys)}"
+            )
+        for key, per_machine in stores.items():
+            if len(per_machine) != executor.num_machines:
+                raise ValueError(
+                    f"collection {key!r} has {len(per_machine)} stores for "
+                    f"{executor.num_machines} machines"
+                )
+        if resume and checkpoint is None:
+            raise ValueError("resume=True requires a checkpoint manager")
+        if selection == "central" and executor.num_machines != 1:
+            raise ValueError(
+                "central selection is the single-machine baselines' mode; "
+                f"got {executor.num_machines} machines"
+            )
+        self.executor = executor
+        self.cluster = executor.cluster
+        self.rule = rule
+        self.k = k
+        self.stores = stores
+        self.model = model
+        self.method = method
+        self.backend = backend
+        self.selection_mode = selection
+        self.checkpoint = checkpoint
+        self.resume = resume
+        num_nodes = stores[rule.selection_key][0].num_nodes
+        self.n = num_nodes
+        # Only the selection collection needs master-side counts; the
+        # verification collections are probed with full coverage_of scans.
+        self.coverage = CoverageState(num_nodes, executor.num_machines)
+
+    # ------------------------------------------------------------------
+    # Helpers (also the rules' view of the run)
+    # ------------------------------------------------------------------
+    def total_sets(self, key: str) -> int:
+        """Total RR sets across machines in collection ``key``."""
+        return sum(store.num_sets for store in self.stores[key])
+
+    def total_size(self, key: str) -> int:
+        """Total RR-set size (node slots) in collection ``key``."""
+        return sum(store.total_size for store in self.stores[key])
+
+    def total_edges_examined(self, key: str) -> int:
+        """Total edges examined generating collection ``key``."""
+        return sum(store.total_edges_examined for store in self.stores[key])
+
+    def coverage_of(self, key: str, seeds: Sequence[int], label: str) -> int:
+        """Total RR sets of collection ``key`` hit by ``seeds``.
+
+        One metered map (each machine scans its own store) plus a gather
+        of one scalar per machine — the validation/stare probe of D-SSA
+        and D-OPIM-C.
+        """
+        stores = self.stores[key]
+
+        def scan(machine: Machine) -> int:
+            return stores[machine.machine_id].coverage_of(seeds)
+
+        per_machine = self.executor.run_phase(MapPhase(label, scan)).results
+        self.executor.run_phase(
+            GatherPhase(label, (SCALAR_BYTES,) * self.executor.num_machines)
+        )
+        return sum(per_machine)
+
+    # ------------------------------------------------------------------
+    # Round mechanics
+    # ------------------------------------------------------------------
+    def _generate_label(self, round_label: str, key: str) -> str:
+        if len(self.rule.collection_keys) == 1:
+            return f"{round_label}/generate"
+        return f"{round_label}/generate-{key}"
+
+    def _counts_label(self, round_label: str, key: str) -> str:
+        if len(self.rule.collection_keys) == 1:
+            return f"{round_label}/counts"
+        return f"{round_label}/counts-{key}"
+
+    def _grow(self, key: str, target: int, round_label: str) -> None:
+        missing = target - self.total_sets(key)
+        if missing <= 0:
+            return
+        self.executor.run_phase(
+            GeneratePhase(
+                self._generate_label(round_label, key),
+                counts=tuple(self.cluster.split_count(missing)),
+                targets=tuple(self.stores[key]),
+                model=self.model,
+                method=self.method,
+            )
+        )
+
+    def _ingest(self, round_label: str) -> None:
+        key = self.rule.selection_key
+        self.coverage.ingest(
+            self.executor,
+            self.stores[key],
+            label=self._counts_label(round_label, key),
+            communicate=self.selection_mode != "central",
+        )
+
+    def _select(self, round_label: str) -> GreedyResult:
+        key = self.rule.selection_key
+        if self.selection_mode == "newgreedi":
+            return newgreedi(
+                self.executor,
+                self.k,
+                stores=self.stores[key],
+                label=f"{round_label}/newgreedi",
+                backend=self.backend,
+                coverage_state=self.coverage,
+            )
+
+        stores = self.stores[key]
+        counts = self.coverage.selection_counts()
+
+        def central_greedy(machine: Machine) -> GreedyResult:
+            return greedy_max_coverage(
+                stores, self.k, backend=self.backend, initial_counts=counts
+            )
+
+        results = self.executor.run_phase(
+            MapPhase(f"{round_label}/select", central_greedy)
+        ).results
+        return results[0]
+
+    # ------------------------------------------------------------------
+    # Checkpoint plumbing
+    # ------------------------------------------------------------------
+    def _rng_states(self) -> List[Dict[str, Any]]:
+        return [m.rng.bit_generator.state for m in self.executor.machines]
+
+    def _save_checkpoint(self, round_index: int) -> None:
+        self.checkpoint.save(
+            round_index=round_index,
+            rule_name=self.rule.name,
+            rule_state=self.rule.state_dict(),
+            rng_states=self._rng_states(),
+            coverage_state=self.coverage.state_dict(),
+            stores=self.stores,
+        )
+
+    def _restore_checkpoint(self) -> int:
+        snapshot = self.checkpoint.load_latest(
+            rule_name=self.rule.name,
+            collection_keys=self.rule.collection_keys,
+            num_machines=self.executor.num_machines,
+            backend=self.backend,
+        )
+        self.rule.load_state_dict(snapshot.rule_state)
+        for machine, state in zip(self.executor.machines, snapshot.rng_states):
+            machine.set_rng_state(state)
+        self.coverage.load_state_dict(snapshot.coverage_state)
+        for key, per_machine in snapshot.stores.items():
+            for idx, store in enumerate(per_machine):
+                self.stores[key][idx] = store
+        return snapshot.round_index
+
+    # ------------------------------------------------------------------
+    # The loop
+    # ------------------------------------------------------------------
+    def run(self) -> DriverRun:
+        """Execute rounds until the rule stops; return the final selection."""
+        resumed_from = None
+        round_index = 1
+        if self.resume:
+            resumed_from = self._restore_checkpoint()
+            round_index = resumed_from + 1
+
+        metrics = self.executor.metrics
+        rounds_executed = 0
+        while True:
+            plan = self.rule.next_round()
+            with metrics.annotated(round_index=round_index, rule=self.rule.name):
+                for key in self.rule.collection_keys:
+                    self._grow(key, int(plan.targets[key]), plan.label)
+                self._ingest(plan.label)
+                selection = self._select(plan.label)
+                stop = self.rule.check(self, selection, plan)
+            rounds_executed += 1
+            if stop:
+                return DriverRun(
+                    selection=selection,
+                    rounds_executed=rounds_executed,
+                    final_round=round_index,
+                    resumed_from=resumed_from,
+                )
+            if self.checkpoint is not None:
+                self._save_checkpoint(round_index)
+            round_index += 1

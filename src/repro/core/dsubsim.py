@@ -33,12 +33,16 @@ def distributed_subsim(
     backend: str = "flat",
     executor: str = "simulated",
     processes: int | None = None,
+    checkpoint_dir: str | None = None,
+    resume: bool = False,
 ) -> IMResult:
     """Distributed SUBSIM under the IC model.
 
     Subset sampling exploits shared in-edge probabilities; it is defined
     for the IC model only (the LT reverse walk is already linear in the
-    walk length), hence no ``model`` parameter.
+    walk length), hence no ``model`` parameter.  The DIIMM driver runs a
+    :class:`~repro.core.driver.SubsimScheduleRule` for it, so round
+    annotations and checkpoints carry the SUBSIM identity.
     """
     return diimm(
         graph,
@@ -54,4 +58,6 @@ def distributed_subsim(
         backend=backend,
         executor=executor,
         processes=processes,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
     )

@@ -10,22 +10,26 @@ IMM interleaves two phases:
 2. **Final sampling** — grow the collection to ``theta = lambda* / LB``
    RR sets and return the greedy solution on them.
 
-The implementation shares the bounds module and the lazy bucket greedy
-with DIIMM, so single-machine versus distributed comparisons isolate the
-distribution machinery itself.
+The loop is the shared :class:`~repro.core.driver.RoundDriver` running
+the :class:`~repro.core.driver.ImmScheduleRule` over a one-machine
+cluster in *central* selection mode: coverage counts are still
+maintained incrementally, but selection runs the centralized lazy bucket
+greedy in a single metered compute phase and the run issues no
+communication phases at all — single-machine versus distributed
+comparisons therefore isolate the distribution machinery itself.
 """
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
-from ..cluster.metrics import COMPUTATION, GENERATION, RunMetrics
-from ..coverage.greedy import greedy_max_coverage
+from ..cluster.cluster import SimulatedCluster
+from ..cluster.executor import SimulatedExecutor
 from ..graphs.digraph import DirectedGraph
-from ..ris import RRCollection, make_sampler
+from ..ris import make_collection
 from .bounds import ImmParameters
+from .checkpoint import manager_for
+from .driver import ImmScheduleRule, RoundDriver, SubsimScheduleRule
 from .result import IMResult
 
 __all__ = ["imm"]
@@ -39,6 +43,8 @@ def imm(
     model: str = "ic",
     method: str = "bfs",
     seed: int = 0,
+    checkpoint_dir: str | None = None,
+    resume: bool = False,
 ) -> IMResult:
     """Run IMM on a single machine.
 
@@ -56,6 +62,8 @@ def imm(
         Sampler selection (``"ic"``/``"lt"``, ``"bfs"``/``"subsim"``).
     seed:
         RNG seed.
+    checkpoint_dir, resume:
+        Driver-level checkpointing, as in :func:`repro.core.diimm.diimm`.
 
     Returns
     -------
@@ -66,50 +74,51 @@ def imm(
     if delta is None:
         delta = 1.0 / n
     params = ImmParameters.compute(n, k, eps, delta)
-    sampler = make_sampler(graph, model=model, method=method)
-    rng = np.random.default_rng(seed)
-    collection = RRCollection(n)
-    metrics = RunMetrics()
-
-    def generate_to(target: int, label: str) -> None:
-        missing = target - collection.num_sets
-        if missing <= 0:
-            return
-        start = time.perf_counter()
-        collection.extend(sampler.sample_many(missing, rng))
-        metrics.record_compute_phase(GENERATION, label, [time.perf_counter() - start])
-
-    def select(label: str):
-        start = time.perf_counter()
-        result = greedy_max_coverage([collection], k)
-        metrics.record_compute_phase(COMPUTATION, label, [time.perf_counter() - start])
-        return result
-
-    # Phase 1: lower-bound search (Algorithm 2 lines 3-10).
-    lower_bound = 1.0
-    search_rounds = 0
-    for t in range(1, params.max_search_rounds + 1):
-        search_rounds = t
-        x = n / (2.0**t)
-        generate_to(params.theta_for_round(t), f"search-{t}/generate")
-        candidate = select(f"search-{t}/select")
-        if n * candidate.fraction >= (1.0 + params.eps_prime) * x:
-            lower_bound = n * candidate.fraction / (1.0 + params.eps_prime)
-            break
-
-    # Phase 2: final sampling and selection (lines 11-13).
-    generate_to(params.theta_final(lower_bound), "final/generate")
-    final = select("final/select")
+    cluster = SimulatedCluster(1, seed=seed)
+    # The baseline's historical stream: one generator seeded directly
+    # (not spawned through the cluster's seed sequence), so results match
+    # the original single-machine implementation bit for bit.
+    cluster.machines[0].rng = np.random.default_rng(seed)
+    exec_ = SimulatedExecutor(cluster, graph=graph)
+    rule_type = SubsimScheduleRule if method == "subsim" else ImmScheduleRule
+    rule = rule_type(params)
+    stores = {"main": [make_collection(n, "flat")]}
+    checkpoint = manager_for(
+        checkpoint_dir,
+        algorithm="IMM",
+        n=n,
+        k=k,
+        eps=eps,
+        delta=delta,
+        seed=seed,
+        num_machines=1,
+        model=model,
+        method=method,
+        backend="flat",
+    )
+    driver = RoundDriver(
+        exec_,
+        rule,
+        k,
+        stores,
+        model=model,
+        method=method,
+        backend="flat",
+        selection="central",
+        checkpoint=checkpoint,
+        resume=resume,
+    )
+    run = driver.run()
 
     return IMResult(
-        seeds=final.seeds,
-        estimated_spread=n * final.fraction,
-        num_rr_sets=collection.num_sets,
-        total_rr_size=collection.total_size,
-        total_edges_examined=collection.total_edges_examined,
-        lower_bound=lower_bound,
-        search_rounds=search_rounds,
-        metrics=metrics,
+        seeds=run.selection.seeds,
+        estimated_spread=n * run.selection.fraction,
+        num_rr_sets=driver.total_sets("main"),
+        total_rr_size=driver.total_size("main"),
+        total_edges_examined=driver.total_edges_examined("main"),
+        lower_bound=rule.lower_bound,
+        search_rounds=rule.search_rounds,
+        metrics=cluster.metrics,
         algorithm="IMM",
         model=model,
         method=method,

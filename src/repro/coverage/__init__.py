@@ -14,13 +14,16 @@ from .greedy import (
 )
 from .kernel import (
     BACKENDS,
+    apply_sparse_delta,
     as_flat,
     mark_and_decrement,
     resolve_backend,
+    sparse_coverage_delta,
     sparse_decrements,
 )
 from .newgreedi import NewGreeDiResult, gather_coverage_counts, newgreedi
 from .problem import CoverageInstance
+from .state import CoverageState
 
 __all__ = [
     "CoverageInstance",
@@ -39,4 +42,7 @@ __all__ = [
     "resolve_backend",
     "mark_and_decrement",
     "sparse_decrements",
+    "sparse_coverage_delta",
+    "apply_sparse_delta",
+    "CoverageState",
 ]

@@ -114,7 +114,12 @@ def _pad_with_unselected(seeds: List[int], k: int, num_universe_sets: int) -> No
         candidate += 1
 
 
-def greedy_max_coverage(stores: Sequence, k: int, backend: str = "flat") -> GreedyResult:
+def greedy_max_coverage(
+    stores: Sequence,
+    k: int,
+    backend: str = "flat",
+    initial_counts: np.ndarray | None = None,
+) -> GreedyResult:
     """Lazy bucket greedy over one or more element stores.
 
     ``stores`` is any sequence of objects implementing the store protocol
@@ -129,6 +134,12 @@ def greedy_max_coverage(stores: Sequence, k: int, backend: str = "flat") -> Gree
     store protocol element by element and serves as the oracle the
     differential tests compare against.  Both produce byte-for-byte the
     same result.
+
+    ``initial_counts`` supplies pre-aggregated coverage counts (e.g. from
+    an incrementally maintained
+    :class:`~repro.coverage.state.CoverageState`), skipping the
+    ``O(total incidence)`` aggregation pass here.  The array is copied,
+    never mutated.
 
     Complexity is linear in the total incidence size: every
     (element, member) link is touched at most twice, matching the paper's
@@ -145,9 +156,14 @@ def greedy_max_coverage(stores: Sequence, k: int, backend: str = "flat") -> Gree
             raise ValueError("all stores must share the same universe of sets")
     if backend == "flat":
         stores = [as_flat(store) for store in stores]
-    counts = np.zeros(num_universe_sets, dtype=np.int64)
-    for store in stores:
-        counts += store.coverage_counts()
+    if initial_counts is not None:
+        if initial_counts.size != num_universe_sets:
+            raise ValueError("initial_counts has the wrong length")
+        counts = initial_counts.astype(np.int64, copy=True)
+    else:
+        counts = np.zeros(num_universe_sets, dtype=np.int64)
+        for store in stores:
+            counts += store.coverage_counts()
 
     covered = [np.zeros(store.num_sets, dtype=bool) for store in stores]
     queue = BucketQueue(counts)

@@ -35,6 +35,8 @@ __all__ = [
     "resolve_backend",
     "mark_and_decrement",
     "sparse_decrements",
+    "sparse_coverage_delta",
+    "apply_sparse_delta",
     "candidate_degrees",
 ]
 
@@ -108,6 +110,41 @@ def sparse_decrements(
     members = gather_rows(store.nodes, store.offsets, fresh)
     nodes, decrements = np.unique(members, return_counts=True)
     return nodes.astype(np.int64, copy=False), decrements, int(fresh.size)
+
+
+def sparse_coverage_delta(store, start: int = 0) -> Tuple[np.ndarray, np.ndarray]:
+    """One generation wave's sparse ``(node, count)`` coverage delta.
+
+    Counts how many RR sets with index ``>= start`` contain each node and
+    returns only the nonzero entries as parallel ``(nodes, counts)``
+    arrays — the exact tuple vector a machine ships to the master after a
+    wave (Section III-C's traffic optimisation), and the increment a
+    :class:`~repro.coverage.state.CoverageState` applies instead of
+    re-aggregating the whole collection.  Works on any store exposing
+    ``coverage_counts(start=...)``.
+    """
+    counts = store.coverage_counts(start=start)
+    nodes = np.nonzero(counts)[0].astype(np.int64, copy=False)
+    return nodes, counts[nodes]
+
+
+def apply_sparse_delta(
+    counts: np.ndarray, nodes: np.ndarray, deltas: np.ndarray, sign: int = 1
+) -> None:
+    """Apply a sparse ``(node, delta)`` vector to a counts array in place.
+
+    ``sign=+1`` ingests a wave's new coverage (counts grow); ``sign=-1``
+    applies a selection round's decrements.  This is the single reduce
+    primitive behind both the wave ingestion and NEWGREEDI's master-side
+    reduce, so the two paths cannot drift apart.
+    """
+    if sign not in (1, -1):
+        raise ValueError(f"sign must be +1 or -1, got {sign}")
+    if nodes.size:
+        if sign == 1:
+            counts[nodes] += deltas
+        else:
+            counts[nodes] -= deltas
 
 
 def candidate_degrees(store: FlatRRCollection, candidates: np.ndarray) -> np.ndarray:

@@ -119,6 +119,7 @@ def newgreedi(
     initial_counts: np.ndarray | None = None,
     label: str = "newgreedi",
     backend: str = "flat",
+    coverage_state=None,
 ) -> NewGreeDiResult:
     """Run Algorithm 1 on the cluster and return the size-``k`` solution.
 
@@ -137,7 +138,14 @@ def newgreedi(
         collection.
     initial_counts:
         Pre-aggregated coverage counts (DIIMM maintains them incrementally
-        across its iterations); when omitted they are gathered here.
+        across its iterations); when omitted they are gathered here.  The
+        array is copied, never mutated.
+    coverage_state:
+        An incrementally maintained
+        :class:`~repro.coverage.state.CoverageState` covering ``stores``.
+        Selection borrows its reusable scratch copy of the counts — no
+        init gather, no per-call allocation.  Mutually exclusive with
+        ``initial_counts``.
     label:
         Prefix for the recorded phase labels.
     backend:
@@ -164,8 +172,12 @@ def newgreedi(
         if store.num_nodes != num_universe_sets:
             raise ValueError("all stores must share the same universe of sets")
 
+    if initial_counts is not None and coverage_state is not None:
+        raise ValueError("pass either initial_counts or coverage_state, not both")
     if initial_counts is not None and initial_counts.size != num_universe_sets:
         raise ValueError("initial_counts has the wrong length")
+    if coverage_state is not None and coverage_state.num_nodes != num_universe_sets:
+        raise ValueError("coverage_state covers a different universe of sets")
 
     # Line 2 of Algorithm 1: label all RR sets as uncovered, per machine.
     # With the flat backend each machine also materialises its CSR view
@@ -182,7 +194,9 @@ def newgreedi(
     element_counts = executor.run_phase(MapPhase(f"{label}/reset", reset_covered)).results
     num_elements = sum(element_counts)
 
-    if initial_counts is None:
+    if coverage_state is not None:
+        counts = coverage_state.selection_counts()
+    elif initial_counts is None:
         counts = gather_coverage_counts(executor, stores, label=f"{label}/init")
     else:
         counts = initial_counts.astype(np.int64, copy=True)

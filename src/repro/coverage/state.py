@@ -1,0 +1,175 @@
+"""Persistent master-side coverage state, maintained incrementally.
+
+Every adaptive RIS algorithm keeps, on the master, the aggregated
+marginal-coverage vector ``Delta`` — how many (still uncovered) RR sets
+each node appears in across all machines.  Before the round driver, DIIMM
+maintained it incrementally while D-SSA and D-OPIM-C rebuilt it from the
+*entire* distributed collection at the start of every selection call:
+``O(total RR size)`` of re-aggregation per doubling round, the redundant
+per-round recomputation this module removes.
+
+:class:`CoverageState` owns the pristine counts array and a per-machine
+watermark of how many RR sets have been ingested.  After each generation
+wave, machines respond with the sparse ``(node, count)`` tuple vector of
+their *new* sets only (:func:`~repro.coverage.kernel.sparse_coverage_delta`
+— the Section III-C traffic optimisation, now applied to every
+algorithm); the master folds the deltas in with
+:func:`~repro.coverage.kernel.apply_sparse_delta`.  Selection rounds
+borrow a reusable scratch copy via :meth:`selection_counts`, so the
+pristine vector and the scratch buffer both carry over from round to
+round — no per-round re-aggregation and no per-round allocation.
+
+The counts produced this way are integer-for-integer identical to a full
+rebuild (:meth:`rebuild_from` is the oracle the tests and the
+``micro_incremental_coverage`` benchmark gate compare against), so seed
+selection is byte-for-byte unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..cluster.executor import GatherPhase, MapPhase, MasterPhase
+from ..cluster.machine import Machine
+from .kernel import apply_sparse_delta, sparse_coverage_delta
+
+__all__ = ["CoverageState"]
+
+#: Bytes per ``(node, count)`` tuple in a machine's wave response.
+TUPLE_BYTES = 8
+
+
+class CoverageState:
+    """Aggregated per-node coverage counts over a distributed collection.
+
+    Parameters
+    ----------
+    num_nodes:
+        Size of the node universe ``n``.
+    num_machines:
+        Number of per-machine stores feeding this state.
+    """
+
+    def __init__(self, num_nodes: int, num_machines: int) -> None:
+        if num_nodes <= 0:
+            raise ValueError(f"num_nodes must be positive, got {num_nodes}")
+        if num_machines < 1:
+            raise ValueError(f"num_machines must be >= 1, got {num_machines}")
+        self.num_nodes = num_nodes
+        self.num_machines = num_machines
+        #: Pristine aggregated counts: RR sets per node, all machines.
+        self.counts = np.zeros(num_nodes, dtype=np.int64)
+        #: Per-machine number of RR sets already folded into ``counts``.
+        self.watermarks: List[int] = [0] * num_machines
+        # Reusable working buffer selection rounds decrement into.
+        self._scratch = np.zeros(num_nodes, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance
+    # ------------------------------------------------------------------
+    def ingest(
+        self,
+        executor,
+        stores: Sequence,
+        label: str = "coverage-state",
+        communicate: bool = True,
+    ) -> None:
+        """Fold each store's RR sets beyond its watermark into the counts.
+
+        Runs as executor phases: a map in which every machine builds the
+        sparse ``(node, count)`` delta over its newly generated sets, a
+        gather charged one tuple per distinct node (skipped with
+        ``communicate=False`` — the single-machine algorithms, whose
+        master and worker are the same host, meter the map but move no
+        bytes), and a master-side reduce applying the deltas.
+        """
+        if len(stores) != self.num_machines:
+            raise ValueError(f"expected {self.num_machines} stores, got {len(stores)}")
+        if all(store.num_sets == mark for store, mark in zip(stores, self.watermarks)):
+            return
+        starts = list(self.watermarks)
+
+        def wave_delta(machine: Machine):
+            return sparse_coverage_delta(
+                stores[machine.machine_id], start=starts[machine.machine_id]
+            )
+
+        deltas = executor.run_phase(MapPhase(f"{label}/map", wave_delta)).results
+        if communicate:
+            executor.run_phase(
+                GatherPhase(
+                    f"{label}/gather",
+                    tuple(TUPLE_BYTES * nodes.size for nodes, __ in deltas),
+                )
+            )
+
+            def reduce_deltas() -> None:
+                for nodes, counts in deltas:
+                    apply_sparse_delta(self.counts, nodes, counts)
+
+            executor.run_phase(MasterPhase(f"{label}/reduce", reduce_deltas))
+        else:
+            for nodes, counts in deltas:
+                apply_sparse_delta(self.counts, nodes, counts)
+        self.watermarks = [store.num_sets for store in stores]
+
+    def rebuild_from(self, stores: Sequence) -> np.ndarray:
+        """Oracle path: re-aggregate the counts from the full stores.
+
+        Returns the freshly built vector *without* touching the
+        incremental state — differential tests and the benchmark gate
+        compare it against :attr:`counts`.
+        """
+        total = np.zeros(self.num_nodes, dtype=np.int64)
+        for store in stores:
+            total += store.coverage_counts()
+        return total
+
+    # ------------------------------------------------------------------
+    # Selection handoff
+    # ------------------------------------------------------------------
+    def selection_counts(self) -> np.ndarray:
+        """A working copy of the counts for one selection round.
+
+        The returned array is the state's reusable scratch buffer:
+        selection decrements it freely as elements become covered while
+        the pristine :attr:`counts` survives for the next round.  Only
+        one selection may borrow it at a time — exactly the round
+        driver's access pattern.
+        """
+        np.copyto(self._scratch, self.counts)
+        return self._scratch
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Arrays capturing the state, ready for ``np.savez``."""
+        return {
+            "counts": self.counts.copy(),
+            "watermarks": np.asarray(self.watermarks, dtype=np.int64),
+        }
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Restore a :meth:`state_dict` snapshot (checkpoint resume)."""
+        counts = np.asarray(state["counts"], dtype=np.int64)
+        watermarks = [int(w) for w in np.asarray(state["watermarks"])]
+        if counts.size != self.num_nodes:
+            raise ValueError(
+                f"checkpointed counts cover {counts.size} nodes, expected {self.num_nodes}"
+            )
+        if len(watermarks) != self.num_machines:
+            raise ValueError(
+                f"checkpointed watermarks cover {len(watermarks)} machines, "
+                f"expected {self.num_machines}"
+            )
+        self.counts = counts
+        self.watermarks = watermarks
+
+    def __repr__(self) -> str:
+        return (
+            f"CoverageState(num_nodes={self.num_nodes}, "
+            f"ingested={self.watermarks})"
+        )

@@ -12,7 +12,14 @@ from .stats import (
     empirical_ept,
     lemma3_check,
 )
-from .serialization import load_collection, load_flat_collection, save_collection
+from .serialization import (
+    FORMAT_MAGIC,
+    FORMAT_VERSION,
+    CheckpointFormatError,
+    load_collection,
+    load_flat_collection,
+    save_collection,
+)
 from .subsim import SubsimSampler
 from .triggering_sampler import TriggeringRRSampler
 
@@ -37,6 +44,9 @@ __all__ = [
     "save_collection",
     "load_collection",
     "load_flat_collection",
+    "FORMAT_MAGIC",
+    "FORMAT_VERSION",
+    "CheckpointFormatError",
     "TriggeringRRSampler",
 ]
 

@@ -8,11 +8,18 @@ very layout :class:`~repro.ris.flat.FlatRRCollection` keeps in memory, so
 saving or loading a flat collection is a handful of numpy calls with no
 per-set loop at all; the reference :class:`RRCollection` takes the same
 format through one concatenate/slice pass.
+
+Every checkpoint carries a magic marker plus a format version
+(:data:`FORMAT_MAGIC` / :data:`FORMAT_VERSION`).  Loading verifies both
+before touching any array, so a stale, truncated or foreign ``.npz``
+fails with a :class:`CheckpointFormatError` that names the file and the
+problem instead of an opaque numpy/zipfile traceback.
 """
 
 from __future__ import annotations
 
 import os
+import zipfile
 
 import numpy as np
 
@@ -20,7 +27,23 @@ from .collection import RRCollection
 from .flat import FlatRRCollection
 from .rrset import RRSample
 
-__all__ = ["save_collection", "load_collection", "load_flat_collection"]
+__all__ = [
+    "FORMAT_MAGIC",
+    "FORMAT_VERSION",
+    "CheckpointFormatError",
+    "save_collection",
+    "load_collection",
+    "load_flat_collection",
+]
+
+#: Identifies a file as an RR-collection checkpoint.
+FORMAT_MAGIC = "repro-rr-collection"
+#: Current on-disk layout version.  Bump when the array schema changes.
+FORMAT_VERSION = 1
+
+
+class CheckpointFormatError(ValueError):
+    """A checkpoint file is unreadable, foreign, or of another version."""
 
 
 def save_collection(
@@ -44,6 +67,8 @@ def save_collection(
             values = np.zeros(0, dtype=np.int32)
     np.savez_compressed(
         path,
+        magic=np.asarray(FORMAT_MAGIC),
+        version=np.int64(FORMAT_VERSION),
         num_nodes=np.int64(collection.num_nodes),
         offsets=offsets,
         values=values,
@@ -52,7 +77,26 @@ def save_collection(
 
 
 def _read_arrays(path: str | os.PathLike):
-    with np.load(path) as data:
+    try:
+        data = np.load(path)
+    except (OSError, ValueError, EOFError, zipfile.BadZipFile) as exc:
+        raise CheckpointFormatError(
+            f"{os.fspath(path)!r} is not a readable RR-collection checkpoint "
+            f"(corrupt or truncated file): {exc}"
+        ) from exc
+    with data:
+        if "magic" not in data.files or str(data["magic"]) != FORMAT_MAGIC:
+            raise CheckpointFormatError(
+                f"{os.fspath(path)!r} is not an RR-collection checkpoint "
+                f"(missing {FORMAT_MAGIC!r} header); refusing to guess at its layout"
+            )
+        version = int(data["version"])
+        if version != FORMAT_VERSION:
+            raise CheckpointFormatError(
+                f"{os.fspath(path)!r} uses checkpoint format version {version}, "
+                f"but this build reads version {FORMAT_VERSION}; "
+                "regenerate the checkpoint with the matching release"
+            )
         return (
             int(data["num_nodes"]),
             data["offsets"],

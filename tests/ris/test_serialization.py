@@ -5,6 +5,9 @@ import pytest
 
 from repro.coverage import greedy_max_coverage
 from repro.ris import (
+    FORMAT_MAGIC,
+    FORMAT_VERSION,
+    CheckpointFormatError,
     FlatRRCollection,
     RRCollection,
     load_collection,
@@ -92,3 +95,63 @@ class TestFlatRoundtrip:
         loaded = load_flat_collection(path)
         assert loaded.num_sets == 0
         assert loaded.num_nodes == 10
+
+
+class TestFormatHeader:
+    """Magic/version validation: foreign or stale files fail loudly."""
+
+    @staticmethod
+    def _rewrite(path, out, drop=(), **overrides):
+        with np.load(path) as data:
+            arrays = {name: data[name] for name in data.files if name not in drop}
+        arrays.update(overrides)
+        np.savez(out, **arrays)
+
+    @pytest.fixture
+    def saved(self, populated, tmp_path):
+        path = tmp_path / "coll.npz"
+        save_collection(populated, path)
+        return path
+
+    def test_header_fields_written(self, saved):
+        with np.load(saved) as data:
+            assert str(data["magic"]) == FORMAT_MAGIC
+            assert int(data["version"]) == FORMAT_VERSION
+
+    def test_both_loaders_round_trip_header(self, populated, tmp_path):
+        for store in (populated, FlatRRCollection.from_collection(populated)):
+            path = tmp_path / "rt.npz"
+            save_collection(store, path)
+            assert load_collection(path).num_sets == populated.num_sets
+            assert load_flat_collection(path).num_sets == populated.num_sets
+
+    def test_missing_magic_rejected(self, saved, tmp_path):
+        foreign = tmp_path / "foreign.npz"
+        self._rewrite(saved, foreign, drop=("magic",))
+        with pytest.raises(CheckpointFormatError, match="not an RR-collection checkpoint"):
+            load_collection(foreign)
+
+    def test_wrong_magic_rejected(self, saved, tmp_path):
+        foreign = tmp_path / "foreign.npz"
+        self._rewrite(saved, foreign, magic=np.asarray("someone-elses-format"))
+        with pytest.raises(CheckpointFormatError, match="not an RR-collection checkpoint"):
+            load_flat_collection(foreign)
+
+    def test_version_mismatch_rejected(self, saved, tmp_path):
+        stale = tmp_path / "stale.npz"
+        self._rewrite(saved, stale, version=np.int64(FORMAT_VERSION + 1))
+        with pytest.raises(CheckpointFormatError, match="format version"):
+            load_collection(stale)
+
+    def test_corrupt_file_rejected(self, tmp_path):
+        garbage = tmp_path / "garbage.npz"
+        garbage.write_bytes(b"\x00\x01 not a zip archive")
+        with pytest.raises(CheckpointFormatError, match="corrupt or truncated"):
+            load_flat_collection(garbage)
+
+    def test_error_is_a_value_error(self, tmp_path):
+        """Callers catching ValueError keep working."""
+        garbage = tmp_path / "garbage.npz"
+        garbage.write_bytes(b"junk")
+        with pytest.raises(ValueError):
+            load_collection(garbage)

@@ -134,3 +134,57 @@ class TestCommands:
     def test_app_bad_name(self):
         with pytest.raises(SystemExit):
             main(["app", "unknown"])
+
+
+class TestCheckpointFlags:
+    def test_parser_accepts_checkpoint_flags(self, tmp_path):
+        args = build_parser().parse_args(
+            ["run", "--checkpoint-dir", str(tmp_path), "--resume"]
+        )
+        assert args.checkpoint_dir == str(tmp_path)
+        assert args.resume is True
+        defaults = build_parser().parse_args(["run"])
+        assert defaults.checkpoint_dir is None
+        assert defaults.resume is False
+
+    def test_resume_requires_checkpoint_dir(self, capsys):
+        code = main(["run", "--dataset", "facebook", "--resume"])
+        assert code == 2
+        assert "--resume requires --checkpoint-dir" in capsys.readouterr().err
+
+    def test_kill_and_resume_reaches_identical_seeds(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        """A run killed mid-round, resumed through the CLI, prints the
+        exact seed set an uninterrupted run prints."""
+        from repro.core.driver import RoundDriver
+
+        run_args = [
+            "run", "--dataset", "facebook", "--k", "3", "--eps", "0.7",
+            "--machines", "2",
+        ]
+        assert main(run_args) == 0
+        reference_out = capsys.readouterr().out
+
+        original = RoundDriver._select
+        state = {"calls": 0, "armed": True}
+
+        def crashing(self, round_label):
+            state["calls"] += 1
+            if state["armed"] and state["calls"] == 2:
+                state["armed"] = False
+                raise RuntimeError("killed mid-round")
+            return original(self, round_label)
+
+        monkeypatch.setattr(RoundDriver, "_select", crashing)
+        ckpt = tmp_path / "ckpt"
+        with pytest.raises(RuntimeError, match="killed mid-round"):
+            main(run_args + ["--checkpoint-dir", str(ckpt)])
+        capsys.readouterr()
+        assert any(p.name.startswith("round-") for p in ckpt.iterdir())
+
+        code = main(run_args + ["--checkpoint-dir", str(ckpt), "--resume"])
+        assert code == 0
+        resumed_out = capsys.readouterr().out
+        seeds = lambda out: out[out.index("seeds:") :]
+        assert seeds(resumed_out) == seeds(reference_out)
