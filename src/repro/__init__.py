@@ -16,17 +16,22 @@ stand on:
 Quickstart::
 
     import numpy as np
-    from repro import diimm, load_dataset, evaluate_seeds
+    from repro import RunConfig, run, load_dataset, evaluate_seeds
 
     dataset = load_dataset("facebook")
-    result = diimm(dataset.graph, k=50, num_machines=16, eps=0.5)
+    result = run("diimm", RunConfig(graph=dataset.graph, k=50, machines=16, eps=0.5))
     spread = evaluate_seeds(
         dataset.graph, result.seeds, "ic", 1000, np.random.default_rng(0)
     )
     print(result.seeds[:5], spread.mean)
+
+:func:`repro.api.run` with a :class:`~repro.core.config.RunConfig` is the
+primary entry point; the per-algorithm functions (``imm``, ``diimm``, ...)
+remain as keyword shims over the same implementations.
 """
 
 from .analysis import approximation_ratio_exact, evaluate_seeds
+from .api import ALGORITHMS, run
 from .applications import (
     budgeted_influence_maximization,
     profit_maximization,
@@ -35,7 +40,9 @@ from .applications import (
 )
 from .baselines import celf_greedy, degree_discount, max_degree, pagerank_seeds
 from .cluster import (
+    FaultPlan,
     NetworkModel,
+    RetryPolicy,
     SimulatedCluster,
     gigabit_cluster,
     shared_memory_server,
@@ -43,6 +50,7 @@ from .cluster import (
 from .core import (
     ImmParameters,
     IMResult,
+    RunConfig,
     diimm,
     distributed_opimc,
     distributed_subsim,
@@ -75,6 +83,10 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    # api
+    "run",
+    "RunConfig",
+    "ALGORITHMS",
     # graphs
     "DirectedGraph",
     "GraphBuilder",
@@ -96,6 +108,8 @@ __all__ = [
     "NetworkModel",
     "gigabit_cluster",
     "shared_memory_server",
+    "FaultPlan",
+    "RetryPolicy",
     # coverage
     "CoverageInstance",
     "greedy_max_coverage",

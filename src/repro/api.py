@@ -1,0 +1,73 @@
+"""The unified entry point: ``run(algorithm, config)``.
+
+Every algorithm in the reproduction — single-machine IMM, DIIMM, D-SSA,
+D-SUBSIM and D-OPIM-C — takes the same knobs: a graph, ``k``, the
+cluster shape, the sampler, the executor, checkpointing and (new) the
+fault plan.  This module is the one place those knobs meet the
+algorithms:
+
+    from repro.api import RunConfig, run
+
+    config = RunConfig(graph=g, k=50, machines=16, eps=0.3, seed=7)
+    result = run("diimm", config)
+
+``run`` validates the config (uniform ``ValueError`` messages, see
+:meth:`RunConfig.validate <repro.core.config.RunConfig.validate>`) and
+dispatches to the algorithm's ``*_from_config`` implementation.  The
+legacy keyword entry points (:func:`repro.core.imm.imm` and friends)
+remain as thin shims that build a :class:`RunConfig` and call the same
+implementations, so both styles return bit-identical results.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from .core.config import RunConfig
+from .core.diimm import diimm_from_config
+from .core.dopimc import distributed_opimc_from_config
+from .core.dssa import distributed_ssa_from_config
+from .core.dsubsim import distributed_subsim_from_config
+from .core.imm import imm_from_config
+from .core.result import IMResult
+
+__all__ = ["ALGORITHMS", "RunConfig", "run"]
+
+_DISPATCH: Dict[str, Callable[[RunConfig], IMResult]] = {
+    "imm": imm_from_config,
+    "diimm": diimm_from_config,
+    "dssa": distributed_ssa_from_config,
+    "dsubsim": distributed_subsim_from_config,
+    "dopimc": distributed_opimc_from_config,
+}
+
+#: The registered algorithm names, in dispatch order.
+ALGORITHMS: tuple[str, ...] = tuple(_DISPATCH)
+
+
+def run(algorithm: str, config: RunConfig) -> IMResult:
+    """Run ``algorithm`` under ``config`` and return its :class:`IMResult`.
+
+    Parameters
+    ----------
+    algorithm:
+        One of :data:`ALGORITHMS`: ``"imm"`` (single-machine baseline),
+        ``"diimm"``, ``"dssa"``, ``"dsubsim"`` or ``"dopimc"``.
+    config:
+        The run's :class:`~repro.core.config.RunConfig`; validated here,
+        so a bad field fails before any work starts.
+
+    Returns
+    -------
+    IMResult
+        Identical — seeds, spread estimate, metrics — to what the
+        algorithm's legacy keyword entry point returns for the same
+        parameters.
+    """
+    key = algorithm.lower().replace("-", "").replace("_", "")
+    if key not in _DISPATCH:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; expected one of {ALGORITHMS}"
+        )
+    config.validate(key)
+    return _DISPATCH[key](config)

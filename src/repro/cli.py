@@ -74,6 +74,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="resume from the latest snapshot in --checkpoint-dir "
         "(finishing with the identical seed set a fresh run would)",
     )
+    run.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="SPEC",
+        help="inject faults: ';'-separated kind@m<id>[r<round>][a<attempt>]"
+        "[x<factor>] with kind one of crash, crash-hard, straggler, corrupt, "
+        "drop (e.g. 'crash@m1r2;straggler@m0x3'); the seed set is identical "
+        "to a fault-free run",
+    )
+    run.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="attempts each machine gets per generation phase before its "
+        "quota is reassigned (default 3; only meaningful with --fault-plan)",
+    )
+    run.add_argument(
+        "--phase-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="deadline after which an unresponsive machine is declared lost "
+        "(wall-clock under --executor multiprocessing, simulated time "
+        "otherwise; only meaningful with --fault-plan)",
+    )
 
     experiment = sub.add_parser(
         "experiment", help="regenerate a paper table/figure or an extension"
@@ -126,14 +152,9 @@ def _cmd_datasets() -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    from .cluster import gigabit_cluster, shared_memory_server
-    from .core import (
-        diimm,
-        distributed_opimc,
-        distributed_ssa,
-        distributed_subsim,
-        imm,
-    )
+    from .api import RunConfig, run
+    from .cluster import RetryPolicy, gigabit_cluster, shared_memory_server
+    from .cluster.tracing import summarize_recovery
     from .experiments import print_table
     from .graphs import load_dataset
 
@@ -142,40 +163,37 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return 2
     dataset = load_dataset(args.dataset)
     network = gigabit_cluster() if args.network == "cluster" else shared_memory_server()
-    checkpoint_kwargs = dict(checkpoint_dir=args.checkpoint_dir, resume=args.resume)
-    distributed_kwargs = dict(
-        eps=args.eps,
-        network=network,
-        seed=args.seed,
-        backend=args.backend,
-        executor=args.executor,
-        **checkpoint_kwargs,
-    )
-    if args.algorithm == "imm":
-        result = imm(
-            dataset.graph, args.k, eps=args.eps, model=args.model, seed=args.seed,
-            **checkpoint_kwargs,
+    retry = None
+    if args.max_retries is not None or args.phase_timeout is not None:
+        retry = RetryPolicy(
+            max_attempts=args.max_retries if args.max_retries is not None else 3,
+            phase_timeout=args.phase_timeout,
         )
-    elif args.algorithm == "diimm":
-        result = diimm(
-            dataset.graph, args.k, args.machines, model=args.model,
-            **distributed_kwargs,
+    try:
+        config = RunConfig(
+            graph=dataset.graph,
+            k=args.k,
+            machines=args.machines,
+            eps=args.eps,
+            model="ic" if args.algorithm == "dsubsim" else args.model,
+            seed=args.seed,
+            backend=args.backend,
+            executor=args.executor,
+            network=network,
+            checkpoint_dir=args.checkpoint_dir,
+            resume=args.resume,
+            faults=args.fault_plan,
+            retry=retry,
         )
-    elif args.algorithm == "dsubsim":
-        result = distributed_subsim(
-            dataset.graph, args.k, args.machines, **distributed_kwargs,
-        )
-    elif args.algorithm == "dssa":
-        result = distributed_ssa(
-            dataset.graph, args.k, args.machines, model=args.model,
-            **distributed_kwargs,
-        )
-    else:
-        result = distributed_opimc(
-            dataset.graph, args.k, args.machines, model=args.model,
-            **distributed_kwargs,
-        )
+        result = run(args.algorithm, config)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     print_table([result.summary_row()], title=f"{result.algorithm} on {args.dataset}")
+    recovery = summarize_recovery(result.metrics)
+    if recovery:
+        print()
+        print_table(recovery, title="Fault recovery")
     print(f"\nseeds: {result.seeds}")
     return 0
 

@@ -15,11 +15,32 @@ from .executor import (
     as_executor,
     make_executor,
 )
+from .faults import (
+    DEFAULT_RETRY,
+    FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+    FaultToleranceExceeded,
+    PhaseTimeoutError,
+    RetryPolicy,
+)
 from .machine import Machine
-from .metrics import COMMUNICATION, COMPUTATION, GENERATION, PhaseRecord, RunMetrics
+from .metrics import (
+    COMMUNICATION,
+    COMPUTATION,
+    GENERATION,
+    PhaseRecord,
+    RecoveryEvent,
+    RunMetrics,
+)
 from .network import NetworkModel, gigabit_cluster, shared_memory_server
 from .parallel import run_generation_pool
-from .tracing import render_timeline, summarize_phases, summarize_rounds
+from .tracing import (
+    render_timeline,
+    summarize_phases,
+    summarize_recovery,
+    summarize_rounds,
+)
 
 __all__ = [
     "SimulatedCluster",
@@ -30,6 +51,7 @@ __all__ = [
     "shared_memory_server",
     "RunMetrics",
     "PhaseRecord",
+    "RecoveryEvent",
     "GENERATION",
     "COMPUTATION",
     "COMMUNICATION",
@@ -46,7 +68,15 @@ __all__ = [
     "make_executor",
     "as_executor",
     "run_generation_pool",
+    "FaultPlan",
+    "FaultSpec",
+    "FAULT_KINDS",
+    "RetryPolicy",
+    "DEFAULT_RETRY",
+    "PhaseTimeoutError",
+    "FaultToleranceExceeded",
     "summarize_phases",
     "summarize_rounds",
+    "summarize_recovery",
     "render_timeline",
 ]

@@ -20,18 +20,45 @@ keeping the accounting contract identical:
 Every phase lands in the cluster's :class:`~repro.cluster.metrics.RunMetrics`
 with per-machine times (scaled by each machine's ``slowdown``) and byte
 counts, whichever executor ran it.
+
+Fault tolerance
+---------------
+Passing a :class:`~repro.cluster.faults.FaultPlan` (even an empty one)
+switches generation onto the fault-tolerant path: every machine's RNG is
+snapshotted before each attempt, injected faults fire per
+``(machine, round, attempt)``, and the :class:`~repro.cluster.faults.RetryPolicy`
+governs retries, backoff, timeouts and quota reassignment.  Because a
+failed attempt restores the pre-attempt snapshot and a reassigned quota
+replays the dead machine's stream, the final collections — and therefore
+the selected seeds — are bit-identical to a fault-free run; only the
+metered times and the recovery log differ.  ``faults=None`` (default)
+takes the original code path untouched.
 """
 
 from __future__ import annotations
 
+import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Tuple
+from typing import Any, Callable, Dict, List, Tuple
+
+import numpy as np
 
 from ..ris import make_sampler
 from ..ris.flat import append_batch
-from ..ris.rrset import RRSampler
+from ..ris.rrset import FlatBatch, RRSampler
 from .cluster import MachineFailure, SimulatedCluster
+from .faults import (
+    CORRUPT,
+    CRASH,
+    CRASH_HARD,
+    DEFAULT_RETRY,
+    DROP,
+    FaultPlan,
+    FaultToleranceExceeded,
+    PhaseTimeoutError,
+    RetryPolicy,
+)
 from .machine import Machine
 from .metrics import COMPUTATION, GENERATION, RunMetrics
 from .parallel import run_generation_pool
@@ -157,9 +184,20 @@ class Executor(ABC):
 
     name: str = "abstract"
 
-    def __init__(self, cluster: SimulatedCluster, graph=None) -> None:
+    def __init__(
+        self,
+        cluster: SimulatedCluster,
+        graph=None,
+        faults: FaultPlan | None = None,
+        retry: RetryPolicy | None = None,
+    ) -> None:
         self.cluster = cluster
         self.graph = graph
+        #: Injected-fault plan; ``None`` disables the fault machinery and
+        #: takes the original (pre-fault-layer) generation path.
+        self.faults = faults
+        #: Recovery policy applied when ``faults`` is set.
+        self.retry = retry if retry is not None else DEFAULT_RETRY
         self._samplers: Dict[Tuple[str, str], RRSampler] = {}
 
     # -- conveniences mirroring the cluster ----------------------------
@@ -240,6 +278,31 @@ class Executor(ABC):
     def _run_generate(self, plan: GeneratePhase) -> PhaseResult:
         """Backend-specific generation of ``plan.counts`` RR sets."""
 
+    # -- fault-path helpers shared by both backends ---------------------
+    @staticmethod
+    def _batch_nbytes(batch: FlatBatch) -> int:
+        """Approximate wire size of one generation batch's arrays."""
+        return int(
+            batch.nodes.nbytes
+            + batch.offsets.nbytes
+            + batch.roots.nbytes
+            + batch.edges_examined.nbytes
+        )
+
+    def _raise_unrecovered(
+        self, label: str, failed: Dict[int, str], attempts: int
+    ) -> None:
+        """Fail fast when retries are exhausted and reassignment is off.
+
+        ``failed`` maps machine id -> kind of its last failure; a timeout
+        anywhere means the phase deadline fired, which callers (and the
+        worker-death test) distinguish from plain exhaustion.
+        """
+        ids = sorted(failed)
+        if any(failed[i] == "timeout" for i in ids):
+            raise PhaseTimeoutError(label, ids, self.retry.phase_timeout)
+        raise FaultToleranceExceeded(label, ids, attempts)
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}(cluster={self.cluster!r})"
 
@@ -257,6 +320,8 @@ class SimulatedExecutor(Executor):
     name = "simulated"
 
     def _run_generate(self, plan: GeneratePhase) -> PhaseResult:
+        if self.faults is not None:
+            return self._run_generate_with_faults(plan)
         sampler = self.sampler(plan.model, plan.method)
         targets = self._generation_targets(plan)
         counts = plan.counts
@@ -268,6 +333,139 @@ class SimulatedExecutor(Executor):
 
         results = self.cluster.map(GENERATION, plan.label, work)
         return self._result_from_last_phase(plan.label, results)
+
+    def _run_generate_with_faults(self, plan: GeneratePhase) -> PhaseResult:
+        """Generation with injected faults, retries and reassignment.
+
+        All failure handling runs in *simulated* time: a crashed attempt's
+        wasted work, a timeout wait or a straggler's excess are charged to
+        the machine's metered time and logged as recovery events — nothing
+        sleeps.  The RNG discipline (snapshot before each attempt, restore
+        on failure, replay on reassignment) keeps the appended batches
+        bit-identical to a fault-free run.
+        """
+        sampler = self.sampler(plan.model, plan.method)
+        targets = self._generation_targets(plan)
+        counts = plan.counts
+        faults, policy = self.faults, self.retry
+        round_index = self.metrics.current_round
+        label = plan.label
+        network = self.cluster.network
+
+        times: List[float] = [0.0] * self.num_machines
+        results: List[int] = [0] * self.num_machines
+        snapshots: Dict[int, Any] = {}
+        failed: Dict[int, str] = {}
+
+        for machine in self.machines:
+            mid = machine.machine_id
+            count = counts[mid]
+            snapshot = machine.rng_state()
+            snapshots[mid] = snapshot
+            last_kind = "crash"
+            succeeded = False
+            for attempt in range(1, policy.max_attempts + 1):
+                machine.set_rng_state(snapshot)
+                times[mid] += policy.delay_before(attempt)
+                fault = faults.failure_for(mid, round_index, attempt)
+                factor = faults.straggler_factor(mid, round_index, attempt)
+
+                def work(m: Machine) -> FlatBatch:
+                    return sampler.sample_batch(m.rng, count)
+
+                batch, elapsed = machine.run(work)
+                metered = elapsed * factor
+                if factor > 1.0:
+                    self.metrics.record_recovery(
+                        "straggler-wait",
+                        mid,
+                        label,
+                        attempt,
+                        time_lost=metered - elapsed,
+                        detail=f"injected slowdown x{factor:g}",
+                    )
+                timed_out = (
+                    policy.phase_timeout is not None and metered > policy.phase_timeout
+                )
+                if fault is not None and fault.kind in (CRASH, CRASH_HARD, DROP):
+                    # A plain crash reports itself; a hard kill or dropped
+                    # payload is silent and only the deadline notices.
+                    silent = fault.kind in (CRASH_HARD, DROP)
+                    if silent and policy.phase_timeout is not None:
+                        last_kind, lost = "timeout", policy.phase_timeout
+                    else:
+                        last_kind, lost = "crash", metered
+                    self.metrics.record_recovery(
+                        last_kind, mid, label, attempt, time_lost=lost,
+                        detail=f"injected {fault.kind}",
+                    )
+                    times[mid] += lost
+                    continue
+                if timed_out:
+                    last_kind = "timeout"
+                    self.metrics.record_recovery(
+                        "timeout", mid, label, attempt,
+                        time_lost=policy.phase_timeout,
+                        detail=f"attempt ran {metered:g}s against a "
+                        f"{policy.phase_timeout:g}s deadline",
+                    )
+                    times[mid] += policy.phase_timeout
+                    continue
+                if fault is not None and fault.kind == CORRUPT:
+                    # The batch itself is intact on the worker; only the
+                    # transfer failed its CRC, so charge a retransmission
+                    # and keep the (already advanced) RNG stream.
+                    retrans = network.retransmission_time(self._batch_nbytes(batch))
+                    self.metrics.record_recovery(
+                        "corruption", mid, label, attempt, time_lost=retrans,
+                        detail="payload failed CRC32; retransmitted",
+                    )
+                    metered += retrans
+                append_batch(targets[mid], batch)
+                results[mid] = batch.count
+                times[mid] += metered
+                succeeded = True
+                break
+            if not succeeded:
+                machine.set_rng_state(snapshot)
+                failed[mid] = last_kind
+
+        if failed:
+            if not policy.reassign:
+                self._raise_unrecovered(label, failed, policy.max_attempts)
+            survivors = [m for m in self.machines if m.machine_id not in failed]
+            if not survivors:
+                self._raise_unrecovered(label, failed, policy.max_attempts)
+            for index, mid in enumerate(sorted(failed)):
+                survivor = survivors[index % len(survivors)]
+                replay = np.random.default_rng()
+                replay.bit_generator.state = snapshots[mid]
+                count = counts[mid]
+
+                def handover(m: Machine, _rng=replay, _count=count) -> FlatBatch:
+                    return sampler.sample_batch(_rng, _count)
+
+                batch, elapsed = survivor.run(handover)
+                append_batch(targets[mid], batch)
+                results[mid] = batch.count
+                # The logical machine's stream continues from the replayed
+                # draws, exactly where a healthy run would have left it.
+                self.machines[mid].set_rng_state(replay.bit_generator.state)
+                times[survivor.machine_id] += elapsed
+                self.metrics.record_recovery(
+                    "reassignment",
+                    mid,
+                    label,
+                    policy.max_attempts,
+                    time_lost=elapsed,
+                    detail=(
+                        f"quota of {count} RR sets replayed on machine "
+                        f"{survivor.machine_id} after {failed[mid]}"
+                    ),
+                )
+
+        self.metrics.record_compute_phase(GENERATION, label, times)
+        return self._result_from_last_phase(label, results)
 
 
 class MultiprocessingExecutor(Executor):
@@ -287,13 +485,22 @@ class MultiprocessingExecutor(Executor):
 
     name = "multiprocessing"
 
-    def __init__(self, cluster: SimulatedCluster, graph=None, processes: int | None = None) -> None:
+    def __init__(
+        self,
+        cluster: SimulatedCluster,
+        graph=None,
+        processes: int | None = None,
+        faults: FaultPlan | None = None,
+        retry: RetryPolicy | None = None,
+    ) -> None:
         if graph is None:
             raise ValueError("MultiprocessingExecutor requires the graph up front")
-        super().__init__(cluster, graph)
+        super().__init__(cluster, graph, faults=faults, retry=retry)
         self.processes = processes
 
     def _run_generate(self, plan: GeneratePhase) -> PhaseResult:
+        if self.faults is not None:
+            return self._run_generate_with_faults(plan)
         targets = self._generation_targets(plan)
         outcomes = run_generation_pool(
             self.graph,
@@ -317,6 +524,121 @@ class MultiprocessingExecutor(Executor):
         self.metrics.record_compute_phase(GENERATION, plan.label, times)
         return self._result_from_last_phase(plan.label, results)
 
+    def _run_generate_with_faults(self, plan: GeneratePhase) -> PhaseResult:
+        """Generation over real workers with real failure detection.
+
+        Injected faults become per-worker *directives* (raise, SIGKILL,
+        flip a payload byte); the phase timeout and backoff are genuine
+        wall-clock, so a hard-killed worker really is declared lost by the
+        deadline.  A machine's own RNG is only advanced once its payload
+        verifies, so every retry ships the identical pre-attempt state and
+        redraws the identical batch — content never depends on which
+        faults fired.
+        """
+        targets = self._generation_targets(plan)
+        counts = plan.counts
+        faults, policy = self.faults, self.retry
+        round_index = self.metrics.current_round
+        label = plan.label
+
+        times: List[float] = [0.0] * self.num_machines
+        results: List[int] = [0] * self.num_machines
+        pending = set(range(self.num_machines))
+        last_kind: Dict[int, str] = {}
+
+        for attempt in range(1, policy.max_attempts + 1):
+            if not pending:
+                break
+            delay = policy.delay_before(attempt)
+            if delay:
+                time.sleep(delay)
+            ids = sorted(pending)
+            directives: List[str | None] = []
+            for mid in ids:
+                fault = faults.failure_for(mid, round_index, attempt)
+                if fault is None:
+                    directives.append(None)
+                elif fault.kind in (CRASH_HARD, DROP):
+                    # Both are silent from the master's side: the worker
+                    # dies (or its payload vanishes) and only the phase
+                    # deadline notices.
+                    directives.append(CRASH_HARD)
+                else:
+                    directives.append(fault.kind)
+            outcomes = run_generation_pool(
+                self.graph,
+                plan.model,
+                plan.method,
+                [counts[mid] for mid in ids],
+                [self.machines[mid].rng for mid in ids],
+                processes=self.processes,
+                directives=directives,
+                timeout=policy.phase_timeout,
+            )
+            for mid, (batch, rng_state, elapsed, error) in zip(ids, outcomes):
+                machine = self.machines[mid]
+                if error is None:
+                    factor = faults.straggler_factor(mid, round_index, attempt)
+                    metered = elapsed * machine.slowdown * factor
+                    if factor > 1.0:
+                        self.metrics.record_recovery(
+                            "straggler-wait",
+                            mid,
+                            label,
+                            attempt,
+                            time_lost=metered - elapsed * machine.slowdown,
+                            detail=f"injected slowdown x{factor:g}",
+                        )
+                    machine.set_rng_state(rng_state)
+                    append_batch(targets[mid], batch)
+                    results[mid] = batch.count
+                    times[mid] += metered
+                    pending.discard(mid)
+                    continue
+                if error.startswith("timeout"):
+                    kind = "timeout"
+                elif error.startswith("corruption"):
+                    kind = "corruption"
+                else:
+                    kind = "crash"
+                last_kind[mid] = kind
+                lost = elapsed * machine.slowdown + delay
+                self.metrics.record_recovery(
+                    kind, mid, label, attempt, time_lost=lost, detail=error
+                )
+                times[mid] += lost
+
+        if pending:
+            failed = {mid: last_kind.get(mid, "crash") for mid in sorted(pending)}
+            if not policy.reassign:
+                self._raise_unrecovered(label, failed, policy.max_attempts)
+            # Reassignment of last resort: the master replays each lost
+            # quota inline with the machine's own (never-advanced) RNG, so
+            # the batches equal what the workers would have produced.
+            sampler = self.sampler(plan.model, plan.method)
+            for mid in sorted(pending):
+                machine = self.machines[mid]
+                start = time.perf_counter()
+                batch = sampler.sample_batch(machine.rng, counts[mid])
+                elapsed = time.perf_counter() - start
+                append_batch(targets[mid], batch)
+                results[mid] = batch.count
+                times[mid] += elapsed
+                self.metrics.record_recovery(
+                    "reassignment",
+                    mid,
+                    label,
+                    policy.max_attempts,
+                    time_lost=elapsed,
+                    detail=(
+                        f"quota of {counts[mid]} RR sets replayed on the master "
+                        f"after {failed[mid]}"
+                    ),
+                )
+
+        self.metrics.record_compute_phase(GENERATION, label, times)
+        return self._result_from_last_phase(label, results)
+
 
 # ----------------------------------------------------------------------
 # Factories
@@ -329,17 +651,23 @@ def make_executor(
     cluster: SimulatedCluster,
     graph=None,
     processes: int | None = None,
+    faults: FaultPlan | None = None,
+    retry: RetryPolicy | None = None,
 ) -> Executor:
     """Build the named executor over ``cluster``.
 
     ``processes`` is only meaningful for the multiprocessing backend
     (worker-pool size; defaults to one process per machine capped at the
-    CPU count).
+    CPU count).  ``faults`` (a :class:`~repro.cluster.faults.FaultPlan`)
+    enables the fault-tolerant generation path on either backend;
+    ``retry`` overrides the default recovery policy.
     """
     if name == "simulated":
-        return SimulatedExecutor(cluster, graph=graph)
+        return SimulatedExecutor(cluster, graph=graph, faults=faults, retry=retry)
     if name == "multiprocessing":
-        return MultiprocessingExecutor(cluster, graph=graph, processes=processes)
+        return MultiprocessingExecutor(
+            cluster, graph=graph, processes=processes, faults=faults, retry=retry
+        )
     raise ValueError(f"unknown executor {name!r}; expected one of {EXECUTORS}")
 
 

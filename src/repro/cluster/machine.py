@@ -78,6 +78,17 @@ class Machine:
         """
         self.rng.bit_generator.state = state
 
+    def rng_state(self) -> Any:
+        """Snapshot of this machine's RNG state (a fresh dict each call).
+
+        The fault-tolerant executors take a snapshot before every
+        generation attempt; restoring it via :meth:`set_rng_state` makes
+        a retried (or reassigned) attempt replay the identical substream,
+        which is what keeps runs under failure bit-identical to healthy
+        runs.
+        """
+        return self.rng.bit_generator.state
+
     def run(self, work: Callable[["Machine"], Any]) -> Tuple[Any, float]:
         """Execute ``work(self)`` and return ``(result, elapsed_seconds)``.
 

@@ -16,10 +16,17 @@ from asymptotic formulas.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, Iterator, List, Mapping, Sequence
 
-__all__ = ["PhaseRecord", "RunMetrics", "GENERATION", "COMPUTATION", "COMMUNICATION"]
+__all__ = [
+    "PhaseRecord",
+    "RecoveryEvent",
+    "RunMetrics",
+    "GENERATION",
+    "COMPUTATION",
+    "COMMUNICATION",
+]
 
 GENERATION = "generation"
 COMPUTATION = "computation"
@@ -52,13 +59,52 @@ class PhaseRecord:
         return sum(self.machine_times)
 
 
+@dataclass(frozen=True)
+class RecoveryEvent:
+    """One fault-tolerance incident during a run.
+
+    ``kind`` is one of ``"crash"`` (a worker's attempt raised or its
+    process died), ``"timeout"`` (the phase deadline expired before the
+    payload arrived), ``"corruption"`` (the payload failed its CRC32
+    check and was retransmitted/regenerated), ``"straggler-wait"`` (the
+    phase waited on an injected or real straggler) or ``"reassignment"``
+    (the machine exhausted its attempts and a survivor took over its
+    quota).  ``time_lost`` is the simulated seconds the incident added to
+    the run — wasted attempts, backoff, retransmissions, straggler
+    excess — so experiment tables can report time-under-failure.
+    """
+
+    kind: str
+    machine_id: int
+    label: str
+    attempt: int
+    time_lost: float = 0.0
+    round_index: int | None = None
+    rule: str | None = None
+    detail: str = ""
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form (checkpointed with the driver state)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RecoveryEvent":
+        return cls(**dict(data))
+
+
 @dataclass
 class RunMetrics:
     """Accumulated metrics of one distributed run."""
 
     phases: List[PhaseRecord] = field(default_factory=list)
+    recovery_events: List[RecoveryEvent] = field(default_factory=list)
     _round_index: int | None = field(default=None, init=False, repr=False, compare=False)
     _rule: str | None = field(default=None, init=False, repr=False, compare=False)
+
+    @property
+    def current_round(self) -> int | None:
+        """The driver round currently being annotated, if any."""
+        return self._round_index
 
     @contextmanager
     def annotated(self, round_index: int | None = None, rule: str | None = None) -> Iterator[None]:
@@ -109,6 +155,69 @@ class RunMetrics:
                 rule=self._rule,
             )
         )
+
+    def record_recovery(
+        self,
+        kind: str,
+        machine_id: int,
+        label: str,
+        attempt: int,
+        time_lost: float = 0.0,
+        detail: str = "",
+    ) -> RecoveryEvent:
+        """Record one fault-tolerance incident, stamped with the round."""
+        event = RecoveryEvent(
+            kind=kind,
+            machine_id=machine_id,
+            label=label,
+            attempt=attempt,
+            time_lost=time_lost,
+            round_index=self._round_index,
+            rule=self._rule,
+            detail=detail,
+        )
+        self.recovery_events.append(event)
+        return event
+
+    # ------------------------------------------------------------------
+    # Recovery aggregates
+    # ------------------------------------------------------------------
+    def recovery_events_of(self, kind: str) -> List[RecoveryEvent]:
+        """Recovery events of one kind, in occurrence order."""
+        return [e for e in self.recovery_events if e.kind == kind]
+
+    @property
+    def recovery_time(self) -> float:
+        """Total simulated time lost to faults (retries, waits, handovers)."""
+        return sum(e.time_lost for e in self.recovery_events)
+
+    @property
+    def degraded_machines(self) -> tuple[int, ...]:
+        """Machines whose quota had to be reassigned, in first-loss order."""
+        seen: List[int] = []
+        for event in self.recovery_events:
+            if event.kind == "reassignment" and event.machine_id not in seen:
+                seen.append(event.machine_id)
+        return tuple(seen)
+
+    def failure_breakdown(self) -> Dict[str, float]:
+        """Time-under-failure summary: lost seconds per incident kind,
+        total, event count and degraded machine count."""
+        per_kind: Dict[str, float] = {}
+        for event in self.recovery_events:
+            per_kind[event.kind] = per_kind.get(event.kind, 0.0) + event.time_lost
+        per_kind["total_lost"] = self.recovery_time
+        per_kind["events"] = float(len(self.recovery_events))
+        per_kind["degraded_machines"] = float(len(self.degraded_machines))
+        return per_kind
+
+    def recovery_state(self) -> List[Dict[str, Any]]:
+        """JSON-serializable recovery log (stored in driver checkpoints)."""
+        return [event.as_dict() for event in self.recovery_events]
+
+    def restore_recovery(self, events: Sequence[Mapping[str, Any]]) -> None:
+        """Prepend a checkpointed recovery log to this run's (fresh) log."""
+        self.recovery_events[:0] = [RecoveryEvent.from_dict(e) for e in events]
 
     # ------------------------------------------------------------------
     # Aggregates
@@ -179,3 +288,4 @@ class RunMetrics:
     def merge(self, other: "RunMetrics") -> None:
         """Append the phases of another run (e.g. nested algorithm calls)."""
         self.phases.extend(other.phases)
+        self.recovery_events.extend(other.recovery_events)

@@ -57,6 +57,16 @@ class NetworkModel:
         """
         return sum(self.transfer_time(b) for b in byte_sizes)
 
+    def retransmission_time(self, num_bytes: int) -> float:
+        """Time to recover a payload that failed its checksum on arrival.
+
+        One latency for the master's NACK, then a full re-send of the
+        payload.  The fault-tolerant simulated executor charges this when
+        an injected corruption fires — the batch content is intact on the
+        worker, only the transfer is repeated.
+        """
+        return self.latency + self.transfer_time(num_bytes)
+
 
 def gigabit_cluster() -> NetworkModel:
     """The paper's cluster fabric: 1 Gbps switch.

@@ -8,13 +8,22 @@ process builds its sampler once in an initializer and reuses it for
 every batch.
 
 Workers draw straight into the flat CSR layout via
-:meth:`RRSampler.sample_batch <repro.ris.rrset.RRSampler.sample_batch>`,
-so the IPC cost is four array pickles per machine instead of one small
-object per RR set.  Each worker receives its machine's pickled
-:class:`numpy.random.Generator` and returns the advanced bit-generator
-state along with the batch, which lets
-:class:`~repro.cluster.executor.MultiprocessingExecutor` keep master-side
-RNGs bit-identical to the simulated backend.
+:meth:`RRSampler.sample_batch <repro.ris.rrset.RRSampler.sample_batch>`
+and return the batch plus their advanced RNG state as a single framed
+payload (:func:`repro.ris.serialization.pack_message`: magic, version,
+length, CRC32).  The master verifies the frame before unpickling, so a
+corrupted payload surfaces as a typed, retryable error instead of wrong
+data.  Restoring the returned RNG state keeps master-side generators
+bit-identical to the simulated backend.
+
+Results are collected with a deadline (``timeout``): a worker that never
+answers — crashed, ``kill -9``'d, or its payload dropped — leaves a
+``"timeout: ..."`` outcome for its machine instead of hanging the pool,
+which is what the executor's :class:`~repro.cluster.faults.RetryPolicy`
+needs to detect and recover from real worker death.  Injected faults
+arrive as per-machine *directives* so the fault path is exercised end to
+end: ``"crash"`` raises inside the worker, ``"crash-hard"`` SIGKILLs the
+worker process, ``"corrupt"`` flips a byte of the framed payload.
 
 Only generation is parallelised — it dominates the running time in every
 figure of the paper — while seed selection still runs through NEWGREEDI
@@ -26,6 +35,8 @@ executor-internal: algorithms go through
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
+import signal
 import time
 from typing import Any, List, Sequence, Tuple
 
@@ -34,12 +45,20 @@ import numpy as np
 from ..graphs.digraph import DirectedGraph
 from ..ris import make_sampler
 from ..ris.rrset import FlatBatch
+from ..ris.serialization import (
+    MESSAGE_HEADER_BYTES,
+    PayloadCorruptionError,
+    pack_message,
+    unpack_message,
+)
+from .faults import CORRUPT, CRASH, CRASH_HARD
 
 __all__ = ["run_generation_pool"]
 
 #: One machine's generation outcome: ``(batch, rng_state, elapsed, error)``.
-#: ``error`` is ``None`` on success, otherwise a one-line description and
-#: ``batch`` / ``rng_state`` are ``None``.
+#: ``error`` is ``None`` on success, otherwise a one-line description
+#: (prefixed ``"crash:"``, ``"corruption:"`` or ``"timeout:"`` for
+#: injected/detected fault kinds) and ``batch`` / ``rng_state`` are ``None``.
 GenerationOutcome = Tuple[FlatBatch | None, Any, float, str | None]
 
 # Worker-process global, set once by _init_worker.
@@ -52,16 +71,33 @@ def _init_worker(graph: DirectedGraph, model: str, method: str) -> None:
 
 
 def _worker_generate(
-    task: Tuple[int, int, np.random.Generator],
-) -> Tuple[int, FlatBatch | None, Any, float, str | None]:
-    machine_id, count, rng = task
+    task: Tuple[int, int, np.random.Generator, str | None],
+) -> Tuple[int, bytes | None, float, str | None]:
+    machine_id, count, rng, directive = task
     start = time.perf_counter()
+    if directive == CRASH_HARD:
+        # The injected equivalent of `kill -9`: the process dies without
+        # returning anything; only the master's deadline notices.
+        os.kill(os.getpid(), signal.SIGKILL)
     try:
+        if directive == CRASH:
+            raise RuntimeError("injected worker crash")
         batch = _WORKER_SAMPLER.sample_batch(rng, count)
-    except Exception as exc:  # shipped back; the executor re-raises
-        return machine_id, None, None, time.perf_counter() - start, f"{type(exc).__name__}: {exc}"
-    state = rng.bit_generator.state
-    return machine_id, batch, state, time.perf_counter() - start, None
+        payload = pack_message((batch, rng.bit_generator.state))
+    except Exception as exc:  # shipped back; the executor decides recovery
+        prefix = "crash: " if directive == CRASH else ""
+        return (
+            machine_id,
+            None,
+            time.perf_counter() - start,
+            f"{prefix}{type(exc).__name__}: {exc}",
+        )
+    if directive == CORRUPT and len(payload) > MESSAGE_HEADER_BYTES:
+        # Flip one body byte so the CRC32 check fails on arrival.
+        corrupted = bytearray(payload)
+        corrupted[MESSAGE_HEADER_BYTES] ^= 0xFF
+        payload = bytes(corrupted)
+    return machine_id, payload, time.perf_counter() - start, None
 
 
 def run_generation_pool(
@@ -71,6 +107,8 @@ def run_generation_pool(
     counts: Sequence[int],
     rngs: Sequence[np.random.Generator],
     processes: int | None = None,
+    directives: Sequence[str | None] | None = None,
+    timeout: float | None = None,
 ) -> List[GenerationOutcome]:
     """Draw per-machine RR-set batches in a process pool.
 
@@ -89,25 +127,70 @@ def run_generation_pool(
         Sampler selection, as in :func:`repro.ris.make_sampler`.
     processes:
         Worker-pool size; defaults to ``len(counts)`` capped at CPU count.
+    directives:
+        Optional per-machine injected-fault directive (``"crash"``,
+        ``"crash-hard"``, ``"corrupt"`` or ``None``), in machine order.
+    timeout:
+        Wall-clock deadline in seconds for the whole phase.  Machines
+        whose results have not arrived when it expires get a
+        ``"timeout: ..."`` outcome (the pool is terminated); ``None``
+        waits forever — a dead worker then hangs, exactly the failure
+        mode :class:`~repro.cluster.faults.RetryPolicy.phase_timeout`
+        exists to prevent.
 
     Returns
     -------
     One :data:`GenerationOutcome` per machine, in machine order.  Worker
-    exceptions are captured per machine, not raised here.
+    exceptions, corrupted payloads and timeouts are captured per machine,
+    not raised here.
     """
     if len(counts) != len(rngs):
         raise ValueError("counts and rngs must have the same length")
+    if directives is not None and len(directives) != len(counts):
+        raise ValueError("directives must have one entry per machine")
     if not counts:
         return []
     if processes is None:
         processes = min(len(counts), mp.cpu_count())
     ctx = mp.get_context("fork" if "fork" in mp.get_all_start_methods() else "spawn")
-    tasks = [(i, int(count), rng) for i, (count, rng) in enumerate(zip(counts, rngs))]
+    tasks = [
+        (i, int(count), rng, directives[i] if directives is not None else None)
+        for i, (count, rng) in enumerate(zip(counts, rngs))
+    ]
+    raw: dict[int, Tuple[bytes | None, float, str | None]] = {}
+    start = time.monotonic()
     with ctx.Pool(
         processes=processes,
         initializer=_init_worker,
         initargs=(graph, model, method),
     ) as pool:
-        raw = pool.map(_worker_generate, tasks)
-    ordered = sorted(raw, key=lambda outcome: outcome[0])
-    return [(batch, state, elapsed, error) for _, batch, state, elapsed, error in ordered]
+        pending = pool.imap_unordered(_worker_generate, tasks)
+        try:
+            for __ in range(len(tasks)):
+                if timeout is None:
+                    item = pending.next()
+                else:
+                    remaining = timeout - (time.monotonic() - start)
+                    item = pending.next(max(remaining, 1e-3))
+                raw[item[0]] = item[1:]
+        except mp.TimeoutError:
+            pool.terminate()
+
+    outcomes: List[GenerationOutcome] = []
+    for machine_id in range(len(tasks)):
+        if machine_id not in raw:
+            outcomes.append(
+                (None, None, timeout or 0.0, f"timeout: no result within {timeout:g}s")
+            )
+            continue
+        payload, elapsed, error = raw[machine_id]
+        if error is not None:
+            outcomes.append((None, None, elapsed, error))
+            continue
+        try:
+            batch, rng_state = unpack_message(payload)
+        except PayloadCorruptionError as exc:
+            outcomes.append((None, None, elapsed, f"corruption: {exc}"))
+            continue
+        outcomes.append((batch, rng_state, elapsed, None))
+    return outcomes

@@ -10,7 +10,10 @@ this module turns that record into something a human can scan:
   giving the per-doubling-round cost curve directly;
 * :func:`render_timeline` draws a proportional text Gantt of the top
   phase groups, the quickest way to see *where* a run spent its time and
-  whether a figure's breakdown makes sense.
+  whether a figure's breakdown makes sense;
+* :func:`summarize_recovery` aggregates the fault-tolerance log — one row
+  per (kind, machine) with attempts and time lost — so a run under
+  injected failures shows *what* went wrong and what the recovery cost.
 """
 
 from __future__ import annotations
@@ -19,7 +22,12 @@ from typing import Dict, List
 
 from .metrics import COMMUNICATION, COMPUTATION, GENERATION, RunMetrics
 
-__all__ = ["summarize_phases", "summarize_rounds", "render_timeline"]
+__all__ = [
+    "summarize_phases",
+    "summarize_rounds",
+    "summarize_recovery",
+    "render_timeline",
+]
 
 
 def _group_of(label: str, depth: int) -> str:
@@ -119,6 +127,42 @@ def summarize_rounds(metrics: RunMetrics) -> List[dict]:
                 "bytes": entry["bytes"],
             }
         )
+    return rows
+
+
+def summarize_recovery(metrics: RunMetrics) -> List[dict]:
+    """Aggregate the recovery log by ``(kind, machine)``.
+
+    Returns one row per pair in first-occurrence order with the event
+    count, total time lost, the rounds the incidents fired in and the
+    last recorded detail — the table an experiment prints to show how a
+    run degraded and recovered.  Empty list for a fault-free run.
+    """
+    order: List[tuple] = []
+    grouped: Dict[tuple, dict] = {}
+    for event in metrics.recovery_events:
+        key = (event.kind, event.machine_id)
+        if key not in grouped:
+            order.append(key)
+            grouped[key] = {
+                "kind": event.kind,
+                "machine": event.machine_id,
+                "events": 0,
+                "time_lost_s": 0.0,
+                "rounds": [],
+                "detail": "",
+            }
+        entry = grouped[key]
+        entry["events"] += 1
+        entry["time_lost_s"] += event.time_lost
+        if event.round_index is not None and event.round_index not in entry["rounds"]:
+            entry["rounds"].append(event.round_index)
+        if event.detail:
+            entry["detail"] = event.detail
+    rows = []
+    for key in order:
+        entry = grouped[key]
+        rows.append({**entry, "time_lost_s": round(entry["time_lost_s"], 6)})
     return rows
 
 

@@ -13,8 +13,9 @@ from .bounds import (
     solve_delta_prime,
 )
 from .checkpoint import CheckpointManager, DriverSnapshot
-from .diimm import diimm
-from .dopimc import distributed_opimc
+from .config import BACKENDS, RunConfig
+from .diimm import diimm, diimm_from_config
+from .dopimc import distributed_opimc, distributed_opimc_from_config
 from .driver import (
     DriverRun,
     ImmScheduleRule,
@@ -25,9 +26,9 @@ from .driver import (
     StoppingRule,
     SubsimScheduleRule,
 )
-from .dssa import distributed_ssa
-from .dsubsim import distributed_subsim
-from .imm import imm
+from .dssa import distributed_ssa, distributed_ssa_from_config
+from .dsubsim import distributed_subsim, distributed_subsim_from_config
+from .imm import imm, imm_from_config
 from .result import IMResult
 
 __all__ = [
@@ -50,10 +51,17 @@ __all__ = [
     "DriverRun",
     "CheckpointManager",
     "DriverSnapshot",
+    "RunConfig",
+    "BACKENDS",
     "imm",
+    "imm_from_config",
     "diimm",
+    "diimm_from_config",
     "distributed_subsim",
+    "distributed_subsim_from_config",
     "distributed_opimc",
+    "distributed_opimc_from_config",
     "distributed_ssa",
+    "distributed_ssa_from_config",
     "IMResult",
 ]

@@ -26,7 +26,7 @@ import json
 import os
 import re
 import shutil
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Sequence
 
@@ -57,13 +57,22 @@ _ROUND_DIR = re.compile(r"^round-(\d{4,})$")
 
 @dataclass
 class DriverSnapshot:
-    """One restored round snapshot, ready to hand back to the driver."""
+    """One restored round snapshot, ready to hand back to the driver.
+
+    ``recovery`` carries the fault-tolerance events recorded up to the
+    snapshot (as dicts, see
+    :meth:`RunMetrics.recovery_state <repro.cluster.metrics.RunMetrics.recovery_state>`),
+    so a resumed run's recovery log covers the whole run, not just the
+    rounds after the restart.  Pre-fault-layer checkpoints restore with
+    an empty log.
+    """
 
     round_index: int
     rule_state: Dict[str, Any]
     rng_states: List[Dict[str, Any]]
     coverage_state: Dict[str, np.ndarray]
     stores: Dict[str, List]
+    recovery: List[Dict[str, Any]] = field(default_factory=list)
 
 
 class CheckpointManager:
@@ -96,8 +105,14 @@ class CheckpointManager:
         rng_states: Sequence[Dict[str, Any]],
         coverage_state: Dict[str, np.ndarray],
         stores: Mapping[str, Sequence],
+        recovery: Sequence[Mapping[str, Any]] = (),
     ) -> Path:
-        """Atomically write the snapshot for ``round_index``; return its dir."""
+        """Atomically write the snapshot for ``round_index``; return its dir.
+
+        ``recovery`` is the run's fault-tolerance log so far (event
+        dicts); stored under an optional key, so the format version is
+        unchanged and older checkpoints stay loadable.
+        """
         self.directory.mkdir(parents=True, exist_ok=True)
         final_dir = self.directory / f"round-{round_index:04d}"
         tmp_dir = self.directory / f".tmp-round-{round_index:04d}"
@@ -118,6 +133,7 @@ class CheckpointManager:
             "collection_keys": list(stores),
             "num_machines": len(rng_states),
             "config": self.config,
+            "recovery": [dict(event) for event in recovery],
         }
         with open(tmp_dir / "state.json", "w") as handle:
             json.dump(state, handle, indent=2)
@@ -232,6 +248,7 @@ class CheckpointManager:
             rng_states=state["rng_states"],
             coverage_state=coverage_state,
             stores=stores,
+            recovery=state.get("recovery", []),
         )
 
 

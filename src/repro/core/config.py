@@ -1,0 +1,172 @@
+"""The shared run configuration behind every algorithm entry point.
+
+Historically each of the five entry points (IMM, DIIMM, D-SSA, D-SUBSIM,
+D-OPIM-C) grew its own near-identical keyword list, and every caller —
+CLI, experiments, tests — re-assembled those kwargs by hand.
+:class:`RunConfig` centralises the knobs once: entry points accept it
+(via :func:`repro.api.run`) and the legacy keyword signatures are thin
+shims that build one.
+
+Validation lives here too (:meth:`RunConfig.validate`): every argument
+check an entry point used to perform — or forgot to perform — raises a
+uniform ``ValueError`` naming the offending field, so the CLI, the
+facade and direct library use all fail identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, replace
+from typing import Any
+
+from ..cluster.executor import EXECUTORS
+from ..cluster.faults import FaultPlan, RetryPolicy
+from ..cluster.network import NetworkModel
+
+__all__ = ["RunConfig", "BACKENDS", "MODELS", "METHODS"]
+
+#: Coverage-store flavours, as accepted by :func:`repro.ris.make_collection`.
+BACKENDS: tuple[str, ...] = ("flat", "reference")
+#: Diffusion models the samplers implement.
+MODELS: tuple[str, ...] = ("ic", "lt")
+#: RR-set generation procedures.
+METHODS: tuple[str, ...] = ("bfs", "subsim")
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Frozen configuration of one influence-maximization run.
+
+    Parameters
+    ----------
+    graph:
+        Weighted :class:`~repro.graphs.digraph.DirectedGraph`.
+    k:
+        Seed-set size.
+    machines:
+        Number of worker machines ``l`` (ignored by single-machine IMM,
+        which always runs one).
+    eps:
+        Approximation slack; the guarantee is ``(1 - 1/e - eps)``.
+    delta:
+        Failure probability; ``None`` means the paper's ``1/n``.
+    model, method:
+        Diffusion model (``"ic"``/``"lt"``) and RR-set generation
+        procedure (``"bfs"``/``"subsim"``).
+    seed:
+        Root RNG seed; fixes the whole run.
+    backend:
+        Coverage-store flavour (:data:`BACKENDS`).
+    executor:
+        Phase-plan executor (:data:`~repro.cluster.executor.EXECUTORS`).
+    processes:
+        Worker-pool size for the multiprocessing executor.
+    network:
+        Master<->slave cost model; ``None`` means the shared-memory
+        profile.
+    checkpoint_dir, resume:
+        Driver-level checkpointing, as in :mod:`repro.core.checkpoint`.
+    theta_initial:
+        First-round collection size override for the doubling frameworks
+        (D-SSA, D-OPIM-C); ``None`` uses each framework's own default.
+        Ignored by the IMM-schedule algorithms.
+    faults:
+        A :class:`~repro.cluster.faults.FaultPlan` — or its
+        :meth:`~repro.cluster.faults.FaultPlan.parse` string form —
+        enabling the fault-tolerant executor path.  ``None`` (default)
+        runs the original healthy path.
+    retry:
+        Recovery policy applied when ``faults`` is set; ``None`` uses
+        :data:`~repro.cluster.faults.DEFAULT_RETRY`.
+    """
+
+    graph: Any
+    k: int
+    machines: int = 1
+    eps: float = 0.5
+    delta: float | None = None
+    model: str = "ic"
+    method: str = "bfs"
+    seed: int = 0
+    backend: str = "flat"
+    executor: str = "simulated"
+    processes: int | None = None
+    network: NetworkModel | None = None
+    checkpoint_dir: str | None = None
+    resume: bool = False
+    theta_initial: int | None = None
+    faults: FaultPlan | None = field(default=None)
+    retry: RetryPolicy | None = None
+
+    def __post_init__(self) -> None:
+        if isinstance(self.faults, str):
+            object.__setattr__(self, "faults", FaultPlan.parse(self.faults))
+
+    def validate(self, algorithm: str | None = None) -> "RunConfig":
+        """Check every field; raise ``ValueError`` naming the bad one.
+
+        ``algorithm`` additionally applies per-algorithm constraints
+        (D-SUBSIM is IC-only).  Returns ``self`` so call sites can chain
+        ``config.validate(...)``.
+        """
+        if self.graph is None:
+            raise ValueError("config.graph must be a DirectedGraph, got None")
+        if self.k < 1:
+            raise ValueError(f"config.k must be >= 1, got {self.k}")
+        if not 0.0 < self.eps < 1.0:
+            raise ValueError(f"config.eps must be in (0, 1), got {self.eps}")
+        if self.machines < 1:
+            raise ValueError(f"config.machines must be >= 1, got {self.machines}")
+        if self.delta is not None and not 0.0 < self.delta < 1.0:
+            raise ValueError(f"config.delta must be in (0, 1) or None, got {self.delta}")
+        if self.model not in MODELS:
+            raise ValueError(f"config.model must be one of {MODELS}, got {self.model!r}")
+        if self.method not in METHODS:
+            raise ValueError(f"config.method must be one of {METHODS}, got {self.method!r}")
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"config.backend must be one of {BACKENDS}, got {self.backend!r}"
+            )
+        if self.executor not in EXECUTORS:
+            raise ValueError(
+                f"config.executor must be one of {EXECUTORS}, got {self.executor!r}"
+            )
+        if self.processes is not None and self.processes < 1:
+            raise ValueError(
+                f"config.processes must be >= 1 or None, got {self.processes}"
+            )
+        if self.theta_initial is not None and self.theta_initial < 1:
+            raise ValueError(
+                f"config.theta_initial must be >= 1 or None, got {self.theta_initial}"
+            )
+        if self.resume and self.checkpoint_dir is None:
+            raise ValueError("config.resume requires config.checkpoint_dir to be set")
+        if algorithm == "dsubsim" and self.model != "ic":
+            raise ValueError(
+                "config.model must be 'ic' for dsubsim: subset sampling is defined "
+                f"for the IC model only, got {self.model!r}"
+            )
+        return self
+
+    def with_overrides(self, **changes: Any) -> "RunConfig":
+        """A copy with the given fields replaced (frozen-safe)."""
+        return replace(self, **changes)
+
+    def describe(self) -> dict[str, Any]:
+        """A JSON-friendly summary (graph as its size, plan as its syntax)."""
+        out: dict[str, Any] = {}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            if spec.name == "graph":
+                value = None if value is None else f"graph(n={value.num_nodes})"
+            elif isinstance(value, FaultPlan):
+                value = value.describe()
+            elif isinstance(value, NetworkModel):
+                value = value.name
+            elif isinstance(value, RetryPolicy):
+                value = (
+                    f"RetryPolicy(max_attempts={value.max_attempts}, "
+                    f"phase_timeout={value.phase_timeout}, backoff={value.backoff}, "
+                    f"reassign={value.reassign})"
+                )
+            out[spec.name] = value
+        return out

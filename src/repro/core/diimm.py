@@ -22,15 +22,17 @@ from __future__ import annotations
 
 from ..cluster.cluster import SimulatedCluster
 from ..cluster.executor import make_executor
+from ..cluster.faults import FaultPlan, RetryPolicy
 from ..cluster.network import NetworkModel
 from ..graphs.digraph import DirectedGraph
 from ..ris import make_collection
 from .bounds import ImmParameters
 from .checkpoint import manager_for
+from .config import RunConfig
 from .driver import ImmScheduleRule, RoundDriver, SubsimScheduleRule
 from .result import IMResult
 
-__all__ = ["diimm"]
+__all__ = ["diimm", "diimm_from_config"]
 
 
 def diimm(
@@ -49,8 +51,14 @@ def diimm(
     processes: int | None = None,
     checkpoint_dir: str | None = None,
     resume: bool = False,
+    faults: FaultPlan | str | None = None,
+    retry: RetryPolicy | None = None,
 ) -> IMResult:
     """Run DIIMM on a simulated cluster of ``num_machines`` machines.
+
+    This keyword signature is a thin shim over
+    :class:`~repro.core.config.RunConfig` /
+    :func:`diimm_from_config`; prefer :func:`repro.api.run` in new code.
 
     Parameters mirror :func:`repro.core.imm.imm` plus:
 
@@ -83,6 +91,10 @@ def diimm(
         Restore the latest snapshot from ``checkpoint_dir`` and continue
         the run from there.  The resumed run ends in the identical seed
         set a fresh run would produce.
+    faults, retry:
+        Fault-injection plan and recovery policy for the executors (see
+        :mod:`repro.cluster.faults`); the selected seeds are identical
+        with or without them.
 
     Returns
     -------
@@ -91,38 +103,71 @@ def diimm(
         computation / communication, all simulated-parallel), with every
         phase annotated by its round index and stopping rule.
     """
+    config = RunConfig(
+        graph=graph,
+        k=k,
+        machines=num_machines,
+        eps=eps,
+        delta=delta,
+        model=model,
+        method=method,
+        seed=seed,
+        backend=backend,
+        executor=executor,
+        processes=processes,
+        network=network,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
+        faults=faults,
+        retry=retry,
+    )
+    return diimm_from_config(config, algorithm_label=algorithm_label)
+
+
+def diimm_from_config(config: RunConfig, algorithm_label: str = "DIIMM") -> IMResult:
+    """Run DIIMM from a validated :class:`~repro.core.config.RunConfig`."""
+    config.validate()
+    graph, k = config.graph, config.k
     n = graph.num_nodes
-    if delta is None:
-        delta = 1.0 / n
-    params = ImmParameters.compute(n, k, eps, delta)
-    cluster = SimulatedCluster(num_machines, network=network, seed=seed)
-    exec_ = make_executor(executor, cluster, graph=graph, processes=processes)
-    rule_type = SubsimScheduleRule if method == "subsim" else ImmScheduleRule
+    delta = 1.0 / n if config.delta is None else config.delta
+    params = ImmParameters.compute(n, k, config.eps, delta)
+    cluster = SimulatedCluster(config.machines, network=config.network, seed=config.seed)
+    exec_ = make_executor(
+        config.executor,
+        cluster,
+        graph=graph,
+        processes=config.processes,
+        faults=config.faults,
+        retry=config.retry,
+    )
+    rule_type = SubsimScheduleRule if config.method == "subsim" else ImmScheduleRule
     rule = rule_type(params)
-    stores = {"main": [make_collection(n, backend) for _ in range(num_machines)]}
+    stores = {
+        "main": [make_collection(n, config.backend) for _ in range(config.machines)]
+    }
     checkpoint = manager_for(
-        checkpoint_dir,
+        config.checkpoint_dir,
         algorithm=algorithm_label,
         n=n,
         k=k,
-        eps=eps,
+        eps=config.eps,
         delta=delta,
-        seed=seed,
-        num_machines=num_machines,
-        model=model,
-        method=method,
-        backend=backend,
+        seed=config.seed,
+        num_machines=config.machines,
+        model=config.model,
+        method=config.method,
+        backend=config.backend,
     )
     driver = RoundDriver(
         exec_,
         rule,
         k,
         stores,
-        model=model,
-        method=method,
-        backend=backend,
+        model=config.model,
+        method=config.method,
+        backend=config.backend,
         checkpoint=checkpoint,
-        resume=resume,
+        resume=config.resume,
     )
     run = driver.run()
 
@@ -136,13 +181,13 @@ def diimm(
         search_rounds=rule.search_rounds,
         metrics=cluster.metrics,
         algorithm=algorithm_label,
-        model=model,
-        method=method,
+        model=config.model,
+        method=config.method,
         params={
             "k": k,
-            "eps": eps,
+            "eps": config.eps,
             "delta": delta,
-            "num_machines": num_machines,
+            "num_machines": config.machines,
             "executor": exec_.name,
         },
     )

@@ -31,15 +31,17 @@ import math
 
 from ..cluster.cluster import SimulatedCluster
 from ..cluster.executor import make_executor
+from ..cluster.faults import FaultPlan, RetryPolicy
 from ..cluster.network import NetworkModel
 from ..graphs.digraph import DirectedGraph
 from ..ris import make_collection
 from .bounds import ImmParameters
 from .checkpoint import manager_for
+from .config import RunConfig
 from .driver import OpimStoppingRule, RoundDriver
 from .result import IMResult
 
-__all__ = ["distributed_opimc"]
+__all__ = ["distributed_opimc", "distributed_opimc_from_config"]
 
 
 def distributed_opimc(
@@ -58,55 +60,95 @@ def distributed_opimc(
     processes: int | None = None,
     checkpoint_dir: str | None = None,
     resume: bool = False,
+    faults: FaultPlan | str | None = None,
+    retry: RetryPolicy | None = None,
 ) -> IMResult:
     """Run distributed OPIM-C; parameters mirror :func:`repro.core.diimm.diimm`.
+
+    This keyword signature is a thin shim over
+    :class:`~repro.core.config.RunConfig` /
+    :func:`distributed_opimc_from_config`; prefer :func:`repro.api.run`
+    in new code.
 
     ``theta_initial`` overrides the size of the first doubling round
     (defaults to the OPIM-C heuristic
     ``theta_0 = theta_max * eps^2 * k / n``, clamped to at least 64).
     """
+    config = RunConfig(
+        graph=graph,
+        k=k,
+        machines=num_machines,
+        eps=eps,
+        delta=delta,
+        model=model,
+        method=method,
+        seed=seed,
+        backend=backend,
+        executor=executor,
+        processes=processes,
+        network=network,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
+        theta_initial=theta_initial,
+        faults=faults,
+        retry=retry,
+    )
+    return distributed_opimc_from_config(config)
+
+
+def distributed_opimc_from_config(config: RunConfig) -> IMResult:
+    """Run D-OPIM-C from a validated :class:`~repro.core.config.RunConfig`."""
+    config.validate()
+    graph, k, eps = config.graph, config.k, config.eps
     n = graph.num_nodes
-    if delta is None:
-        delta = 1.0 / n
+    delta = 1.0 / n if config.delta is None else config.delta
     params = ImmParameters.compute(n, k, eps, delta)
     # OPT >= k (the seeds activate at least themselves), so theta_max =
     # lambda*/k RR sets always suffice for IMM's guarantee.
     theta_max = max(int(math.ceil(params.lambda_star / k)), 64)
+    theta_initial = config.theta_initial
     if theta_initial is None:
         theta_initial = max(int(theta_max * eps * eps * k / n), 64)
     i_max = max(int(math.ceil(math.log2(max(theta_max / theta_initial, 2.0)))), 1)
     a = math.log(3.0 * i_max / delta)
 
-    cluster = SimulatedCluster(num_machines, network=network, seed=seed)
-    exec_ = make_executor(executor, cluster, graph=graph, processes=processes)
+    cluster = SimulatedCluster(config.machines, network=config.network, seed=config.seed)
+    exec_ = make_executor(
+        config.executor,
+        cluster,
+        graph=graph,
+        processes=config.processes,
+        faults=config.faults,
+        retry=config.retry,
+    )
     rule = OpimStoppingRule(n, eps=eps, theta_initial=theta_initial, i_max=i_max, a=a)
     stores = {
-        key: [make_collection(n, backend) for _ in range(num_machines)]
+        key: [make_collection(n, config.backend) for _ in range(config.machines)]
         for key in rule.collection_keys
     }
     checkpoint = manager_for(
-        checkpoint_dir,
+        config.checkpoint_dir,
         algorithm="DOPIM-C",
         n=n,
         k=k,
         eps=eps,
         delta=delta,
-        seed=seed,
-        num_machines=num_machines,
-        model=model,
-        method=method,
-        backend=backend,
+        seed=config.seed,
+        num_machines=config.machines,
+        model=config.model,
+        method=config.method,
+        backend=config.backend,
     )
     driver = RoundDriver(
         exec_,
         rule,
         k,
         stores,
-        model=model,
-        method=method,
-        backend=backend,
+        model=config.model,
+        method=config.method,
+        backend=config.backend,
         checkpoint=checkpoint,
-        resume=resume,
+        resume=config.resume,
     )
     run = driver.run()
 
@@ -123,13 +165,13 @@ def distributed_opimc(
         search_rounds=rule.rounds,
         metrics=cluster.metrics,
         algorithm="DOPIM-C",
-        model=model,
-        method=method,
+        model=config.model,
+        method=config.method,
         params={
             "k": k,
             "eps": eps,
             "delta": delta,
-            "num_machines": num_machines,
+            "num_machines": config.machines,
             "executor": exec_.name,
         },
     )

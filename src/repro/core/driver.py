@@ -556,6 +556,7 @@ class RoundDriver:
             rng_states=self._rng_states(),
             coverage_state=self.coverage.state_dict(),
             stores=self.stores,
+            recovery=self.executor.metrics.recovery_state(),
         )
 
     def _restore_checkpoint(self) -> int:
@@ -572,6 +573,9 @@ class RoundDriver:
         for key, per_machine in snapshot.stores.items():
             for idx, store in enumerate(per_machine):
                 self.stores[key][idx] = store
+        # Recovery events from before the restart stay visible in the
+        # resumed run's metrics; the resumed rounds append after them.
+        self.executor.metrics.restore_recovery(snapshot.recovery)
         return snapshot.round_index
 
     # ------------------------------------------------------------------

@@ -14,12 +14,14 @@ Accordingly, this module runs the DIIMM driver with the
 
 from __future__ import annotations
 
+from ..cluster.faults import FaultPlan, RetryPolicy
 from ..cluster.network import NetworkModel
 from ..graphs.digraph import DirectedGraph
-from .diimm import diimm
+from .config import RunConfig
+from .diimm import diimm_from_config
 from .result import IMResult
 
-__all__ = ["distributed_subsim"]
+__all__ = ["distributed_subsim", "distributed_subsim_from_config"]
 
 
 def distributed_subsim(
@@ -35,8 +37,15 @@ def distributed_subsim(
     processes: int | None = None,
     checkpoint_dir: str | None = None,
     resume: bool = False,
+    faults: FaultPlan | str | None = None,
+    retry: RetryPolicy | None = None,
 ) -> IMResult:
     """Distributed SUBSIM under the IC model.
+
+    This keyword signature is a thin shim over
+    :class:`~repro.core.config.RunConfig` /
+    :func:`distributed_subsim_from_config`; prefer :func:`repro.api.run`
+    in new code.
 
     Subset sampling exploits shared in-edge probabilities; it is defined
     for the IC model only (the LT reverse walk is already linear in the
@@ -44,20 +53,33 @@ def distributed_subsim(
     :class:`~repro.core.driver.SubsimScheduleRule` for it, so round
     annotations and checkpoints carry the SUBSIM identity.
     """
-    return diimm(
-        graph,
-        k,
-        num_machines,
+    config = RunConfig(
+        graph=graph,
+        k=k,
+        machines=num_machines,
         eps=eps,
         delta=delta,
         model="ic",
         method="subsim",
         network=network,
         seed=seed,
-        algorithm_label="DSUBSIM",
         backend=backend,
         executor=executor,
         processes=processes,
         checkpoint_dir=checkpoint_dir,
         resume=resume,
+        faults=faults,
+        retry=retry,
     )
+    return distributed_subsim_from_config(config)
+
+
+def distributed_subsim_from_config(config: RunConfig) -> IMResult:
+    """Run D-SUBSIM from a validated :class:`~repro.core.config.RunConfig`.
+
+    Forces ``method="subsim"`` and validates the IC-only constraint, then
+    delegates to the DIIMM driver under the ``DSUBSIM`` label.
+    """
+    config = config.with_overrides(method="subsim")
+    config.validate("dsubsim")
+    return diimm_from_config(config, algorithm_label="DSUBSIM")

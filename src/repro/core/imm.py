@@ -24,15 +24,17 @@ from __future__ import annotations
 import numpy as np
 
 from ..cluster.cluster import SimulatedCluster
-from ..cluster.executor import SimulatedExecutor
+from ..cluster.executor import make_executor
+from ..cluster.faults import FaultPlan, RetryPolicy
 from ..graphs.digraph import DirectedGraph
 from ..ris import make_collection
 from .bounds import ImmParameters
 from .checkpoint import manager_for
+from .config import RunConfig
 from .driver import ImmScheduleRule, RoundDriver, SubsimScheduleRule
 from .result import IMResult
 
-__all__ = ["imm"]
+__all__ = ["imm", "imm_from_config"]
 
 
 def imm(
@@ -45,8 +47,14 @@ def imm(
     seed: int = 0,
     checkpoint_dir: str | None = None,
     resume: bool = False,
+    faults: FaultPlan | str | None = None,
+    retry: RetryPolicy | None = None,
 ) -> IMResult:
     """Run IMM on a single machine.
+
+    This keyword signature is a thin shim over
+    :class:`~repro.core.config.RunConfig` / :func:`imm_from_config`;
+    prefer :func:`repro.api.run` in new code.
 
     Parameters
     ----------
@@ -64,36 +72,69 @@ def imm(
         RNG seed.
     checkpoint_dir, resume:
         Driver-level checkpointing, as in :func:`repro.core.diimm.diimm`.
+    faults, retry:
+        Fault-injection plan and recovery policy (see
+        :mod:`repro.cluster.faults`).
 
     Returns
     -------
     IMResult
         With a metrics breakdown whose communication time is zero.
     """
-    n = graph.num_nodes
-    if delta is None:
-        delta = 1.0 / n
-    params = ImmParameters.compute(n, k, eps, delta)
-    cluster = SimulatedCluster(1, seed=seed)
-    # The baseline's historical stream: one generator seeded directly
-    # (not spawned through the cluster's seed sequence), so results match
-    # the original single-machine implementation bit for bit.
-    cluster.machines[0].rng = np.random.default_rng(seed)
-    exec_ = SimulatedExecutor(cluster, graph=graph)
-    rule_type = SubsimScheduleRule if method == "subsim" else ImmScheduleRule
-    rule = rule_type(params)
-    stores = {"main": [make_collection(n, "flat")]}
-    checkpoint = manager_for(
-        checkpoint_dir,
-        algorithm="IMM",
-        n=n,
+    config = RunConfig(
+        graph=graph,
         k=k,
         eps=eps,
         delta=delta,
-        seed=seed,
-        num_machines=1,
         model=model,
         method=method,
+        seed=seed,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
+        faults=faults,
+        retry=retry,
+    )
+    return imm_from_config(config)
+
+
+def imm_from_config(config: RunConfig) -> IMResult:
+    """Run IMM from a validated :class:`~repro.core.config.RunConfig`.
+
+    ``config.machines`` is ignored: the baseline is defined as the
+    ``l = 1`` reference point, so it always runs one machine.
+    """
+    config.validate()
+    graph, k = config.graph, config.k
+    n = graph.num_nodes
+    delta = 1.0 / n if config.delta is None else config.delta
+    params = ImmParameters.compute(n, k, config.eps, delta)
+    cluster = SimulatedCluster(1, seed=config.seed)
+    # The baseline's historical stream: one generator seeded directly
+    # (not spawned through the cluster's seed sequence), so results match
+    # the original single-machine implementation bit for bit.
+    cluster.machines[0].rng = np.random.default_rng(config.seed)
+    exec_ = make_executor(
+        config.executor,
+        cluster,
+        graph=graph,
+        processes=config.processes,
+        faults=config.faults,
+        retry=config.retry,
+    )
+    rule_type = SubsimScheduleRule if config.method == "subsim" else ImmScheduleRule
+    rule = rule_type(params)
+    stores = {"main": [make_collection(n, "flat")]}
+    checkpoint = manager_for(
+        config.checkpoint_dir,
+        algorithm="IMM",
+        n=n,
+        k=k,
+        eps=config.eps,
+        delta=delta,
+        seed=config.seed,
+        num_machines=1,
+        model=config.model,
+        method=config.method,
         backend="flat",
     )
     driver = RoundDriver(
@@ -101,12 +142,12 @@ def imm(
         rule,
         k,
         stores,
-        model=model,
-        method=method,
+        model=config.model,
+        method=config.method,
         backend="flat",
         selection="central",
         checkpoint=checkpoint,
-        resume=resume,
+        resume=config.resume,
     )
     run = driver.run()
 
@@ -120,7 +161,7 @@ def imm(
         search_rounds=rule.search_rounds,
         metrics=cluster.metrics,
         algorithm="IMM",
-        model=model,
-        method=method,
-        params={"k": k, "eps": eps, "delta": delta, "num_machines": 1},
+        model=config.model,
+        method=config.method,
+        params={"k": k, "eps": config.eps, "delta": delta, "num_machines": 1},
     )

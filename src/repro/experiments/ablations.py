@@ -23,8 +23,9 @@ import numpy as np
 
 from ..analysis.martingale import empirical_workload_balance, workload_concentration
 from ..cluster.cluster import SimulatedCluster
+from ..api import run
 from ..cluster.metrics import COMMUNICATION
-from ..core.diimm import diimm
+from ..core.config import RunConfig
 from ..coverage.greedy import greedy_max_coverage, naive_greedy_max_coverage
 from ..coverage.problem import CoverageInstance
 from ..graphs.datasets import load_dataset
@@ -88,7 +89,9 @@ def traffic_tuple_vs_dense(
     n = ds.graph.num_nodes
     rows = []
     for machines in machine_counts:
-        result = diimm(ds.graph, k, machines, eps=eps, seed=seed)
+        result = run(
+            "diimm", RunConfig(graph=ds.graph, k=k, machines=machines, eps=eps, seed=seed)
+        )
         comm_phases = [
             p for p in result.metrics.phases if p.category == COMMUNICATION
         ]
@@ -159,7 +162,9 @@ def epsilon_sweep(
     rows = []
     baseline_theta = None
     for eps in eps_values:
-        result = diimm(ds.graph, k, num_machines, eps=eps, seed=seed)
+        result = run(
+            "diimm", RunConfig(graph=ds.graph, k=k, machines=num_machines, eps=eps, seed=seed)
+        )
         if baseline_theta is None:
             baseline_theta = result.num_rr_sets
             baseline_eps = eps

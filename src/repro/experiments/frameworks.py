@@ -16,10 +16,8 @@ from typing import Sequence
 import numpy as np
 
 from ..analysis.validation import evaluate_seeds
-from ..core.diimm import diimm
-from ..core.dopimc import distributed_opimc
-from ..core.dssa import distributed_ssa
-from ..core.dsubsim import distributed_subsim
+from ..api import run
+from ..core.config import RunConfig
 from ..graphs.datasets import load_dataset
 
 __all__ = ["framework_comparison"]
@@ -37,11 +35,12 @@ def framework_comparison(
     rows: list[dict] = []
     for name in datasets:
         graph = load_dataset(name, seed=seed).graph
+        config = RunConfig(graph=graph, k=k, machines=num_machines, eps=eps, seed=seed)
         runs = {
-            "DIIMM": diimm(graph, k, num_machines, eps=eps, seed=seed),
-            "DSSA": distributed_ssa(graph, k, num_machines, eps=eps, seed=seed),
-            "DOPIM-C": distributed_opimc(graph, k, num_machines, eps=eps, seed=seed),
-            "DSUBSIM": distributed_subsim(graph, k, num_machines, eps=eps, seed=seed),
+            "DIIMM": run("diimm", config),
+            "DSSA": run("dssa", config),
+            "DOPIM-C": run("dopimc", config),
+            "DSUBSIM": run("dsubsim", config),
         }
         for label, result in runs.items():
             spread = evaluate_seeds(

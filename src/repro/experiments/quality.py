@@ -15,8 +15,9 @@ from typing import Sequence
 import numpy as np
 
 from ..analysis.validation import evaluate_seeds
+from ..api import run
 from ..baselines import degree_discount, max_degree, pagerank_seeds, single_discount
-from ..core.diimm import diimm
+from ..core.config import RunConfig
 from ..graphs.datasets import load_dataset
 
 __all__ = ["seed_quality_comparison"]
@@ -38,8 +39,11 @@ def seed_quality_comparison(
         rng = np.random.default_rng(seed)
         random_seeds = rng.choice(graph.num_nodes, size=k, replace=False).tolist()
         strategies = {
-            "DIIMM": diimm(
-                graph, k, num_machines, eps=eps, model=model, seed=seed
+            "DIIMM": run(
+                "diimm",
+                RunConfig(
+                    graph=graph, k=k, machines=num_machines, eps=eps, model=model, seed=seed
+                ),
             ).seeds,
             "max-degree": max_degree(graph, k),
             "single-discount": single_discount(graph, k),

@@ -20,9 +20,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
+from ..api import run
 from ..cluster.network import NetworkModel, gigabit_cluster, shared_memory_server
-from ..core.diimm import diimm
-from ..core.imm import imm
+from ..core.config import RunConfig
 from ..graphs.datasets import DATASET_NAMES, load_dataset
 
 __all__ = [
@@ -83,27 +83,18 @@ def run_scaling(config: ScalingConfig) -> list[dict]:
         ds = load_dataset(dataset, seed=config.seed)
         baseline_total: float | None = None
         for num_machines in config.machine_counts:
-            if num_machines == 1:
-                result = imm(
-                    ds.graph,
-                    config.k,
-                    eps=config.eps,
-                    model=config.model,
-                    method=config.method,
-                    seed=config.seed,
-                )
-            else:
-                result = diimm(
-                    ds.graph,
-                    config.k,
-                    num_machines,
-                    eps=config.eps,
-                    model=config.model,
-                    method=config.method,
-                    network=config.network_factory(),
-                    seed=config.seed,
-                    executor=config.executor,
-                )
+            run_config = RunConfig(
+                graph=ds.graph,
+                k=config.k,
+                machines=num_machines,
+                eps=config.eps,
+                model=config.model,
+                method=config.method,
+                network=None if num_machines == 1 else config.network_factory(),
+                seed=config.seed,
+                executor=config.executor,
+            )
+            result = run("imm" if num_machines == 1 else "diimm", run_config)
             row = _result_row(config, dataset, num_machines, result)
             if baseline_total is None:
                 baseline_total = row["total_s"]

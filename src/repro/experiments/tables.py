@@ -11,7 +11,8 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from ..core.diimm import diimm
+from ..api import run
+from ..core.config import RunConfig
 from ..graphs.datasets import DATASET_NAMES, dataset_summary, load_dataset
 
 __all__ = ["table3_rows", "table4_rows", "PAPER_TABLE4"]
@@ -46,7 +47,10 @@ def table4_rows(
     rows = []
     for name in datasets:
         ds = load_dataset(name, seed=seed)
-        result = diimm(ds.graph, k, num_machines, eps=eps, model="ic", seed=seed)
+        result = run(
+            "diimm",
+            RunConfig(graph=ds.graph, k=k, machines=num_machines, eps=eps, model="ic", seed=seed),
+        )
         paper_sets, paper_size = PAPER_TABLE4[name]
         rows.append(
             {

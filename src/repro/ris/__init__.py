@@ -15,10 +15,15 @@ from .stats import (
 from .serialization import (
     FORMAT_MAGIC,
     FORMAT_VERSION,
+    MESSAGE_MAGIC,
+    MESSAGE_VERSION,
     CheckpointFormatError,
+    PayloadCorruptionError,
     load_collection,
     load_flat_collection,
+    pack_message,
     save_collection,
+    unpack_message,
 )
 from .subsim import SubsimSampler
 from .triggering_sampler import TriggeringRRSampler
@@ -46,7 +51,12 @@ __all__ = [
     "load_flat_collection",
     "FORMAT_MAGIC",
     "FORMAT_VERSION",
+    "MESSAGE_MAGIC",
+    "MESSAGE_VERSION",
     "CheckpointFormatError",
+    "PayloadCorruptionError",
+    "pack_message",
+    "unpack_message",
     "TriggeringRRSampler",
 ]
 

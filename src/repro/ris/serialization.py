@@ -14,12 +14,25 @@ Every checkpoint carries a magic marker plus a format version
 before touching any array, so a stale, truncated or foreign ``.npz``
 fails with a :class:`CheckpointFormatError` that names the file and the
 problem instead of an opaque numpy/zipfile traceback.
+
+The same framing discipline extends to *in-flight* worker payloads: the
+multiprocessing executor ships every generation batch as a
+:func:`pack_message` frame — magic, version, body length and a CRC32
+checksum ahead of the pickled body — and :func:`unpack_message` verifies
+all four before unpickling, so a corrupted or truncated payload surfaces
+as a typed :class:`PayloadCorruptionError` the retry machinery can
+recover from instead of a pickle crash or, worse, silently wrong RR
+sets.
 """
 
 from __future__ import annotations
 
 import os
+import pickle
+import struct
 import zipfile
+import zlib
+from typing import Any
 
 import numpy as np
 
@@ -30,7 +43,13 @@ from .rrset import RRSample
 __all__ = [
     "FORMAT_MAGIC",
     "FORMAT_VERSION",
+    "MESSAGE_MAGIC",
+    "MESSAGE_VERSION",
+    "MESSAGE_HEADER_BYTES",
     "CheckpointFormatError",
+    "PayloadCorruptionError",
+    "pack_message",
+    "unpack_message",
     "save_collection",
     "load_collection",
     "load_flat_collection",
@@ -44,6 +63,70 @@ FORMAT_VERSION = 1
 
 class CheckpointFormatError(ValueError):
     """A checkpoint file is unreadable, foreign, or of another version."""
+
+
+#: Identifies a byte string as a framed worker payload.
+MESSAGE_MAGIC = b"RPRO"
+#: Current wire-frame version.  Bump when the frame layout changes.
+MESSAGE_VERSION = 1
+#: Frame header: magic (4s), version (H), body length (Q), CRC32 (I).
+_MESSAGE_HEADER = struct.Struct("<4sHQI")
+MESSAGE_HEADER_BYTES = _MESSAGE_HEADER.size
+
+
+class PayloadCorruptionError(RuntimeError):
+    """A framed payload failed its magic/version/length/CRC32 check."""
+
+
+def pack_message(payload: Any) -> bytes:
+    """Frame ``payload`` for transport: header + CRC32 + pickled body.
+
+    The frame is what the multiprocessing executor's workers return for
+    every generation batch; :func:`unpack_message` refuses to unpickle a
+    body whose checksum does not match, which is how injected (or real)
+    payload corruption is detected and retried deterministically.
+    """
+    body = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    header = _MESSAGE_HEADER.pack(
+        MESSAGE_MAGIC, MESSAGE_VERSION, len(body), zlib.crc32(body)
+    )
+    return header + body
+
+
+def unpack_message(frame: bytes) -> Any:
+    """Verify a :func:`pack_message` frame and return its payload.
+
+    Raises :class:`PayloadCorruptionError` naming the failing check —
+    truncated header, foreign magic, unknown version, short body or
+    checksum mismatch — before any unpickling happens.
+    """
+    if len(frame) < MESSAGE_HEADER_BYTES:
+        raise PayloadCorruptionError(
+            f"payload truncated: {len(frame)} bytes is shorter than the "
+            f"{MESSAGE_HEADER_BYTES}-byte frame header"
+        )
+    magic, version, length, crc = _MESSAGE_HEADER.unpack_from(frame)
+    if magic != MESSAGE_MAGIC:
+        raise PayloadCorruptionError(
+            f"payload does not start with the {MESSAGE_MAGIC!r} frame magic"
+        )
+    if version != MESSAGE_VERSION:
+        raise PayloadCorruptionError(
+            f"payload uses frame version {version}, but this build reads "
+            f"version {MESSAGE_VERSION}"
+        )
+    body = frame[MESSAGE_HEADER_BYTES:]
+    if len(body) != length:
+        raise PayloadCorruptionError(
+            f"payload body is {len(body)} bytes but the header promised {length}"
+        )
+    actual = zlib.crc32(body)
+    if actual != crc:
+        raise PayloadCorruptionError(
+            f"payload checksum mismatch: header says {crc:#010x}, "
+            f"body hashes to {actual:#010x}"
+        )
+    return pickle.loads(body)
 
 
 def save_collection(
