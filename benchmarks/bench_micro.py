@@ -271,6 +271,90 @@ def test_micro_incremental_coverage_speedup(record_rows, graph):
         assert row["speedup"] >= 1.0, "incremental coverage maintenance slower than rebuild"
 
 
+def test_micro_dataplane(record_rows, graph):
+    """The pre-data-plane IPC path (a throwaway pool per generation
+    phase, graph broadcast to every worker, pickled arrays on the wire)
+    vs the persistent zero-copy pool with the delta + varint wire codec.
+    CI floors: >= 2x wall-clock on the many-phase generation scenario,
+    >= 1.5x payload byte reduction (targets: 3x / 2x)."""
+    from repro.cluster.parallel import GenerationPool, run_generation_pool
+    from repro.ris.serialization import pack_message
+    from repro.ris.wire import encode_batch
+
+    phases = 16
+    count = 10
+    workload = f"facebook, {phases} phases x {count} sets, 1 worker"
+
+    def per_phase_pools():
+        # One throwaway pool per phase, shared-memory broadcast disabled —
+        # exactly what every generation phase used to pay.
+        outcomes = []
+        for phase in range(phases):
+            outcomes.extend(
+                run_generation_pool(
+                    graph,
+                    "ic",
+                    "bfs",
+                    [count],
+                    [np.random.default_rng(phase)],
+                    processes=1,
+                    zero_copy=False,
+                )
+            )
+        return outcomes
+
+    def persistent_zero_copy():
+        outcomes = []
+        with GenerationPool(graph, processes=1, zero_copy=True) as pool:
+            for phase in range(phases):
+                outcomes.extend(
+                    pool.run("ic", "bfs", [count], [np.random.default_rng(phase)])
+                )
+        return outcomes
+
+    baseline_s, reference = _best_of(per_phase_pools)
+    pooled_s, pooled = _best_of(persistent_zero_copy)
+    for ref, got in zip(reference, pooled):
+        assert ref.error is None and got.error is None
+        np.testing.assert_array_equal(ref.batch.nodes, got.batch.nodes)
+        np.testing.assert_array_equal(ref.batch.offsets, got.batch.offsets)
+    speedup = baseline_s / pooled_s
+
+    # Payload size: the same framed envelope around pickled FlatBatch
+    # arrays (the old wire format) vs the delta + varint encoding.
+    rng = np.random.default_rng(0)
+    batch = make_sampler(graph, "ic", "bfs").sample_batch(rng, 2000)
+    state = rng.bit_generator.state
+    raw_bytes = len(pack_message((batch, state)))
+    wire_bytes = len(pack_message((encode_batch(batch), state)))
+    reduction = raw_bytes / wire_bytes
+
+    rows = [
+        {
+            "metric": "generation wall-clock (s)",
+            "workload": workload,
+            "per_phase_pool": round(baseline_s, 4),
+            "dataplane": round(pooled_s, 4),
+            "improvement_x": round(speedup, 2),
+        },
+        {
+            "metric": "payload size (bytes)",
+            "workload": "facebook, one 2000-set batch",
+            "per_phase_pool": raw_bytes,
+            "dataplane": wire_bytes,
+            "improvement_x": round(reduction, 2),
+        },
+    ]
+    record_rows(
+        "micro_dataplane",
+        rows,
+        "Data plane: per-phase copy pools + pickled arrays vs "
+        "persistent zero-copy pool + varint wire format",
+    )
+    assert speedup >= 2.0, f"data plane speedup {speedup:.2f}x below the 2x floor"
+    assert reduction >= 1.5, f"payload reduction {reduction:.2f}x below the 1.5x floor"
+
+
 def test_micro_fault_overhead(record_rows, graph):
     """Fault-tolerance bookkeeping on the healthy path: generation with
     ``faults=None`` (the original code path) vs an *empty* ``FaultPlan``

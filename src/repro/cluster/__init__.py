@@ -34,7 +34,7 @@ from .metrics import (
     RunMetrics,
 )
 from .network import NetworkModel, gigabit_cluster, shared_memory_server
-from .parallel import run_generation_pool
+from .parallel import GenerationOutcome, GenerationPool, run_generation_pool
 from .tracing import (
     render_timeline,
     summarize_phases,
@@ -67,6 +67,8 @@ __all__ = [
     "EXECUTORS",
     "make_executor",
     "as_executor",
+    "GenerationOutcome",
+    "GenerationPool",
     "run_generation_pool",
     "FaultPlan",
     "FaultSpec",

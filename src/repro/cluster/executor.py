@@ -47,6 +47,7 @@ import numpy as np
 from ..ris import make_sampler
 from ..ris.flat import append_batch
 from ..ris.rrset import FlatBatch, RRSampler
+from ..ris.wire import encoded_batch_nbytes
 from .cluster import MachineFailure, SimulatedCluster
 from .faults import (
     CORRUPT,
@@ -61,7 +62,7 @@ from .faults import (
 )
 from .machine import Machine
 from .metrics import COMPUTATION, GENERATION, RunMetrics
-from .parallel import run_generation_pool
+from .parallel import GenerationPool
 
 __all__ = [
     "GeneratePhase",
@@ -278,16 +279,28 @@ class Executor(ABC):
     def _run_generate(self, plan: GeneratePhase) -> PhaseResult:
         """Backend-specific generation of ``plan.counts`` RR sets."""
 
+    # -- resource lifecycle ---------------------------------------------
+    def close(self) -> None:
+        """Release backend resources (worker pools, shared memory).
+
+        A no-op for the simulated backend; the multiprocessing backend
+        stops its persistent worker pool and unlinks the shared-memory
+        graph block.  Idempotent, and safe to call on every exit path —
+        the entry points call it in a ``finally`` so fault-recovery
+        aborts and checkpoint/resume cycles reclaim everything.
+        """
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
     # -- fault-path helpers shared by both backends ---------------------
     @staticmethod
     def _batch_nbytes(batch: FlatBatch) -> int:
-        """Approximate wire size of one generation batch's arrays."""
-        return int(
-            batch.nodes.nbytes
-            + batch.offsets.nbytes
-            + batch.roots.nbytes
-            + batch.edges_examined.nbytes
-        )
+        """Wire size of one generation batch (delta + varint encoded)."""
+        return encoded_batch_nbytes(batch)
 
     def _raise_unrecovered(
         self, label: str, failed: Dict[int, str], attempts: int
@@ -478,6 +491,13 @@ class MultiprocessingExecutor(Executor):
     same seed.  Worker wall-clock time is scaled by the machine's
     ``slowdown``, keeping heterogeneous-cluster metering consistent.
 
+    The executor owns a persistent :class:`~repro.cluster.parallel.GenerationPool`
+    — workers and the shared-memory graph broadcast live for the whole
+    run instead of being rebuilt every phase.  Call :meth:`close` (the
+    entry points do, in a ``finally``) to stop the workers and unlink
+    the shared block.  Generation phases record the framed, compressed
+    payload bytes the workers actually shipped.
+
     Non-generation phases run through the shared accounting path: seed
     selection is master-side and cheap compared to generation (the
     paper parallelises generation only).
@@ -492,36 +512,60 @@ class MultiprocessingExecutor(Executor):
         processes: int | None = None,
         faults: FaultPlan | None = None,
         retry: RetryPolicy | None = None,
+        start_method: str | None = None,
+        zero_copy: bool | None = None,
     ) -> None:
         if graph is None:
             raise ValueError("MultiprocessingExecutor requires the graph up front")
         super().__init__(cluster, graph, faults=faults, retry=retry)
         self.processes = processes
+        self.start_method = start_method
+        self.zero_copy = zero_copy
+        self._pool: GenerationPool | None = None
+
+    @property
+    def pool(self) -> GenerationPool:
+        """The executor-owned persistent worker pool, built on first use."""
+        if self._pool is None:
+            self._pool = GenerationPool(
+                self.graph,
+                processes=self.processes,
+                start_method=self.start_method,
+                zero_copy=self.zero_copy,
+            )
+        return self._pool
+
+    def close(self) -> None:
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.close()
 
     def _run_generate(self, plan: GeneratePhase) -> PhaseResult:
         if self.faults is not None:
             return self._run_generate_with_faults(plan)
         targets = self._generation_targets(plan)
-        outcomes = run_generation_pool(
-            self.graph,
+        outcomes = self.pool.run(
             plan.model,
             plan.method,
             list(plan.counts),
             [machine.rng for machine in self.machines],
-            processes=self.processes,
         )
         times = []
         results = []
-        for machine, target, (batch, rng_state, elapsed, error) in zip(
-            self.machines, targets, outcomes
-        ):
-            if error is not None:
-                raise MachineFailure(machine.machine_id, plan.label) from RuntimeError(error)
-            machine.set_rng_state(rng_state)
-            append_batch(target, batch)
-            times.append(elapsed * machine.slowdown)
-            results.append(batch.count)
-        self.metrics.record_compute_phase(GENERATION, plan.label, times)
+        ipc_bytes = 0
+        for machine, target, outcome in zip(self.machines, targets, outcomes):
+            if outcome.error is not None:
+                raise MachineFailure(machine.machine_id, plan.label) from RuntimeError(
+                    outcome.error
+                )
+            machine.set_rng_state(outcome.rng_state)
+            append_batch(target, outcome.batch)
+            times.append(outcome.elapsed * machine.slowdown)
+            results.append(outcome.batch.count)
+            ipc_bytes += outcome.nbytes
+        self.metrics.record_compute_phase(
+            GENERATION, plan.label, times, num_bytes=ipc_bytes
+        )
         return self._result_from_last_phase(plan.label, results)
 
     def _run_generate_with_faults(self, plan: GeneratePhase) -> PhaseResult:
@@ -545,6 +589,7 @@ class MultiprocessingExecutor(Executor):
         results: List[int] = [0] * self.num_machines
         pending = set(range(self.num_machines))
         last_kind: Dict[int, str] = {}
+        ipc_bytes = 0
 
         for attempt in range(1, policy.max_attempts + 1):
             if not pending:
@@ -565,18 +610,17 @@ class MultiprocessingExecutor(Executor):
                     directives.append(CRASH_HARD)
                 else:
                     directives.append(fault.kind)
-            outcomes = run_generation_pool(
-                self.graph,
+            outcomes = self.pool.run(
                 plan.model,
                 plan.method,
                 [counts[mid] for mid in ids],
                 [self.machines[mid].rng for mid in ids],
-                processes=self.processes,
                 directives=directives,
                 timeout=policy.phase_timeout,
             )
-            for mid, (batch, rng_state, elapsed, error) in zip(ids, outcomes):
+            for mid, (batch, rng_state, elapsed, error, nbytes) in zip(ids, outcomes):
                 machine = self.machines[mid]
+                ipc_bytes += nbytes
                 if error is None:
                     factor = faults.straggler_factor(mid, round_index, attempt)
                     metered = elapsed * machine.slowdown * factor
@@ -636,7 +680,7 @@ class MultiprocessingExecutor(Executor):
                     ),
                 )
 
-        self.metrics.record_compute_phase(GENERATION, label, times)
+        self.metrics.record_compute_phase(GENERATION, label, times, num_bytes=ipc_bytes)
         return self._result_from_last_phase(label, results)
 
 
@@ -653,20 +697,31 @@ def make_executor(
     processes: int | None = None,
     faults: FaultPlan | None = None,
     retry: RetryPolicy | None = None,
+    start_method: str | None = None,
+    zero_copy: bool | None = None,
 ) -> Executor:
     """Build the named executor over ``cluster``.
 
-    ``processes`` is only meaningful for the multiprocessing backend
-    (worker-pool size; defaults to one process per machine capped at the
-    CPU count).  ``faults`` (a :class:`~repro.cluster.faults.FaultPlan`)
-    enables the fault-tolerant generation path on either backend;
-    ``retry`` overrides the default recovery policy.
+    ``processes``, ``start_method`` and ``zero_copy`` only apply to the
+    multiprocessing backend: worker-pool size (defaults to one process
+    per machine capped at the CPU count), ``multiprocessing`` start
+    method, and whether the graph is broadcast through shared memory
+    (default: try, fall back to copying).  ``faults`` (a
+    :class:`~repro.cluster.faults.FaultPlan`) enables the fault-tolerant
+    generation path on either backend; ``retry`` overrides the default
+    recovery policy.
     """
     if name == "simulated":
         return SimulatedExecutor(cluster, graph=graph, faults=faults, retry=retry)
     if name == "multiprocessing":
         return MultiprocessingExecutor(
-            cluster, graph=graph, processes=processes, faults=faults, retry=retry
+            cluster,
+            graph=graph,
+            processes=processes,
+            faults=faults,
+            retry=retry,
+            start_method=start_method,
+            zero_copy=zero_copy,
         )
     raise ValueError(f"unknown executor {name!r}; expected one of {EXECUTORS}")
 

@@ -128,8 +128,16 @@ class RunMetrics:
         category: str,
         label: str,
         machine_times: list[float],
+        num_bytes: int = 0,
     ) -> None:
-        """Record a phase executed by all machines in parallel."""
+        """Record a phase executed by all machines in parallel.
+
+        ``num_bytes`` is the payload traffic the phase itself moved —
+        zero for the simulated backend (whose communication is metered
+        by explicit gather/broadcast phases), and the framed compressed
+        worker payloads for the multiprocessing backend's generation
+        phases.
+        """
         if category not in (GENERATION, COMPUTATION):
             raise ValueError(f"compute phases must be generation/computation, got {category}")
         self.phases.append(
@@ -138,6 +146,7 @@ class RunMetrics:
                 label=label,
                 parallel_time=max(machine_times) if machine_times else 0.0,
                 machine_times=tuple(machine_times),
+                num_bytes=int(num_bytes),
                 round_index=self._round_index,
                 rule=self._rule,
             )

@@ -2,28 +2,51 @@
 
 The simulated cluster meters sequential execution; this module is the
 cross-check: it actually fans RR-set generation out over OS processes,
-the closest local equivalent of the paper's MPI workers.  Because
-sampler state (the graph CSR arrays) is moderately large, each worker
-process builds its sampler once in an initializer and reuses it for
-every batch.
+the closest local equivalent of the paper's MPI workers.
 
-Workers draw straight into the flat CSR layout via
-:meth:`RRSampler.sample_batch <repro.ris.rrset.RRSampler.sample_batch>`
-and return the batch plus their advanced RNG state as a single framed
-payload (:func:`repro.ris.serialization.pack_message`: magic, version,
-length, CRC32).  The master verifies the frame before unpickling, so a
-corrupted payload surfaces as a typed, retryable error instead of wrong
-data.  Restoring the returned RNG state keeps master-side generators
-bit-identical to the simulated backend.
+Data plane
+----------
+A :class:`GenerationPool` owns its workers and the graph broadcast for
+the lifetime of a run instead of paying both costs on every phase:
+
+* **Zero-copy graph broadcast.**  The master exports the graph's six
+  CSR arrays into one ``multiprocessing.shared_memory`` block
+  (:meth:`DirectedGraph.to_shared <repro.graphs.digraph.DirectedGraph.to_shared>`)
+  and ships only the tiny block *spec* to the workers, which attach
+  read-only views (:meth:`from_shared
+  <repro.graphs.digraph.DirectedGraph.from_shared>`) — no graph copy is
+  pickled, which is what makes the ``spawn`` start method affordable.
+  When shared memory is unavailable (or ``zero_copy=False``), the pool
+  degrades gracefully to the classic copy-based initializer that ships
+  the whole graph to every worker.
+* **Persistent workers.**  The ``Pool`` is created lazily on the first
+  phase and reused for every later one; each worker attaches the graph
+  once and caches one sampler per ``(model, method)``.  A phase
+  deadline expiry terminates and discards the pool (a dead or hung
+  worker may hold a task forever), and the next phase transparently
+  starts a fresh one — the recovery path the executor's
+  :class:`~repro.cluster.faults.RetryPolicy` drives.
+* **Compressed payloads.**  Workers draw straight into the flat CSR
+  layout via :meth:`RRSampler.sample_batch
+  <repro.ris.rrset.RRSampler.sample_batch>`, encode the batch with the
+  delta + varint wire codec (:func:`repro.ris.wire.encode_batch`) and
+  return it plus their advanced RNG state as a single framed payload
+  (:func:`repro.ris.serialization.pack_message`: magic, version,
+  length, CRC32).  The master verifies the frame, then decodes — a
+  corrupted payload surfaces as a typed, retryable error instead of
+  wrong data, and each outcome carries the actual bytes shipped.
+
+Restoring the returned RNG state keeps master-side generators
+bit-identical to the simulated backend, and the decoded batches are
+bit-identical to locally drawn ones, so none of this changes results.
 
 Results are collected with a deadline (``timeout``): a worker that never
 answers — crashed, ``kill -9``'d, or its payload dropped — leaves a
-``"timeout: ..."`` outcome for its machine instead of hanging the pool,
-which is what the executor's :class:`~repro.cluster.faults.RetryPolicy`
-needs to detect and recover from real worker death.  Injected faults
-arrive as per-machine *directives* so the fault path is exercised end to
-end: ``"crash"`` raises inside the worker, ``"crash-hard"`` SIGKILLs the
-worker process, ``"corrupt"`` flips a byte of the framed payload.
+``"timeout: ..."`` outcome for its machine instead of hanging the pool.
+Injected faults arrive as per-machine *directives* so the fault path is
+exercised end to end: ``"crash"`` raises inside the worker,
+``"crash-hard"`` SIGKILLs the worker process, ``"corrupt"`` flips a byte
+of the framed payload.
 
 Only generation is parallelised — it dominates the running time in every
 figure of the paper — while seed selection still runs through NEWGREEDI
@@ -38,11 +61,11 @@ import multiprocessing as mp
 import os
 import signal
 import time
-from typing import Any, List, Sequence, Tuple
+from typing import Any, Dict, List, NamedTuple, Sequence, Tuple
 
 import numpy as np
 
-from ..graphs.digraph import DirectedGraph
+from ..graphs.digraph import DirectedGraph, SharedGraphHandle
 from ..ris import make_sampler
 from ..ris.rrset import FlatBatch
 from ..ris.serialization import (
@@ -51,29 +74,52 @@ from ..ris.serialization import (
     pack_message,
     unpack_message,
 )
+from ..ris.wire import decode_batch, encode_batch
 from .faults import CORRUPT, CRASH, CRASH_HARD
 
-__all__ = ["run_generation_pool"]
+__all__ = ["GenerationOutcome", "GenerationPool", "run_generation_pool"]
 
-#: One machine's generation outcome: ``(batch, rng_state, elapsed, error)``.
-#: ``error`` is ``None`` on success, otherwise a one-line description
-#: (prefixed ``"crash:"``, ``"corruption:"`` or ``"timeout:"`` for
-#: injected/detected fault kinds) and ``batch`` / ``rng_state`` are ``None``.
-GenerationOutcome = Tuple[FlatBatch | None, Any, float, str | None]
-
-# Worker-process global, set once by _init_worker.
-_WORKER_SAMPLER = None
+#: Environment override for the pool's start method (``fork``/``spawn``/
+#: ``forkserver``); CI uses it to run the whole suite under ``spawn``.
+START_METHOD_ENV = "REPRO_MP_START_METHOD"
 
 
-def _init_worker(graph: DirectedGraph, model: str, method: str) -> None:
-    global _WORKER_SAMPLER
-    _WORKER_SAMPLER = make_sampler(graph, model=model, method=method)
+class GenerationOutcome(NamedTuple):
+    """One machine's generation outcome.
+
+    ``error`` is ``None`` on success, otherwise a one-line description
+    (prefixed ``"crash:"``, ``"corruption:"`` or ``"timeout:"`` for
+    injected/detected fault kinds) and ``batch`` / ``rng_state`` are
+    ``None``.  ``nbytes`` is the size of the framed compressed payload
+    the worker actually shipped (0 when nothing arrived).
+    """
+
+    batch: FlatBatch | None
+    rng_state: Any
+    elapsed: float
+    error: str | None
+    nbytes: int = 0
+
+
+# Worker-process globals, set once by _init_worker and reused across
+# every phase the persistent pool serves.
+_WORKER_GRAPH: DirectedGraph | None = None
+_WORKER_SAMPLERS: Dict[Tuple[str, str], Any] = {}
+
+
+def _init_worker(graph_or_spec: Any, shared: bool) -> None:
+    global _WORKER_GRAPH
+    if shared:
+        _WORKER_GRAPH = DirectedGraph.from_shared(graph_or_spec)
+    else:
+        _WORKER_GRAPH = graph_or_spec
+    _WORKER_SAMPLERS.clear()
 
 
 def _worker_generate(
-    task: Tuple[int, int, np.random.Generator, str | None],
+    task: Tuple[int, str, str, int, np.random.Generator, str | None],
 ) -> Tuple[int, bytes | None, float, str | None]:
-    machine_id, count, rng, directive = task
+    machine_id, model, method, count, rng, directive = task
     start = time.perf_counter()
     if directive == CRASH_HARD:
         # The injected equivalent of `kill -9`: the process dies without
@@ -82,8 +128,12 @@ def _worker_generate(
     try:
         if directive == CRASH:
             raise RuntimeError("injected worker crash")
-        batch = _WORKER_SAMPLER.sample_batch(rng, count)
-        payload = pack_message((batch, rng.bit_generator.state))
+        sampler = _WORKER_SAMPLERS.get((model, method))
+        if sampler is None:
+            sampler = make_sampler(_WORKER_GRAPH, model=model, method=method)
+            _WORKER_SAMPLERS[(model, method)] = sampler
+        batch = sampler.sample_batch(rng, count)
+        payload = pack_message((encode_batch(batch), rng.bit_generator.state))
     except Exception as exc:  # shipped back; the executor decides recovery
         prefix = "crash: " if directive == CRASH else ""
         return (
@@ -100,70 +150,158 @@ def _worker_generate(
     return machine_id, payload, time.perf_counter() - start, None
 
 
-def run_generation_pool(
-    graph: DirectedGraph,
-    model: str,
-    method: str,
-    counts: Sequence[int],
-    rngs: Sequence[np.random.Generator],
-    processes: int | None = None,
-    directives: Sequence[str | None] | None = None,
-    timeout: float | None = None,
-) -> List[GenerationOutcome]:
-    """Draw per-machine RR-set batches in a process pool.
+def _resolve_start_method(start_method: str | None) -> str:
+    method = start_method or os.environ.get(START_METHOD_ENV) or None
+    available = mp.get_all_start_methods()
+    if method is None:
+        return "fork" if "fork" in available else "spawn"
+    if method not in available:
+        raise ValueError(
+            f"start method {method!r} unavailable on this platform "
+            f"(have: {', '.join(available)})"
+        )
+    return method
+
+
+class GenerationPool:
+    """Persistent worker pool with a zero-copy graph broadcast.
 
     Parameters
     ----------
     graph:
-        Weighted graph shared (copied) into every worker.
-    counts:
-        Per-machine batch sizes.
-    rngs:
-        Per-machine generators; pickled to the workers with their state,
-        so the draws equal what the machines would have drawn locally.
-        The callers' generators are NOT advanced — restore the returned
-        state onto each machine to stay in sync.
-    model, method:
-        Sampler selection, as in :func:`repro.ris.make_sampler`.
+        Weighted graph the workers sample from.  Broadcast once: through
+        a shared-memory block when available, else copied into each
+        worker's initializer.
     processes:
-        Worker-pool size; defaults to ``len(counts)`` capped at CPU count.
-    directives:
-        Optional per-machine injected-fault directive (``"crash"``,
-        ``"crash-hard"``, ``"corrupt"`` or ``None``), in machine order.
-    timeout:
-        Wall-clock deadline in seconds for the whole phase.  Machines
-        whose results have not arrived when it expires get a
-        ``"timeout: ..."`` outcome (the pool is terminated); ``None``
-        waits forever — a dead worker then hangs, exactly the failure
-        mode :class:`~repro.cluster.faults.RetryPolicy.phase_timeout`
-        exists to prevent.
+        Worker count; defaults to the machine count of the first phase,
+        capped at the CPU count.
+    start_method:
+        ``multiprocessing`` start method; defaults to the
+        ``REPRO_MP_START_METHOD`` environment variable, then ``fork``
+        where available, else ``spawn``.
+    zero_copy:
+        ``True`` requires shared memory (raises where unsupported),
+        ``False`` forces the copy-based broadcast, ``None`` (default)
+        tries shared memory and silently falls back.
 
-    Returns
-    -------
-    One :data:`GenerationOutcome` per machine, in machine order.  Worker
-    exceptions, corrupted payloads and timeouts are captured per machine,
-    not raised here.
+    The pool is lazy: workers start on the first :meth:`run` call.  Call
+    :meth:`close` (or use the context manager) to reclaim the workers
+    and the shared-memory block; ``__del__`` is only a backstop.
     """
-    if len(counts) != len(rngs):
-        raise ValueError("counts and rngs must have the same length")
-    if directives is not None and len(directives) != len(counts):
-        raise ValueError("directives must have one entry per machine")
-    if not counts:
-        return []
-    if processes is None:
-        processes = min(len(counts), mp.cpu_count())
-    ctx = mp.get_context("fork" if "fork" in mp.get_all_start_methods() else "spawn")
-    tasks = [
-        (i, int(count), rng, directives[i] if directives is not None else None)
-        for i, (count, rng) in enumerate(zip(counts, rngs))
-    ]
-    raw: dict[int, Tuple[bytes | None, float, str | None]] = {}
-    start = time.monotonic()
-    with ctx.Pool(
-        processes=processes,
-        initializer=_init_worker,
-        initargs=(graph, model, method),
-    ) as pool:
+
+    def __init__(
+        self,
+        graph: DirectedGraph,
+        processes: int | None = None,
+        start_method: str | None = None,
+        zero_copy: bool | None = None,
+    ) -> None:
+        self.graph = graph
+        self.processes = processes
+        self.start_method = _resolve_start_method(start_method)
+        self._zero_copy_mode = zero_copy
+        self._handle: SharedGraphHandle | None = None
+        self._pool = None
+        self._closed = False
+
+    @property
+    def zero_copy(self) -> bool:
+        """Whether the pool (next) start uses the shared-memory broadcast.
+
+        ``True`` until a failed shared-memory export flips the pool onto
+        the copy-based fallback for good.
+        """
+        return self._zero_copy_mode is not False
+
+    def _broadcast_args(self) -> Tuple[Any, bool]:
+        if self._zero_copy_mode is False:
+            return self.graph, False
+        if self._handle is None:
+            try:
+                self._handle = self.graph.to_shared()
+            except Exception:
+                if self._zero_copy_mode:  # explicitly required
+                    raise
+                self._zero_copy_mode = False
+                return self.graph, False
+        return self._handle.spec, True
+
+    def _ensure_pool(self, num_machines: int):
+        if self._closed:
+            raise RuntimeError("GenerationPool is closed")
+        if self._pool is None:
+            ctx = mp.get_context(self.start_method)
+            processes = self.processes or min(max(num_machines, 1), mp.cpu_count())
+            graph_or_spec, shared = self._broadcast_args()
+            self._pool = ctx.Pool(
+                processes=processes,
+                initializer=_init_worker,
+                initargs=(graph_or_spec, shared),
+            )
+        return self._pool
+
+    def _discard_pool(self) -> None:
+        """Terminate the workers; the next phase starts a fresh pool."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.terminate()
+            pool.join()
+
+    def run(
+        self,
+        model: str,
+        method: str,
+        counts: Sequence[int],
+        rngs: Sequence[np.random.Generator],
+        directives: Sequence[str | None] | None = None,
+        timeout: float | None = None,
+    ) -> List[GenerationOutcome]:
+        """Draw per-machine RR-set batches on the persistent workers.
+
+        Parameters
+        ----------
+        model, method:
+            Sampler selection, as in :func:`repro.ris.make_sampler`;
+            workers cache one sampler per combination.
+        counts:
+            Per-machine batch sizes.
+        rngs:
+            Per-machine generators; pickled to the workers with their
+            state, so the draws equal what the machines would have drawn
+            locally.  The callers' generators are NOT advanced — restore
+            the returned state onto each machine to stay in sync.
+        directives:
+            Optional per-machine injected-fault directive (``"crash"``,
+            ``"crash-hard"``, ``"corrupt"`` or ``None``), in machine
+            order.
+        timeout:
+            Wall-clock deadline in seconds for the whole phase.
+            Machines whose results have not arrived when it expires get
+            a ``"timeout: ..."`` outcome and the worker pool is
+            recycled; ``None`` waits forever — a dead worker then
+            hangs, exactly the failure mode
+            :class:`~repro.cluster.faults.RetryPolicy.phase_timeout`
+            exists to prevent.
+
+        Returns
+        -------
+        One :class:`GenerationOutcome` per machine, in machine order.
+        Worker exceptions, corrupted payloads and timeouts are captured
+        per machine, not raised here.
+        """
+        if len(counts) != len(rngs):
+            raise ValueError("counts and rngs must have the same length")
+        if directives is not None and len(directives) != len(counts):
+            raise ValueError("directives must have one entry per machine")
+        if not counts:
+            return []
+        pool = self._ensure_pool(len(counts))
+        tasks = [
+            (i, model, method, int(count), rng, directives[i] if directives else None)
+            for i, (count, rng) in enumerate(zip(counts, rngs))
+        ]
+        raw: dict[int, Tuple[bytes | None, float, str | None]] = {}
+        start = time.monotonic()
         pending = pool.imap_unordered(_worker_generate, tasks)
         try:
             for __ in range(len(tasks)):
@@ -174,23 +312,93 @@ def run_generation_pool(
                     item = pending.next(max(remaining, 1e-3))
                 raw[item[0]] = item[1:]
         except mp.TimeoutError:
-            pool.terminate()
+            # A worker died or hung mid-task; its task would occupy the
+            # pool forever, so recycle the workers.
+            self._discard_pool()
 
-    outcomes: List[GenerationOutcome] = []
-    for machine_id in range(len(tasks)):
-        if machine_id not in raw:
-            outcomes.append(
-                (None, None, timeout or 0.0, f"timeout: no result within {timeout:g}s")
-            )
-            continue
-        payload, elapsed, error = raw[machine_id]
-        if error is not None:
-            outcomes.append((None, None, elapsed, error))
-            continue
+        outcomes: List[GenerationOutcome] = []
+        for machine_id in range(len(tasks)):
+            if machine_id not in raw:
+                outcomes.append(
+                    GenerationOutcome(
+                        None,
+                        None,
+                        timeout or 0.0,
+                        f"timeout: no result within {timeout:g}s",
+                    )
+                )
+                continue
+            payload, elapsed, error = raw[machine_id]
+            if error is not None:
+                outcomes.append(GenerationOutcome(None, None, elapsed, error))
+                continue
+            nbytes = len(payload)
+            try:
+                body, rng_state = unpack_message(payload)
+                batch = decode_batch(body)
+            except PayloadCorruptionError as exc:
+                outcomes.append(
+                    GenerationOutcome(None, None, elapsed, f"corruption: {exc}", nbytes)
+                )
+                continue
+            outcomes.append(GenerationOutcome(batch, rng_state, elapsed, None, nbytes))
+        return outcomes
+
+    def close(self) -> None:
+        """Stop the workers and unlink the shared-memory block."""
+        self._closed = True
         try:
-            batch, rng_state = unpack_message(payload)
-        except PayloadCorruptionError as exc:
-            outcomes.append((None, None, elapsed, f"corruption: {exc}"))
-            continue
-        outcomes.append((batch, rng_state, elapsed, None))
-    return outcomes
+            self._discard_pool()
+        finally:
+            handle, self._handle = self._handle, None
+            if handle is not None:
+                handle.unlink()
+
+    def __enter__(self) -> "GenerationPool":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else ("live" if self._pool else "lazy")
+        return (
+            f"GenerationPool({self.graph!r}, start_method={self.start_method!r}, "
+            f"zero_copy={self.zero_copy}, {state})"
+        )
+
+
+def run_generation_pool(
+    graph: DirectedGraph,
+    model: str,
+    method: str,
+    counts: Sequence[int],
+    rngs: Sequence[np.random.Generator],
+    processes: int | None = None,
+    directives: Sequence[str | None] | None = None,
+    timeout: float | None = None,
+    start_method: str | None = None,
+    zero_copy: bool | None = None,
+) -> List[GenerationOutcome]:
+    """One-shot convenience wrapper: a single phase on a throwaway pool.
+
+    Builds a :class:`GenerationPool` (zero-copy graph broadcast when
+    available, copy fallback otherwise), runs one generation phase and
+    tears the pool down again.  Executors keep a persistent
+    :class:`GenerationPool` instead; this wrapper exists for tests and
+    ad-hoc callers that want the old per-call semantics.
+    """
+    if not counts:
+        return []
+    with GenerationPool(
+        graph, processes=processes, start_method=start_method, zero_copy=zero_copy
+    ) as pool:
+        return pool.run(
+            model, method, counts, rngs, directives=directives, timeout=timeout
+        )

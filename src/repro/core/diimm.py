@@ -169,7 +169,12 @@ def diimm_from_config(config: RunConfig, algorithm_label: str = "DIIMM") -> IMRe
         checkpoint=checkpoint,
         resume=config.resume,
     )
-    run = driver.run()
+    try:
+        run = driver.run()
+    finally:
+        # Reclaim the worker pool and shared-memory graph on every exit
+        # path, including fault-recovery aborts and checkpoint crashes.
+        exec_.close()
 
     return IMResult(
         seeds=run.selection.seeds,

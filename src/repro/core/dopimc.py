@@ -150,7 +150,10 @@ def distributed_opimc_from_config(config: RunConfig) -> IMResult:
         checkpoint=checkpoint,
         resume=config.resume,
     )
-    run = driver.run()
+    try:
+        run = driver.run()
+    finally:
+        exec_.close()
 
     total_rr = driver.total_sets("R1") + driver.total_sets("R2")
     total_size = driver.total_size("R1") + driver.total_size("R2")

@@ -149,7 +149,10 @@ def imm_from_config(config: RunConfig) -> IMResult:
         checkpoint=checkpoint,
         resume=config.resume,
     )
-    run = driver.run()
+    try:
+        run = driver.run()
+    finally:
+        exec_.close()
 
     return IMResult(
         seeds=run.selection.seeds,

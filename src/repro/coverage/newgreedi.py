@@ -37,15 +37,33 @@ from ..cluster.executor import (
 )
 from ..cluster.machine import Machine
 from ..cluster.metrics import COMPUTATION
+from ..ris.wire import tuple_vector_nbytes
 from .greedy import BucketQueue, GreedyResult, _pad_with_unselected
 from .kernel import as_flat, resolve_backend, sparse_decrements
 
 __all__ = ["NewGreeDiResult", "newgreedi", "gather_coverage_counts"]
 
-#: Bytes per ``(node, count)`` tuple in a slave's response (two 32-bit ints).
+#: Bytes per raw ``(node, count)`` tuple; kept for reference/docs — the
+#: gathers below charge the delta + varint compressed vector size
+#: (:func:`repro.ris.wire.tuple_vector_nbytes`) instead.
 TUPLE_BYTES = 8
 #: Bytes to broadcast one chosen seed id.
 SEED_BYTES = 8
+
+
+def _sparse_delta_nbytes(delta, backend: str) -> int:
+    """Compressed wire size of one slave's sparse ``(node, count)`` reply.
+
+    Both backends must charge identical bytes for identical content, so
+    the reference backend's dict is serialised in sorted-node order —
+    exactly the order the flat kernel already produces.
+    """
+    if backend == "flat":
+        nodes, decrements = delta
+        return tuple_vector_nbytes(nodes, decrements)
+    nodes = np.fromiter(sorted(delta), dtype=np.int64, count=len(delta))
+    counts = np.asarray([delta[int(node)] for node in nodes], dtype=np.int64)
+    return tuple_vector_nbytes(nodes, counts)
 
 
 @dataclass
@@ -100,7 +118,10 @@ def gather_coverage_counts(
         return stores[machine.machine_id].coverage_counts(start=starts[machine.machine_id])
 
     per_machine = executor.run_phase(MapPhase(f"{label}/map", compute_counts)).results
-    payload_sizes = tuple(TUPLE_BYTES * int(np.count_nonzero(c)) for c in per_machine)
+    payload_sizes = tuple(
+        tuple_vector_nbytes(np.flatnonzero(c), c[np.flatnonzero(c)])
+        for c in per_machine
+    )
     executor.run_phase(GatherPhase(f"{label}/gather", payload_sizes))
 
     def reduce_counts() -> np.ndarray:
@@ -234,15 +255,13 @@ def newgreedi(
             return delta, newly
 
         responses = executor.run_phase(MapPhase(f"{label}/map", map_stage)).results
-        # A response carries one (node, decrement) tuple per distinct node,
-        # whichever backend produced it.
+        # A response carries the compressed sparse (node, decrement)
+        # vector, identical bytes whichever backend produced it.
         executor.run_phase(
             GatherPhase(
                 f"{label}/gather",
                 tuple(
-                    TUPLE_BYTES
-                    * (delta[0].size if backend == "flat" else len(delta))
-                    for delta, __ in responses
+                    _sparse_delta_nbytes(delta, backend) for delta, __ in responses
                 ),
             )
         )

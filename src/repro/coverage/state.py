@@ -33,11 +33,14 @@ import numpy as np
 
 from ..cluster.executor import GatherPhase, MapPhase, MasterPhase
 from ..cluster.machine import Machine
+from ..ris.wire import tuple_vector_nbytes
 from .kernel import apply_sparse_delta, sparse_coverage_delta
 
 __all__ = ["CoverageState"]
 
-#: Bytes per ``(node, count)`` tuple in a machine's wave response.
+#: Bytes per raw ``(node, count)`` tuple; kept for reference/docs — the
+#: gathers below charge the delta + varint compressed vector size
+#: (:func:`repro.ris.wire.tuple_vector_nbytes`) instead.
 TUPLE_BYTES = 8
 
 
@@ -80,10 +83,11 @@ class CoverageState:
 
         Runs as executor phases: a map in which every machine builds the
         sparse ``(node, count)`` delta over its newly generated sets, a
-        gather charged one tuple per distinct node (skipped with
-        ``communicate=False`` — the single-machine algorithms, whose
-        master and worker are the same host, meter the map but move no
-        bytes), and a master-side reduce applying the deltas.
+        gather charged the compressed (delta + varint) size of each
+        machine's vector (skipped with ``communicate=False`` — the
+        single-machine algorithms, whose master and worker are the same
+        host, meter the map but move no bytes), and a master-side
+        reduce applying the deltas.
         """
         if len(stores) != self.num_machines:
             raise ValueError(f"expected {self.num_machines} stores, got {len(stores)}")
@@ -101,7 +105,7 @@ class CoverageState:
             executor.run_phase(
                 GatherPhase(
                     f"{label}/gather",
-                    tuple(TUPLE_BYTES * nodes.size for nodes, __ in deltas),
+                    tuple(tuple_vector_nbytes(nodes, counts) for nodes, counts in deltas),
                 )
             )
 

@@ -2,7 +2,7 @@
 
 from .builder import GraphBuilder
 from .datasets import DATASET_NAMES, Dataset, dataset_summary, load_dataset
-from .digraph import DirectedGraph
+from .digraph import DirectedGraph, SharedGraphHandle
 from .generators import (
     barabasi_albert,
     chung_lu,
@@ -30,6 +30,7 @@ from .weights import trivalency, uniform, weighted_cascade
 
 __all__ = [
     "DirectedGraph",
+    "SharedGraphHandle",
     "GraphBuilder",
     "Dataset",
     "DATASET_NAMES",

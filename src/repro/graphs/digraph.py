@@ -13,11 +13,70 @@ weighting scheme from :mod:`repro.graphs.weights` assigns them.
 
 from __future__ import annotations
 
-from typing import Iterator, Sequence, Tuple
+from typing import Any, Dict, Iterator, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["DirectedGraph"]
+__all__ = ["DirectedGraph", "SharedGraphHandle"]
+
+#: The six CSR arrays that fully describe a graph, in block layout order.
+_CSR_FIELDS = (
+    "out_indptr",
+    "out_indices",
+    "out_probs",
+    "in_indptr",
+    "in_indices",
+    "in_probs",
+)
+
+
+class SharedGraphHandle:
+    """Owner of one shared-memory block holding a graph's CSR arrays.
+
+    Created by :meth:`DirectedGraph.to_shared` in the master process; its
+    picklable :attr:`spec` travels to workers, which attach read-only
+    views via :meth:`DirectedGraph.from_shared` instead of unpickling a
+    graph copy.  The handle owns the segment's lifetime: call
+    :meth:`unlink` (idempotent, also invoked by ``__del__`` as a
+    backstop) when no process needs the block any more.
+    """
+
+    def __init__(self, shm: Any, spec: Dict[str, Any]) -> None:
+        self._shm = shm
+        self.spec = spec
+
+    @property
+    def name(self) -> str:
+        return self.spec["name"]
+
+    def unlink(self) -> None:
+        """Unmap and remove the segment.  Safe to call more than once."""
+        shm, self._shm = self._shm, None
+        if shm is None:
+            return
+        try:
+            shm.close()
+        finally:
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # already removed (e.g. stale tmpdir)
+                pass
+
+    def __enter__(self) -> "SharedGraphHandle":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.unlink()
+
+    def __del__(self) -> None:
+        try:
+            self.unlink()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:
+        state = "unlinked" if self._shm is None else f"name={self.name!r}"
+        return f"SharedGraphHandle({state})"
 
 
 class DirectedGraph:
@@ -51,6 +110,7 @@ class DirectedGraph:
         "in_indices",
         "in_probs",
         "_in_prob_sums",
+        "_shm",
     )
 
     def __init__(
@@ -96,6 +156,7 @@ class DirectedGraph:
         self.in_probs = np.ascontiguousarray(prob[order])
 
         self._in_prob_sums: np.ndarray | None = None
+        self._shm = None
 
     def _build_indptr(self, sorted_keys: np.ndarray) -> np.ndarray:
         counts = np.bincount(sorted_keys, minlength=self._n) if self._n else np.zeros(0, np.int64)
@@ -191,6 +252,70 @@ class DirectedGraph:
             if self.out_indices[idx] == v:
                 return float(self.out_probs[idx])
         raise KeyError(f"edge <{u}, {v}> not in graph")
+
+    # ------------------------------------------------------------------
+    # Shared-memory export / attach (zero-copy worker broadcast)
+    # ------------------------------------------------------------------
+    def to_shared(self) -> SharedGraphHandle:
+        """Export the six CSR arrays into one shared-memory block.
+
+        Returns a :class:`SharedGraphHandle` whose picklable ``spec``
+        lets any process on the machine rebuild this graph with
+        :meth:`from_shared` at zero copy cost.  Raises whatever the
+        platform raises when POSIX shared memory is unavailable
+        (``ImportError``/``OSError``) — callers that want the copy-based
+        fallback catch and degrade.
+        """
+        from multiprocessing import shared_memory
+
+        arrays = {field: getattr(self, field) for field in _CSR_FIELDS}
+        layout: Dict[str, Tuple[int, str, int]] = {}
+        offset = 0
+        for field, array in arrays.items():
+            # Align each array to its itemsize so the views are cheap.
+            align = array.dtype.itemsize
+            offset = (offset + align - 1) // align * align
+            layout[field] = (offset, array.dtype.str, int(array.size))
+            offset += array.nbytes
+        shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+        for field, array in arrays.items():
+            start, dtype, size = layout[field]
+            view = np.ndarray(size, dtype=dtype, buffer=shm.buf, offset=start)
+            view[:] = array
+        spec = {
+            "name": shm.name,
+            "num_nodes": self._n,
+            "num_edges": self._m,
+            "arrays": layout,
+        }
+        return SharedGraphHandle(shm, spec)
+
+    @classmethod
+    def from_shared(cls, spec: Dict[str, Any]) -> "DirectedGraph":
+        """Attach to a block exported by :meth:`to_shared` (read-only).
+
+        The returned graph's CSR arrays are immutable views into the
+        shared block — no data is copied.  Attaching re-registers the
+        segment with the ``resource_tracker``; within one process tree
+        the tracker (inherited by fork and spawn alike) keeps a *set* of
+        names, so this is an idempotent no-op and the exporting
+        :class:`SharedGraphHandle` remains the sole owner: its
+        ``unlink`` both removes the segment and retires the single
+        tracker entry.
+        """
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(name=spec["name"], create=False)
+        graph = object.__new__(cls)
+        graph._n = int(spec["num_nodes"])
+        graph._m = int(spec["num_edges"])
+        for field, (start, dtype, size) in spec["arrays"].items():
+            view = np.ndarray(size, dtype=dtype, buffer=shm.buf, offset=start)
+            view.flags.writeable = False
+            setattr(graph, field, view)
+        graph._in_prob_sums = None
+        graph._shm = shm  # keep the mapping alive as long as the graph
+        return graph
 
     # ------------------------------------------------------------------
     # Derived graphs

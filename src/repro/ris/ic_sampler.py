@@ -30,7 +30,8 @@ def _grow(buffer: np.ndarray, used: int, needed: int) -> np.ndarray:
     """Return ``buffer`` (or a doubled copy) with room for ``needed`` items."""
     if needed <= buffer.size:
         return buffer
-    capacity = buffer.size
+    # A zero-size buffer would make the doubling loop spin forever.
+    capacity = max(buffer.size, 1)
     while capacity < needed:
         capacity *= 2
     grown = np.empty(capacity, dtype=buffer.dtype)

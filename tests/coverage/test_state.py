@@ -40,7 +40,9 @@ def test_incremental_ingest_matches_rebuild(small_wc_graph, rng, backend):
 
 
 def test_ingest_phases_and_bytes(small_wc_graph, rng):
-    """One map, one gather (8 bytes per distinct node), one reduce."""
+    """One map, one gather (the compressed sparse vector), one reduce."""
+    from repro.ris.wire import tuple_vector_nbytes
+
     cluster = SimulatedCluster(2, seed=5)
     executor = SimulatedExecutor(cluster)
     stores, grow = grown_stores(small_wc_graph, rng, 2)
@@ -50,10 +52,17 @@ def test_ingest_phases_and_bytes(small_wc_graph, rng):
 
     labels = [p.label for p in cluster.metrics.phases]
     assert labels == ["wave/map", "wave/gather", "wave/reduce"]
-    expected_bytes = sum(
+    expected_bytes = 0
+    for store in stores:
+        counts = store.coverage_counts()
+        nodes = np.flatnonzero(counts)
+        expected_bytes += tuple_vector_nbytes(nodes, counts[nodes])
+    assert cluster.metrics.total_bytes == expected_bytes
+    # The compressed vector must beat the raw 8-bytes-per-tuple format.
+    raw_bytes = sum(
         8 * int(np.count_nonzero(store.coverage_counts())) for store in stores
     )
-    assert cluster.metrics.total_bytes == expected_bytes
+    assert 0 < expected_bytes < raw_bytes
 
 
 def test_ingest_without_new_sets_is_free(small_wc_graph, rng):

@@ -96,3 +96,28 @@ class TestDistribution:
     def test_sample_many_count(self, small_wc_graph, rng):
         sampler = ICReverseBFSSampler(small_wc_graph)
         assert len(sampler.sample_many(25, rng)) == 25
+
+
+class TestGrow:
+    def test_zero_capacity_buffer_terminates(self):
+        """Regression: a zero-size buffer used to make the capacity
+        doubling loop spin forever (0 * 2 == 0)."""
+        from repro.ris.ic_sampler import _grow
+
+        grown = _grow(np.empty(0, dtype=np.int32), 0, 5)
+        assert grown.size >= 5
+        assert grown.dtype == np.int32
+
+    def test_preserves_used_prefix(self):
+        from repro.ris.ic_sampler import _grow
+
+        buffer = np.arange(4, dtype=np.int64)
+        grown = _grow(buffer, 3, 9)
+        assert grown.size >= 9
+        assert grown[:3].tolist() == [0, 1, 2]
+
+    def test_no_copy_when_large_enough(self):
+        from repro.ris.ic_sampler import _grow
+
+        buffer = np.arange(8)
+        assert _grow(buffer, 8, 8) is buffer
