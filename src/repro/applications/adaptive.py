@@ -45,6 +45,7 @@ def adaptive_influence_maximization(
     num_machines: int,
     rr_sets_per_round: int,
     model: str = "ic",
+    method: str = "bfs",
     network: NetworkModel | None = None,
     seed: int = 0,
 ) -> ApplicationResult:
@@ -54,6 +55,10 @@ def adaptive_influence_maximization(
     ----------
     rr_sets_per_round:
         RR sets regenerated (across machines) for each seed decision.
+    method:
+        RR-set generation procedure, as in :func:`repro.ris.make_sampler`;
+        the per-round regeneration cost makes ``"vectorized"`` attractive
+        on large residual graphs.
     seed:
         Drives both the sampling RNGs and the simulated ground-truth
         cascades, so a run is fully reproducible.
@@ -82,7 +87,7 @@ def adaptive_influence_maximization(
         inactive = [v for v in range(graph.num_nodes) if v not in activated]
         if not inactive:
             break
-        base = make_sampler(residual, model=model)
+        base = make_sampler(residual, model=model, method=method)
         sampler = TargetedSampler(base, inactive)
         cluster.init_collections(graph.num_nodes)
         shares = cluster.split_count(rr_sets_per_round)
@@ -115,5 +120,6 @@ def adaptive_influence_maximization(
             "num_machines": num_machines,
             "rr_sets_per_round": rr_sets_per_round,
             "model": model,
+            "method": method,
         },
     )

@@ -44,6 +44,14 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--machines", type=int, default=16)
     run.add_argument("--eps", type=float, default=0.5)
     run.add_argument("--model", choices=("ic", "lt"), default="ic")
+    run.add_argument(
+        "--method",
+        choices=("bfs", "subsim", "vectorized"),
+        default="bfs",
+        help="RR-set generation procedure: per-set reverse BFS/walk, "
+        "SUBSIM subset sampling (ic only; dsubsim always uses it), or "
+        "the blocked vectorized frontier kernels",
+    )
     run.add_argument("--seed", type=int, default=0)
     run.add_argument(
         "--network", choices=("cluster", "server"), default="server"
@@ -176,6 +184,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             machines=args.machines,
             eps=args.eps,
             model="ic" if args.algorithm == "dsubsim" else args.model,
+            method=args.method,
             seed=args.seed,
             backend=args.backend,
             executor=args.executor,

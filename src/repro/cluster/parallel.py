@@ -21,7 +21,10 @@ the lifetime of a run instead of paying both costs on every phase:
   the whole graph to every worker.
 * **Persistent workers.**  The ``Pool`` is created lazily on the first
   phase and reused for every later one; each worker attaches the graph
-  once and caches one sampler per ``(model, method)``.  A phase
+  once and caches one sampler per ``(model, method)`` — including the
+  blocked ``"vectorized"`` kernels, whose per-worker frontier scratch
+  lives in that cache and whose CSR reads go straight against the
+  shared-memory graph views.  A phase
   deadline expiry terminates and discards the pool (a dead or hung
   worker may hold a task forever), and the next phase transparently
   starts a fresh one — the recovery path the executor's

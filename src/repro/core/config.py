@@ -29,7 +29,7 @@ BACKENDS: tuple[str, ...] = ("flat", "reference")
 #: Diffusion models the samplers implement.
 MODELS: tuple[str, ...] = ("ic", "lt")
 #: RR-set generation procedures.
-METHODS: tuple[str, ...] = ("bfs", "subsim")
+METHODS: tuple[str, ...] = ("bfs", "subsim", "vectorized")
 
 
 @dataclass(frozen=True)
@@ -51,7 +51,7 @@ class RunConfig:
         Failure probability; ``None`` means the paper's ``1/n``.
     model, method:
         Diffusion model (``"ic"``/``"lt"``) and RR-set generation
-        procedure (``"bfs"``/``"subsim"``).
+        procedure (``"bfs"``/``"subsim"``/``"vectorized"``).
     seed:
         Root RNG seed; fixes the whole run.
     backend:

@@ -44,6 +44,24 @@ __all__ = [
 BACKENDS = ("flat", "reference")
 
 
+def _require_int64_counts(counts: np.ndarray) -> None:
+    """Reject narrow marginal-count buffers before they can wrap silently.
+
+    The in-place decrements below (``counts -= bincount(...)``) accept an
+    ``int32`` buffer under NumPy's same-kind casting and would overflow
+    without a warning once a machine holds >= 2**31 incidences — a scale
+    the batched generators reach long before memory runs out.  All repo
+    call sites allocate ``int64``; this guard keeps external callers to
+    the same contract.
+    """
+    counts = np.asarray(counts)
+    if counts.dtype != np.int64:
+        raise TypeError(
+            "counts must be an int64 array (narrower dtypes overflow "
+            f"silently under large collections), got {counts.dtype}"
+        )
+
+
 def resolve_backend(backend: str) -> str:
     """Validate a ``backend=`` argument, returning it normalised."""
     if backend not in BACKENDS:
@@ -73,6 +91,7 @@ def mark_and_decrement(
     seed's realised marginal).  ``covered`` and ``counts`` are updated in
     place, exactly as the reference loop updates them.
     """
+    _require_int64_counts(counts)
     elements = store.sets_containing(seed)
     if elements.size == 0:
         return 0
@@ -140,6 +159,7 @@ def apply_sparse_delta(
     """
     if sign not in (1, -1):
         raise ValueError(f"sign must be +1 or -1, got {sign}")
+    _require_int64_counts(counts)
     if nodes.size:
         if sign == 1:
             counts[nodes] += deltas

@@ -27,6 +27,12 @@ from .serialization import (
 )
 from .subsim import SubsimSampler
 from .triggering_sampler import TriggeringRRSampler
+from .vectorized import (
+    DEFAULT_BLOCK,
+    VectorizedICSampler,
+    VectorizedLTSampler,
+    VectorizedTriggeringSampler,
+)
 
 __all__ = [
     "FlatBatch",
@@ -58,6 +64,10 @@ __all__ = [
     "pack_message",
     "unpack_message",
     "TriggeringRRSampler",
+    "DEFAULT_BLOCK",
+    "VectorizedICSampler",
+    "VectorizedLTSampler",
+    "VectorizedTriggeringSampler",
 ]
 
 
@@ -71,16 +81,24 @@ def make_sampler(graph, model: str = "ic", method: str = "bfs") -> RRSampler:
     model:
         ``"ic"`` or ``"lt"``.
     method:
-        ``"bfs"`` (plain reverse BFS / walk) or ``"subsim"`` (IC only).
+        ``"bfs"`` (plain reverse BFS / walk), ``"subsim"`` (IC only), or
+        ``"vectorized"`` (blocked frontier kernels advancing many RR
+        sets per NumPy call; see :mod:`repro.ris.vectorized`).
     """
     model_key, method_key = model.lower(), method.lower()
     if model_key == "lt":
         if method_key == "subsim":
             raise ValueError("SUBSIM subset sampling applies to the IC model only")
-        return LTReverseWalkSampler(graph)
+        if method_key == "vectorized":
+            return VectorizedLTSampler(graph)
+        if method_key == "bfs":
+            return LTReverseWalkSampler(graph)
+        raise ValueError(f"unknown sampling method {method!r}")
     if model_key == "ic":
         if method_key == "subsim":
             return SubsimSampler(graph)
+        if method_key == "vectorized":
+            return VectorizedICSampler(graph)
         if method_key == "bfs":
             return ICReverseBFSSampler(graph)
         raise ValueError(f"unknown sampling method {method!r}")

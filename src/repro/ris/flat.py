@@ -35,7 +35,14 @@ import numpy as np
 from .collection import RRCollection
 from .rrset import FlatBatch, RRSample
 
-__all__ = ["FlatRRCollection", "append_batch", "make_collection", "gather_rows"]
+__all__ = ["FlatRRCollection", "MAX_NODES", "append_batch", "make_collection", "gather_rows"]
+
+#: Largest graph the flat store can index: node ids are kept as ``int32``
+#: (halving memory and wire traffic versus ``int64``), so ids must lie in
+#: ``[0, 2**31)``.  Everything *per-collection* is already ``int64``
+#: (offsets, inverted index), so set counts and total sizes are not
+#: limited — only the node-id width is.
+MAX_NODES = 1 << 31
 
 
 def gather_rows(values: np.ndarray, offsets: np.ndarray, rows: np.ndarray) -> np.ndarray:
@@ -72,6 +79,13 @@ class FlatRRCollection:
     def __init__(self, num_nodes: int) -> None:
         if num_nodes <= 0:
             raise ValueError(f"num_nodes must be positive, got {num_nodes}")
+        # Checked before any allocation: past this limit the int32 casts
+        # in _validate would silently wrap node ids into negatives.
+        if num_nodes > MAX_NODES:
+            raise ValueError(
+                f"num_nodes must be <= {MAX_NODES} (node ids are stored as "
+                f"int32 in the flat CSR layout), got {num_nodes}"
+            )
         self._num_nodes = num_nodes
         self._nodes = np.zeros(0, dtype=np.int32)
         self._offsets = np.zeros(1, dtype=np.int64)

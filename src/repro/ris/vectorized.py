@@ -1,0 +1,478 @@
+"""Batched frontier kernels: hundreds of RR sets per NumPy call.
+
+The per-set samplers (:mod:`repro.ris.ic_sampler`, :mod:`~repro.ris.lt_sampler`,
+:mod:`~repro.ris.triggering_sampler`) vectorise *within* one RR set — one
+coin-flip batch per frontier — but still pay Python-level bookkeeping per
+set and per wave.  On the scaled datasets an RR set averages only a few
+waves of a few nodes each, so that bookkeeping, not the arithmetic,
+dominates generation time (the cost every phase plan is built around).
+
+This module ports gIM's batched frontier expansion to the CSR arrays:
+a *block* of RR sets advances together, one wave per step, with
+
+* one masked gather over ``in_indptr``/``in_indices`` building the
+  in-edge index of the whole block's frontier at once,
+* one vectorised Bernoulli batch (IC) or one threshold/categorical draw
+  per frontier node (LT / triggering) for every trial of the wave,
+* visited-marks kept in a single flat block-scratch bitmap addressed by
+  ``set * n + node`` keys, so per-set dedup is one ``np.unique`` over
+  integer keys.
+
+The amortised Python overhead per set drops by roughly the block size;
+``benchmarks/results/micro_vectorized_generation`` tracks the measured
+speedup over :meth:`~repro.ris.rrset.RRSampler.sample_batch` (>= 5x
+target on the livejournal-like stand-in, >= 3x CI floor).
+
+RNG contract
+------------
+Blocking reorders RNG consumption: one ``random(total)`` call now covers
+a whole wave of *many* sets, where the per-set path drew per set.  The
+draws therefore differ bit-for-bit from ``sample_batch`` in general and
+the vectorized samplers are held to the per-set path by the
+*statistical-equivalence* harness (``tests/ris/equivalence.py``) instead
+of the differential bit-identity suite.  One ordering IS preserved: with
+``block_size=1`` the IC kernel visits nodes, maps coins to edges and
+draws the root exactly like :class:`~repro.ris.ic_sampler.ICReverseBFSSampler`,
+so that configuration is pinned bit-identical
+(``tests/ris/test_vectorized_equivalence.py::TestBitIdentity``) — the
+anchor proving the kernel computes the *same* process, with the larger
+blocks certified distributionally.
+
+Scratch memory is ``block_size * num_nodes`` bytes (one byte per
+visited-mark).  When ``block_size`` is not given, each sampler picks one
+automatically from the graph size (see :data:`DEFAULT_BLOCK` /
+:data:`DEFAULT_SCRATCH_BYTES`); pass an explicit value to trade memory
+against per-wave overhead on unusual graphs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..diffusion.triggering import (
+    ICTriggering,
+    LTTriggering,
+    TriggeringDistribution,
+)
+from ..graphs.digraph import DirectedGraph
+from .rrset import FlatBatch, RRSample, RRSampler
+
+__all__ = [
+    "DEFAULT_BLOCK",
+    "VectorizedICSampler",
+    "VectorizedLTSampler",
+    "VectorizedTriggeringSampler",
+]
+
+#: Largest auto-chosen number of RR sets advanced per frontier block.
+#: When ``block_size`` is not given, the samplers pick the biggest block
+#: whose visited scratch (``block * num_nodes`` bytes) stays within
+#: :data:`DEFAULT_SCRATCH_BYTES`, capped here — larger blocks amortise
+#: the per-wave NumPy call overhead better but stop paying once the
+#: scratch spills out of cache.  A throughput knob, never a correctness
+#: one.
+DEFAULT_BLOCK = 1024
+
+#: Scratch budget steering the automatic block size.
+DEFAULT_SCRATCH_BYTES = 64 << 20
+
+
+def _auto_block(num_nodes: int) -> int:
+    return max(64, min(DEFAULT_BLOCK, DEFAULT_SCRATCH_BYTES // max(num_nodes, 1)))
+
+
+class _BlockedFrontierSampler(RRSampler):
+    """Shared plumbing of the vectorized samplers.
+
+    Subclasses implement :meth:`_run_block`, which advances one block of
+    pinned roots to completion and returns the block's flat results.
+    Everything else — block scheduling, scratch lifetime, the
+    :class:`~repro.ris.rrset.RRSample`/:class:`~repro.ris.rrset.FlatBatch`
+    packaging — lives here.
+    """
+
+    def __init__(self, graph: DirectedGraph, block_size: int | None = None) -> None:
+        super().__init__(graph)
+        if block_size is None:
+            block_size = _auto_block(graph.num_nodes)
+        if block_size < 1:
+            raise ValueError(f"block_size must be >= 1, got {block_size}")
+        self.block_size = int(block_size)
+        # One flat visited bitmap for the whole block, addressed by
+        # ``set * n + node``; allocated lazily on the first draw.
+        self._visited: np.ndarray | None = None
+        # True while a draw is in flight; a draw that raised mid-wave
+        # leaves it set and the next draw hard-resets the bitmap instead
+        # of trusting the (possibly partial) incremental reset.
+        self._scratch_dirty = False
+
+    def _scratch(self) -> np.ndarray:
+        if self._visited is None:
+            self._visited = np.zeros(self.block_size * self.graph.num_nodes, dtype=bool)
+        if self._scratch_dirty:
+            self._visited[:] = False
+        self._scratch_dirty = True
+        return self._visited
+
+    def _run_block(
+        self, rng: np.random.Generator, roots: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Advance ``roots.size <= block_size`` RR sets to completion.
+
+        Returns ``(nodes, sizes, edges_examined)`` where ``nodes`` is the
+        int32 concatenation of the block's sets (each sorted ascending)
+        and ``sizes``/``edges_examined`` are per-set int64 arrays.
+        """
+        raise NotImplementedError
+
+    def sample(self, rng: np.random.Generator, root: int | None = None) -> RRSample:
+        """Draw one RR set; ``root`` can be pinned for testing."""
+        if root is None:
+            root = self.sample_root(rng)
+        nodes, sizes, edges = self._run_block(rng, np.asarray([root], dtype=np.int64))
+        return RRSample(nodes=nodes, root=int(root), edges_examined=int(edges[0]))
+
+    def sample_batch(self, rng: np.random.Generator, count: int) -> FlatBatch:
+        """Draw ``count`` RR sets, ``block_size`` at a time."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        n = self.graph.num_nodes
+        parts: list[np.ndarray] = []
+        sizes_parts: list[np.ndarray] = []
+        roots_parts: list[np.ndarray] = []
+        edges_parts: list[np.ndarray] = []
+        done = 0
+        while done < count:
+            block = min(self.block_size, count - done)
+            roots = rng.integers(0, n, size=block).astype(np.int64, copy=False)
+            nodes, sizes, edges = self._run_block(rng, roots)
+            parts.append(nodes)
+            sizes_parts.append(sizes)
+            roots_parts.append(roots)
+            edges_parts.append(edges)
+            done += block
+        return self._pack(count, parts, sizes_parts, roots_parts, edges_parts)
+
+    def sample_batch_rooted(self, rng: np.random.Generator, roots) -> FlatBatch:
+        """Draw one RR set per pinned root (the property-test entry point).
+
+        Identical to :meth:`sample_batch` except the uniform root draws
+        are replaced by the given roots; the equivalence and property
+        suites use it to condition size/membership distributions on a
+        root without burning samples on rejection.
+        """
+        roots = np.asarray(roots, dtype=np.int64)
+        if roots.ndim != 1:
+            raise ValueError("roots must be a 1-D array of node ids")
+        if roots.size and (int(roots.min()) < 0 or int(roots.max()) >= self.graph.num_nodes):
+            raise ValueError(f"roots must lie in [0, {self.graph.num_nodes})")
+        parts, sizes_parts, roots_parts, edges_parts = [], [], [], []
+        for start in range(0, roots.size, self.block_size):
+            block_roots = roots[start : start + self.block_size]
+            nodes, sizes, edges = self._run_block(rng, block_roots)
+            parts.append(nodes)
+            sizes_parts.append(sizes)
+            roots_parts.append(block_roots)
+            edges_parts.append(edges)
+        return self._pack(int(roots.size), parts, sizes_parts, roots_parts, edges_parts)
+
+    @staticmethod
+    def _pack(count, parts, sizes_parts, roots_parts, edges_parts) -> FlatBatch:
+        offsets = np.zeros(count + 1, dtype=np.int64)
+        if count:
+            np.cumsum(np.concatenate(sizes_parts), out=offsets[1:])
+            nodes = np.concatenate(parts).astype(np.int32, copy=False)
+            roots = np.concatenate(roots_parts)
+            edges = np.concatenate(edges_parts)
+        else:
+            nodes = np.zeros(0, dtype=np.int32)
+            roots = np.zeros(0, dtype=np.int64)
+            edges = np.zeros(0, dtype=np.int64)
+        return FlatBatch(nodes, offsets, roots, edges)
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(graph={self.graph!r}, block_size={self.block_size})"
+        )
+
+
+def _finish_block(
+    visited: np.ndarray,
+    num_sets: int,
+    num_nodes: int,
+    set_parts: list[np.ndarray],
+    node_parts: list[np.ndarray],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sort a block's collected (set, node) pairs into per-set segments.
+
+    Clears the touched visited-marks (the incremental scratch reset) and
+    returns ``(nodes, sizes)``: the int32 concatenation with every set's
+    nodes ascending, plus per-set sizes.
+    """
+    all_sets = np.concatenate(set_parts)
+    all_nodes = np.concatenate(node_parts)
+    keys = all_sets * num_nodes + all_nodes
+    visited[keys] = False
+    order = np.argsort(keys, kind="stable")
+    sizes = np.bincount(all_sets, minlength=num_sets).astype(np.int64, copy=False)
+    return all_nodes[order].astype(np.int32), sizes
+
+
+class VectorizedICSampler(_BlockedFrontierSampler):
+    """Blocked reverse-BFS frontier kernel for the IC model.
+
+    Each wave gathers the in-edges of every (set, node) frontier pair in
+    the block, draws one Bernoulli batch over all of them, and folds the
+    successful sources back through the visited bitmap.  With
+    ``block_size=1`` the wave structure, edge ordering and draw counts
+    collapse to exactly :class:`~repro.ris.ic_sampler.ICReverseBFSSampler`'s,
+    making that configuration bit-identical to the per-set path.
+    """
+
+    def __init__(self, graph: DirectedGraph, block_size: int | None = None) -> None:
+        super().__init__(graph, block_size=block_size)
+        # Per-node uniform-probability fast path (weighted-cascade and
+        # uniform graphs): when every in-edge of every node carries its
+        # node's single probability, the wave's trial probabilities are a
+        # frontier-sized repeat instead of an edge-index gather, and the
+        # edge index itself only needs materialising at the successes.
+        # The trial values and draw order are unchanged, so the block=1
+        # bit-identity anchor holds on both paths.
+        indptr, probs = graph.in_indptr, graph.in_probs
+        degrees = np.diff(indptr)
+        node_prob = np.zeros(graph.num_nodes, dtype=probs.dtype)
+        nonzero = degrees > 0
+        node_prob[nonzero] = probs[indptr[:-1][nonzero]]
+        self._node_prob: np.ndarray | None = None
+        if np.array_equal(np.repeat(node_prob, degrees), probs):
+            self._node_prob = node_prob
+
+    def _run_block(
+        self, rng: np.random.Generator, roots: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        graph = self.graph
+        n = graph.num_nodes
+        indptr, indices, probs = graph.in_indptr, graph.in_indices, graph.in_probs
+        num_sets = roots.size
+        visited = self._scratch()
+
+        front_sets = np.arange(num_sets, dtype=np.int64)
+        front_nodes = roots
+        visited[front_sets * n + front_nodes] = True
+        set_parts = [front_sets]
+        node_parts = [front_nodes]
+        edges = np.zeros(num_sets, dtype=np.int64)
+
+        while front_nodes.size:
+            starts = indptr[front_nodes]
+            counts = indptr[front_nodes + 1] - starts
+            ends = counts.cumsum()
+            total = int(ends[-1])
+            # bincount's float accumulator is exact for edge totals < 2^53.
+            edges += np.bincount(front_sets, weights=counts, minlength=num_sets).astype(
+                np.int64
+            )
+            if total == 0:
+                break
+            if self._node_prob is not None:
+                # Uniform-per-node probabilities: repeat them over each
+                # node's edge run — same values rng.random is compared
+                # against, no per-edge gather, no full edge index.
+                trial_probs = np.repeat(self._node_prob[front_nodes], counts)
+                hit = np.flatnonzero(rng.random(total) < trial_probs)
+                if hit.size == 0:
+                    break
+                # Edges of frontier entry j occupy
+                # [ends[j]-counts[j], ends[j]), so the owning entry of a
+                # hit position is one searchsorted, and its CSR edge id
+                # is the position shifted by the entry's wave offset.
+                owner_idx = np.searchsorted(ends, hit, side="right")
+                reached = indices[starts[owner_idx] + counts[owner_idx] - ends[owner_idx] + hit]
+                owners = front_sets[owner_idx]
+            else:
+                # starts[j] - wave offset of node j, repeated over its
+                # edges, plus a running arange == the CSR index of every
+                # edge in the wave (identical values to per-node slices,
+                # one pass each).  CSR edge ids fit int32 on every graph
+                # the int32-id layout admits unless the edge count itself
+                # overflows; halve the bandwidth of the widest arrays
+                # when they do.
+                dt = np.int64 if (total >> 31) or (indices.size >> 31) else np.int32
+                edge_idx = np.repeat((starts + counts - ends).astype(dt), counts) + np.arange(
+                    total, dtype=dt
+                )
+                hit = np.flatnonzero(rng.random(total) < probs[edge_idx])
+                if hit.size == 0:
+                    break
+                reached = indices[edge_idx[hit]]
+                owners = front_sets[np.searchsorted(ends, hit, side="right")]
+            cand_keys = owners * n + reached
+            cand_keys = cand_keys[~visited[cand_keys]]
+            if cand_keys.size == 0:
+                break
+            # Sorted dedup by hand: same result as np.unique with a
+            # fraction of its per-call overhead (this runs every wave).
+            cand_keys.sort()
+            keep = np.empty(cand_keys.size, dtype=bool)
+            keep[0] = True
+            np.not_equal(cand_keys[1:], cand_keys[:-1], out=keep[1:])
+            new_keys = cand_keys[keep]
+            visited[new_keys] = True
+            front_sets = new_keys // n
+            front_nodes = new_keys - front_sets * n
+            set_parts.append(front_sets)
+            node_parts.append(front_nodes)
+
+        nodes, sizes = _finish_block(visited, num_sets, n, set_parts, node_parts)
+        self._scratch_dirty = False
+        return nodes, sizes, edges
+
+
+class VectorizedLTSampler(_BlockedFrontierSampler):
+    """Lockstep reverse random walks for the LT model.
+
+    All walks of a block advance one step per iteration: in-degree
+    gathers, stop/step decisions and revisit checks are single array
+    operations over the still-active walks.  Each step draws two
+    uniforms per active walk (stop trial + neighbor pick) where the
+    scalar walk draws one or two depending on the node — the extra
+    independent draw changes the consumed stream, never the
+    distribution, so this path is certified by the statistical harness.
+    """
+
+    def __init__(self, graph: DirectedGraph, block_size: int | None = None) -> None:
+        if block_size is None:
+            # Lockstep walks advance one node per set per wave, so the
+            # wave count — not cache pressure on the sparsely-touched
+            # visited scratch — bounds throughput; a larger block
+            # amortises the per-wave call overhead over more walks.
+            block_size = 4 * _auto_block(graph.num_nodes)
+        super().__init__(graph, block_size=block_size)
+        sums = graph.in_probability_sums()
+        if sums.size and float(sums.max()) > 1.0 + 1e-9:
+            raise ValueError("LT sampler requires incoming probabilities to sum to <= 1")
+        self._sums = sums
+        # Global prefix sums of in-probabilities: one vectorised
+        # searchsorted resolves every non-uniform walk step of a wave.
+        self._prefix = np.concatenate(([0.0], np.cumsum(graph.in_probs)))
+        # Weighted-cascade fast path, per node: equal in-probabilities
+        # mean "stop w.p. 1 - sum, else uniform neighbor".
+        indptr, probs = graph.in_indptr, graph.in_probs
+        uniform = np.zeros(graph.num_nodes, dtype=bool)
+        for v in range(graph.num_nodes):
+            seg = probs[indptr[v] : indptr[v + 1]]
+            if seg.size:
+                uniform[v] = bool(np.all(seg == seg[0]))
+        self._uniform = uniform
+
+    def _run_block(
+        self, rng: np.random.Generator, roots: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        graph = self.graph
+        n = graph.num_nodes
+        indptr, indices = graph.in_indptr, graph.in_indices
+        prefix, uniform, sums = self._prefix, self._uniform, self._sums
+        num_sets = roots.size
+        visited = self._scratch()
+
+        walk_sets = np.arange(num_sets, dtype=np.int64)
+        current = roots.copy()
+        visited[walk_sets * n + current] = True
+        set_parts = [walk_sets]
+        node_parts = [roots]
+        edges = np.zeros(num_sets, dtype=np.int64)
+
+        while current.size:
+            starts = indptr[current]
+            degrees = indptr[current + 1] - starts
+            # One walk per set: no duplicate indices, plain fancy add.
+            edges[walk_sets] += degrees
+            alive = degrees > 0
+            if not alive.any():
+                break
+            walk_sets, current = walk_sets[alive], current[alive]
+            starts, degrees = starts[alive], degrees[alive]
+
+            stop_draw = rng.random(current.size)
+            pick_draw = rng.random(current.size)
+            is_uniform = uniform[current]
+            totals = sums[current]
+            # Uniform nodes: stop when the stop trial exceeds the
+            # incoming mass, else pick a neighbor uniformly.
+            survive = ~is_uniform | (totals >= 1.0) | (stop_draw < totals)
+            edge = starts + (pick_draw * degrees).astype(np.int64)
+            # Non-uniform nodes: one threshold draw into the global
+            # prefix; a draw beyond the node's incoming mass means stop.
+            nonuni = ~is_uniform
+            if nonuni.any():
+                thresholds = prefix[starts[nonuni]] + pick_draw[nonuni]
+                found = np.searchsorted(prefix, thresholds, side="left") - 1
+                edge[nonuni] = found
+                in_range = (found >= starts[nonuni]) & (found < starts[nonuni] + degrees[nonuni])
+                survive_nonuni = survive[nonuni] & in_range
+                survive = survive.copy()
+                survive[nonuni] = survive_nonuni
+            if not survive.any():
+                break
+            walk_sets, edge = walk_sets[survive], edge[survive]
+            nxt = indices[edge].astype(np.int64)
+            keys = walk_sets * n + nxt
+            fresh = ~visited[keys]
+            if not fresh.any():
+                break
+            walk_sets, nxt, keys = walk_sets[fresh], nxt[fresh], keys[fresh]
+            visited[keys] = True
+            set_parts.append(walk_sets)
+            node_parts.append(nxt)
+            current = nxt
+
+        nodes, sizes = _finish_block(visited, num_sets, n, set_parts, node_parts)
+        self._scratch_dirty = False
+        return nodes, sizes, edges
+
+
+class VectorizedTriggeringSampler(_BlockedFrontierSampler):
+    """Blocked frontier kernel for the triggering model.
+
+    Dispatches on the distribution: :class:`ICTriggering` runs the IC
+    Bernoulli wave kernel, :class:`LTTriggering` the categorical walk
+    kernel (an LT triggering set has at most one in-neighbor, so the
+    reverse BFS degenerates to the reverse walk — the distributions
+    coincide, as the per-set samplers' tests already establish).
+    Arbitrary distributions have no batched trial form and must use
+    :class:`~repro.ris.triggering_sampler.TriggeringRRSampler`.
+    """
+
+    def __init__(
+        self,
+        graph: DirectedGraph,
+        distribution: TriggeringDistribution,
+        block_size: int | None = None,
+    ) -> None:
+        super().__init__(graph, block_size=block_size)
+        self.distribution = distribution
+        if isinstance(distribution, ICTriggering):
+            self._kernel = VectorizedICSampler(graph, block_size=block_size)
+        elif isinstance(distribution, LTTriggering):
+            self._kernel = VectorizedLTSampler(graph, block_size=block_size)
+        else:
+            raise ValueError(
+                "vectorized triggering supports ICTriggering and LTTriggering "
+                f"distributions only, got {type(distribution).__name__}; use "
+                "TriggeringRRSampler for arbitrary distributions"
+            )
+        # The kernel owns the scratch; keep the outer blocking in step
+        # with whatever block size it auto-selected.
+        self.block_size = self._kernel.block_size
+
+    def _run_block(
+        self, rng: np.random.Generator, roots: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        return self._kernel._run_block(rng, roots)
+
+    def __repr__(self) -> str:
+        return (
+            f"VectorizedTriggeringSampler(graph={self.graph!r}, "
+            f"distribution={type(self.distribution).__name__}, "
+            f"block_size={self.block_size})"
+        )

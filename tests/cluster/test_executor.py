@@ -50,7 +50,14 @@ class TestExecutorConformance:
 
     @pytest.mark.parametrize("backend", ["flat", "reference"])
     @pytest.mark.parametrize(
-        "model,method", [("ic", "bfs"), ("lt", "bfs"), ("ic", "subsim")]
+        "model,method",
+        [
+            ("ic", "bfs"),
+            ("lt", "bfs"),
+            ("ic", "subsim"),
+            ("ic", "vectorized"),
+            ("lt", "vectorized"),
+        ],
     )
     def test_backends_agree_bit_for_bit(self, small_wc_graph, backend, model, method):
         """Same seed => same collections and same machine RNG end states."""

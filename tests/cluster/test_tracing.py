@@ -9,6 +9,7 @@ from repro.cluster import (
     render_timeline,
     summarize_phases,
 )
+from repro.cluster.tracing import summarize_recovery, summarize_rounds
 
 
 @pytest.fixture
@@ -43,6 +44,106 @@ class TestSummarize:
     def test_invalid_depth(self, metrics):
         with pytest.raises(ValueError):
             summarize_phases(metrics, depth=0)
+
+    def test_category_filter(self, metrics):
+        rows = summarize_phases(metrics, depth=1, category=GENERATION)
+        assert [row["group"] for row in rows] == ["search-1", "final"]
+        # Only the generation phases: 1.0+2.0 then 4.0, no bytes.
+        assert rows[0]["parallel_s"] == pytest.approx(2.0)
+        assert rows[0]["phases"] == 1
+        assert rows[0]["bytes"] == 0
+        assert rows[0]["categories"] == GENERATION
+        assert rows[1]["parallel_s"] == pytest.approx(4.0)
+
+    def test_empty_metrics_summarize(self):
+        assert summarize_phases(RunMetrics()) == []
+
+
+class TestSummarizeRounds:
+    @pytest.fixture
+    def annotated_metrics(self):
+        m = RunMetrics()
+        with m.annotated(round_index=0, rule="imm-search"):
+            m.record_compute_phase(GENERATION, "r0/generate", [1.0, 3.0])
+            m.record_compute_phase(COMPUTATION, "r0/select", [0.5])
+            m.record_communication("r0/gather", 200, 0.25)
+        with m.annotated(round_index=1, rule="imm-final"):
+            m.record_compute_phase(GENERATION, "r1/generate", [2.0])
+        m.record_compute_phase(COMPUTATION, "setup", [0.125])
+        return m
+
+    def test_one_row_per_round_plus_overhead(self, annotated_metrics):
+        rows = summarize_rounds(annotated_metrics)
+        assert [(row["round"], row["rule"]) for row in rows] == [
+            (0, "imm-search"),
+            (1, "imm-final"),
+            (None, None),
+        ]
+
+    def test_per_category_times(self, annotated_metrics):
+        rows = summarize_rounds(annotated_metrics)
+        first = rows[0]
+        assert first["generation_s"] == pytest.approx(3.0)  # max of [1, 3]
+        assert first["computation_s"] == pytest.approx(0.5)
+        assert first["communication_s"] == pytest.approx(0.25)
+        assert first["parallel_s"] == pytest.approx(3.75)
+        assert first["phases"] == 3
+        assert first["bytes"] == 200
+
+    def test_unannotated_phases_trail(self, annotated_metrics):
+        rows = summarize_rounds(annotated_metrics)
+        overhead = rows[-1]
+        assert overhead["round"] is None
+        assert overhead["computation_s"] == pytest.approx(0.125)
+        # Every phase lands in exactly one row: totals reconcile.
+        total = sum(row["parallel_s"] for row in rows)
+        assert total == pytest.approx(annotated_metrics.total_time)
+
+    def test_empty_metrics(self):
+        assert summarize_rounds(RunMetrics()) == []
+
+    def test_real_run_rounds(self, small_wc_graph):
+        from repro.core import diimm
+
+        result = diimm(small_wc_graph, 3, 2, eps=0.5, seed=0)
+        rows = summarize_rounds(result.metrics)
+        annotated = [row for row in rows if row["round"] is not None]
+        assert annotated, "driver rounds must be annotated"
+        assert [row["round"] for row in annotated] == sorted(
+            row["round"] for row in annotated
+        )
+
+
+class TestSummarizeRecovery:
+    def test_empty_for_fault_free_run(self):
+        assert summarize_recovery(RunMetrics()) == []
+
+    def test_groups_by_kind_and_machine(self):
+        m = RunMetrics()
+        m.record_recovery("crash", 1, "r0/gen", attempt=1, time_lost=2.0, detail="boom")
+        m.record_recovery("crash", 1, "r1/gen", attempt=2, time_lost=3.0)
+        m.record_recovery("straggler", 0, "r1/gen", attempt=1, time_lost=0.5)
+        rows = summarize_recovery(m)
+        assert [(row["kind"], row["machine"]) for row in rows] == [
+            ("crash", 1),
+            ("straggler", 0),
+        ]
+        crash = rows[0]
+        assert crash["events"] == 2
+        assert crash["time_lost_s"] == pytest.approx(5.0)
+        # The detail sticks even when later events carry none.
+        assert crash["detail"] == "boom"
+
+    def test_rounds_deduplicated(self):
+        m = RunMetrics()
+        with m.annotated(round_index=2, rule="dssa"):
+            m.record_recovery("drop", 0, "r2/gen", attempt=1, time_lost=1.0)
+            m.record_recovery("drop", 0, "r2/gen", attempt=2, time_lost=1.0)
+        with m.annotated(round_index=3, rule="dssa"):
+            m.record_recovery("drop", 0, "r3/gen", attempt=1, time_lost=1.0)
+        (row,) = summarize_recovery(m)
+        assert row["rounds"] == [2, 3]
+        assert row["events"] == 3
 
 
 class TestRenderTimeline:

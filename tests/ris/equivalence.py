@@ -1,0 +1,260 @@
+"""Statistical-equivalence harness for RR-set generators.
+
+The repo's first line of defense is *bit-identity* (differential tests
+pin optimized paths to reference paths under the same RNG stream).  The
+vectorized frontier kernels — and any future sketch backend — reorder
+RNG consumption, so bit-identity cannot hold; this module provides the
+second line: fixed-seed statistical tests certifying that two samplers
+draw from the *same distribution*.
+
+Everything here is NumPy + stdlib only (no SciPy — it is not a
+dependency of this repo): the KS tail is the classic asymptotic
+Kolmogorov series, the chi-square tail the regularized upper incomplete
+gamma via Numerical-Recipes-style series/continued-fraction evaluation.
+Both are accurate to far more digits than hypothesis testing needs.
+
+False-positive budget
+---------------------
+Every test in the suites built on this harness runs with a *fixed* seed,
+so each configuration either always passes or always fails — there is no
+run-to-run flakiness to budget for.  The residual risk is at *authoring*
+time: a correct kernel can land on an unlucky seed.  With the default
+``alpha = 1e-3`` and roughly 40 harness assertions across the
+equivalence + property suites, the chance that a correct implementation
+fails at least one assertion on first authoring is about
+``1 - (1 - 1e-3)**40 ≈ 4%`` — low enough to trust a red suite as a real
+regression, high enough that *one* isolated failure on a brand-new test
+deserves a seed-sensitivity check before debugging the kernel.  Do not
+raise ``alpha`` to chase significance; add samples instead.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "DEFAULT_ALPHA",
+    "ks_two_sample",
+    "chi_square_gof",
+    "chi_square_homogeneity",
+    "hoeffding_epsilon",
+    "pool_small_bins",
+    "assert_same_distribution",
+    "assert_frequencies_match",
+]
+
+#: Per-assertion significance level used throughout the suites.
+DEFAULT_ALPHA = 1e-3
+
+
+# ----------------------------------------------------------------------
+# Tail probabilities (NumPy/stdlib replacements for scipy.stats/special)
+# ----------------------------------------------------------------------
+def _kolmogorov_sf(lam: float) -> float:
+    """Asymptotic Kolmogorov survival function ``Q(lam)``.
+
+    ``Q(lam) = 2 * sum_{k>=1} (-1)^(k-1) exp(-2 k^2 lam^2)`` — the
+    limiting null distribution of the scaled two-sample KS statistic.
+    """
+    if lam <= 0.0:
+        return 1.0
+    total = 0.0
+    for k in range(1, 101):
+        term = 2.0 * (-1.0) ** (k - 1) * math.exp(-2.0 * k * k * lam * lam)
+        total += term
+        if abs(term) < 1e-12:
+            break
+    return min(max(total, 0.0), 1.0)
+
+
+def _gamma_q(s: float, x: float) -> float:
+    """Regularized upper incomplete gamma ``Q(s, x) = Γ(s, x) / Γ(s)``.
+
+    Series expansion for ``x < s + 1``, Lentz continued fraction
+    otherwise (Numerical Recipes 6.2) — the chi-square survival function
+    is ``Q(df/2, stat/2)``.
+    """
+    if x < 0.0 or s <= 0.0:
+        raise ValueError("gamma_q requires x >= 0 and s > 0")
+    if x == 0.0:
+        return 1.0
+    lg = math.lgamma(s)
+    if x < s + 1.0:
+        # P(s, x) series, then Q = 1 - P.
+        term = 1.0 / s
+        total = term
+        a = s
+        for _ in range(500):
+            a += 1.0
+            term *= x / a
+            total += term
+            if abs(term) < abs(total) * 1e-15:
+                break
+        p = total * math.exp(-x + s * math.log(x) - lg)
+        return min(max(1.0 - p, 0.0), 1.0)
+    # Continued fraction for Q directly.
+    tiny = 1e-300
+    b = x + 1.0 - s
+    c = 1.0 / tiny
+    d = 1.0 / b
+    h = d
+    for i in range(1, 500):
+        an = -i * (i - s)
+        b += 2.0
+        d = an * d + b
+        if abs(d) < tiny:
+            d = tiny
+        c = b + an / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < 1e-15:
+            break
+    q = h * math.exp(-x + s * math.log(x) - lg)
+    return min(max(q, 0.0), 1.0)
+
+
+# ----------------------------------------------------------------------
+# Test statistics
+# ----------------------------------------------------------------------
+def ks_two_sample(a, b) -> tuple[float, float]:
+    """Two-sample Kolmogorov–Smirnov test; returns ``(D, p_value)``.
+
+    Compares the empirical CDFs of two 1-D samples (e.g. per-root RR-set
+    sizes from two samplers).  The p-value uses the asymptotic
+    distribution with the standard small-sample correction
+    ``lam = (sqrt(ne) + 0.12 + 0.11/sqrt(ne)) * D``; fine for the
+    thousands-of-samples regime these suites run in.
+    """
+    a = np.sort(np.asarray(a, dtype=np.float64))
+    b = np.sort(np.asarray(b, dtype=np.float64))
+    n, m = a.size, b.size
+    if n == 0 or m == 0:
+        raise ValueError("ks_two_sample requires non-empty samples")
+    # Empirical CDF gap evaluated at every data point of both samples.
+    grid = np.concatenate([a, b])
+    cdf_a = np.searchsorted(a, grid, side="right") / n
+    cdf_b = np.searchsorted(b, grid, side="right") / m
+    d = float(np.abs(cdf_a - cdf_b).max())
+    ne = n * m / (n + m)
+    lam = (math.sqrt(ne) + 0.12 + 0.11 / math.sqrt(ne)) * d
+    return d, _kolmogorov_sf(lam)
+
+
+def pool_small_bins(
+    observed: np.ndarray, expected: np.ndarray, min_expected: float = 5.0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Merge bins with small expectation into one pooled bin.
+
+    The chi-square approximation degrades when expected counts fall
+    below ~5; standard practice is to pool such bins.  Keeps alignment
+    between the two arrays; the pooled bin is appended last (only when
+    something was pooled).
+    """
+    observed = np.asarray(observed, dtype=np.float64)
+    expected = np.asarray(expected, dtype=np.float64)
+    if observed.shape != expected.shape:
+        raise ValueError("observed and expected must have the same shape")
+    small = expected < min_expected
+    if not small.any():
+        return observed, expected
+    pooled_o = np.concatenate([observed[~small], [observed[small].sum()]])
+    pooled_e = np.concatenate([expected[~small], [expected[small].sum()]])
+    return pooled_o, pooled_e
+
+
+def chi_square_gof(observed, expected, min_expected: float = 5.0) -> tuple[float, float]:
+    """Chi-square goodness-of-fit test; returns ``(stat, p_value)``.
+
+    ``observed`` are counts, ``expected`` their expectations under the
+    null (same total).  Bins with expectation below ``min_expected`` are
+    pooled first; degrees of freedom are ``bins - 1`` after pooling.
+    """
+    observed, expected = pool_small_bins(
+        np.asarray(observed), np.asarray(expected), min_expected
+    )
+    if observed.size < 2:
+        raise ValueError("need at least 2 bins after pooling")
+    if expected.min() <= 0:
+        raise ValueError("expected counts must be positive after pooling")
+    stat = float(((observed - expected) ** 2 / expected).sum())
+    df = observed.size - 1
+    return stat, _gamma_q(df / 2.0, stat / 2.0)
+
+
+def chi_square_homogeneity(
+    counts_a, counts_b, min_expected: float = 5.0
+) -> tuple[float, float]:
+    """Chi-square test that two count vectors share one distribution.
+
+    The two-sample analogue used for membership frequencies: bin ``i``
+    counts how often node ``i`` appeared in the RR sets of sampler A
+    resp. B.  Expected cell counts come from the pooled proportions;
+    low-expectation bins (under the pooled expectation scaled to the
+    smaller sample) are pooled first.  Returns ``(stat, p_value)`` with
+    ``bins - 1`` degrees of freedom.
+    """
+    a = np.asarray(counts_a, dtype=np.float64)
+    b = np.asarray(counts_b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError("count vectors must have the same shape")
+    keep = (a + b) > 0
+    a, b = a[keep], b[keep]
+    if a.size == 0:
+        raise ValueError("count vectors are all zero")
+    total_a, total_b = a.sum(), b.sum()
+    pooled = (a + b) / (total_a + total_b)
+    # Pool bins by the smaller sample's expectation, then re-split.
+    scale = min(total_a, total_b)
+    a, _ = pool_small_bins(a, pooled * scale, min_expected)
+    b, _ = pool_small_bins(b, pooled * scale, min_expected)
+    if a.size < 2:
+        raise ValueError("need at least 2 bins after pooling")
+    pooled = (a + b) / (total_a + total_b)
+    ea, eb = pooled * total_a, pooled * total_b
+    stat = float((((a - ea) ** 2) / ea).sum() + (((b - eb) ** 2) / eb).sum())
+    df = a.size - 1
+    return stat, _gamma_q(df / 2.0, stat / 2.0)
+
+
+def hoeffding_epsilon(num_samples: int, alpha: float = DEFAULT_ALPHA) -> float:
+    """Two-sided Hoeffding deviation bound for a mean of ``[0, 1]`` draws.
+
+    With probability ``>= 1 - alpha`` the empirical mean of
+    ``num_samples`` independent draws lies within this epsilon of its
+    expectation — the bound the property tests and the spread-agreement
+    checks budget against.
+    """
+    if num_samples < 1:
+        raise ValueError(f"num_samples must be >= 1, got {num_samples}")
+    if not 0.0 < alpha < 1.0:
+        raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+    return math.sqrt(math.log(2.0 / alpha) / (2.0 * num_samples))
+
+
+# ----------------------------------------------------------------------
+# Assertion helpers (the suites' vocabulary)
+# ----------------------------------------------------------------------
+def assert_same_distribution(a, b, alpha: float = DEFAULT_ALPHA, label: str = "") -> None:
+    """KS-assert that two 1-D samples come from one distribution."""
+    d, p = ks_two_sample(a, b)
+    assert p >= alpha, (
+        f"KS test rejects distributional equality{f' ({label})' if label else ''}: "
+        f"D={d:.4f}, p={p:.2e} < alpha={alpha:.0e} "
+        f"(n={np.asarray(a).size}, m={np.asarray(b).size})"
+    )
+
+
+def assert_frequencies_match(
+    counts_a, counts_b, alpha: float = DEFAULT_ALPHA, label: str = ""
+) -> None:
+    """Chi-square-assert that two count vectors share one distribution."""
+    stat, p = chi_square_homogeneity(counts_a, counts_b)
+    assert p >= alpha, (
+        f"chi-square rejects frequency agreement{f' ({label})' if label else ''}: "
+        f"stat={stat:.2f}, p={p:.2e} < alpha={alpha:.0e}"
+    )

@@ -138,7 +138,7 @@ class TestValidation:
     def test_vocabulary_constants(self):
         assert BACKENDS == ("flat", "reference")
         assert MODELS == ("ic", "lt")
-        assert METHODS == ("bfs", "subsim")
+        assert METHODS == ("bfs", "subsim", "vectorized")
 
 
 class TestRunConfig:
