@@ -31,7 +31,7 @@ remain as keyword shims over the same implementations.
 """
 
 from .analysis import approximation_ratio_exact, evaluate_seeds
-from .api import ALGORITHMS, run
+from .api import ALGORITHMS, POOLABLE, run
 from .applications import (
     budgeted_influence_maximization,
     profit_maximization,
@@ -87,6 +87,7 @@ __all__ = [
     "run",
     "RunConfig",
     "ALGORITHMS",
+    "POOLABLE",
     # graphs
     "DirectedGraph",
     "GraphBuilder",

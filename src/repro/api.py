@@ -31,9 +31,9 @@ from .core.dsubsim import distributed_subsim_from_config
 from .core.imm import imm_from_config
 from .core.result import IMResult
 
-__all__ = ["ALGORITHMS", "RunConfig", "run"]
+__all__ = ["ALGORITHMS", "POOLABLE", "RunConfig", "run"]
 
-_DISPATCH: Dict[str, Callable[[RunConfig], IMResult]] = {
+_DISPATCH: Dict[str, Callable[..., IMResult]] = {
     "imm": imm_from_config,
     "diimm": diimm_from_config,
     "dssa": distributed_ssa_from_config,
@@ -44,8 +44,12 @@ _DISPATCH: Dict[str, Callable[[RunConfig], IMResult]] = {
 #: The registered algorithm names, in dispatch order.
 ALGORITHMS: tuple[str, ...] = tuple(_DISPATCH)
 
+#: Algorithms that can be served warm from a :class:`~repro.core.pool.SamplePool`
+#: (their samplers draw each collection from one uninterleaved stream).
+POOLABLE: tuple[str, ...] = ("imm", "diimm", "dsubsim")
 
-def run(algorithm: str, config: RunConfig) -> IMResult:
+
+def run(algorithm: str, config: RunConfig, *, executor=None, pool=None) -> IMResult:
     """Run ``algorithm`` under ``config`` and return its :class:`IMResult`.
 
     Parameters
@@ -56,6 +60,17 @@ def run(algorithm: str, config: RunConfig) -> IMResult:
     config:
         The run's :class:`~repro.core.config.RunConfig`; validated here,
         so a bad field fails before any work starts.
+    executor:
+        Optional pre-built :class:`~repro.cluster.executor.Executor` to
+        lend the run.  Its worker pool, shared-memory graph, and RNG
+        streams are reused; the run never closes or reseeds a lent
+        executor — the caller keeps ownership.  Mutually exclusive with
+        ``pool``.
+    pool:
+        Optional :class:`~repro.core.pool.SamplePool` to serve the query
+        warm from (only for :data:`POOLABLE` algorithms).  The pool's
+        collections are grown as needed and retained; the result is
+        bit-identical to a cold ``run`` with the same config.
 
     Returns
     -------
@@ -70,4 +85,15 @@ def run(algorithm: str, config: RunConfig) -> IMResult:
             f"unknown algorithm {algorithm!r}; expected one of {ALGORITHMS}"
         )
     config.validate(key)
+    if pool is not None:
+        if executor is not None:
+            raise ValueError("pass either executor or pool, not both")
+        if key not in POOLABLE:
+            raise ValueError(
+                f"algorithm {algorithm!r} cannot run from a warm pool; "
+                f"poolable algorithms are {POOLABLE}"
+            )
+        return _DISPATCH[key](config, pool=pool)
+    if executor is not None:
+        return _DISPATCH[key](config, executor=executor)
     return _DISPATCH[key](config)

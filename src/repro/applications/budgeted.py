@@ -27,6 +27,7 @@ from ..cluster.network import NetworkModel
 from ..coverage.newgreedi import SEED_BYTES, TUPLE_BYTES, gather_coverage_counts
 from ..graphs.digraph import DirectedGraph
 from ..ris import make_sampler
+from .common import prepare_cluster
 from .result import ApplicationResult
 
 __all__ = ["budgeted_influence_maximization"]
@@ -41,6 +42,8 @@ def budgeted_influence_maximization(
     model: str = "ic",
     network: NetworkModel | None = None,
     seed: int = 0,
+    cluster: SimulatedCluster | None = None,
+    collections: Sequence | None = None,
 ) -> ApplicationResult:
     """Greedy budgeted seed selection over distributed RR sets.
 
@@ -50,6 +53,14 @@ def budgeted_influence_maximization(
         Per-node seeding cost, length ``n``; all costs must be positive.
     budget:
         Total budget ``B``.
+    cluster:
+        Optional lent cluster to run on (must have ``num_machines``
+        machines); the caller keeps ownership of its RNG streams and
+        metrics.
+    collections:
+        Optional pre-generated per-machine RR collections (one per
+        machine, e.g. warm-pool prefix views); generation is skipped and
+        ``num_rr_sets`` is taken from their actual total size.
 
     Returns
     -------
@@ -65,17 +76,19 @@ def budgeted_influence_maximization(
     if budget <= 0:
         raise ValueError(f"budget must be positive, got {budget}")
 
-    sampler = make_sampler(graph, model=model)
-    cluster = SimulatedCluster(num_machines, network=network, seed=seed)
-    cluster.init_collections(graph.num_nodes)
-    shares = cluster.split_count(num_rr_sets)
+    cluster = prepare_cluster(graph, num_machines, network, seed, cluster, collections)
+    if collections is None:
+        sampler = make_sampler(graph, model=model)
+        shares = cluster.split_count(num_rr_sets)
 
-    def generate(machine: Machine) -> None:
-        machine.collection.extend(
-            sampler.sample_many(shares[machine.machine_id], machine.rng)
-        )
+        def generate(machine: Machine) -> None:
+            machine.collection.extend(
+                sampler.sample_many(shares[machine.machine_id], machine.rng)
+            )
 
-    cluster.map(GENERATION, "budgeted/generate", generate)
+        cluster.map(GENERATION, "budgeted/generate", generate)
+    else:
+        num_rr_sets = sum(store.num_sets for store in collections)
     counts = gather_coverage_counts(cluster, label="budgeted/init")
 
     def reset(machine: Machine) -> int:

@@ -1,0 +1,58 @@
+"""Shared plumbing for the application-level algorithms.
+
+The applications (budgeted, profit, targeted) all run the same prologue:
+build (or borrow) a simulated cluster and give each machine its RR
+collection — either a fresh empty store that the application then fills,
+or a pre-generated one (a warm pool's per-query prefix view), in which
+case generation is skipped entirely.  This module keeps that prologue in
+one place so the three entry points cannot drift apart.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..cluster.cluster import SimulatedCluster
+from ..cluster.network import NetworkModel
+from ..graphs.digraph import DirectedGraph
+
+__all__ = ["prepare_cluster"]
+
+
+def prepare_cluster(
+    graph: DirectedGraph,
+    num_machines: int,
+    network: NetworkModel | None,
+    seed: int,
+    cluster: SimulatedCluster | None,
+    collections: Sequence | None,
+) -> SimulatedCluster:
+    """Return a cluster whose machines carry their RR collections.
+
+    With ``cluster=None`` a fresh ``SimulatedCluster`` is built from
+    ``(num_machines, network, seed)``; a lent cluster is used as-is after
+    a machine-count check (its RNG streams and metrics stay the caller's
+    responsibility).  With ``collections=None`` every machine gets a
+    fresh empty flat store; otherwise the given stores — one per machine,
+    any object with the read surface of a flat collection, e.g. a
+    :class:`~repro.ris.flat.FlatPrefixView` — are attached directly and
+    the caller is expected to skip generation.
+    """
+    if cluster is None:
+        cluster = SimulatedCluster(num_machines, network=network, seed=seed)
+    elif cluster.num_machines != num_machines:
+        raise ValueError(
+            f"num_machines={num_machines} but the lent cluster has "
+            f"{cluster.num_machines} machines"
+        )
+    if collections is None:
+        cluster.init_collections(graph.num_nodes)
+    else:
+        if len(collections) != cluster.num_machines:
+            raise ValueError(
+                f"expected {cluster.num_machines} collections, "
+                f"got {len(collections)}"
+            )
+        for machine, store in zip(cluster.machines, collections):
+            machine.collection = store
+    return cluster

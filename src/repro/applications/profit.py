@@ -27,6 +27,7 @@ from ..cluster.network import NetworkModel
 from ..coverage.newgreedi import SEED_BYTES, TUPLE_BYTES, gather_coverage_counts
 from ..graphs.digraph import DirectedGraph
 from ..ris import make_sampler
+from .common import prepare_cluster
 from .result import ApplicationResult
 
 __all__ = ["profit_maximization"]
@@ -40,13 +41,18 @@ def profit_maximization(
     model: str = "ic",
     network: NetworkModel | None = None,
     seed: int = 0,
+    cluster: SimulatedCluster | None = None,
+    collections: Sequence | None = None,
 ) -> ApplicationResult:
     """Greedy profit-maximizing seed selection over distributed RR sets.
 
     Stops as soon as no node's estimated marginal spread exceeds its cost;
     the returned seed set can be empty when seeding anyone is unprofitable.
     ``objective`` reports the estimated profit
-    ``n * F_R(S) - sum_{v in S} c(v)``.
+    ``n * F_R(S) - sum_{v in S} c(v)``.  ``cluster`` lends a pre-built
+    cluster; ``collections`` attaches pre-generated per-machine stores
+    (e.g. warm-pool prefix views) and skips generation, with
+    ``num_rr_sets`` taken from their actual total size.
     """
     n = graph.num_nodes
     cost_arr = np.asarray(list(costs), dtype=np.float64)
@@ -55,17 +61,19 @@ def profit_maximization(
     if np.any(cost_arr < 0):
         raise ValueError("costs must be non-negative")
 
-    sampler = make_sampler(graph, model=model)
-    cluster = SimulatedCluster(num_machines, network=network, seed=seed)
-    cluster.init_collections(n)
-    shares = cluster.split_count(num_rr_sets)
+    cluster = prepare_cluster(graph, num_machines, network, seed, cluster, collections)
+    if collections is None:
+        sampler = make_sampler(graph, model=model)
+        shares = cluster.split_count(num_rr_sets)
 
-    def generate(machine: Machine) -> None:
-        machine.collection.extend(
-            sampler.sample_many(shares[machine.machine_id], machine.rng)
-        )
+        def generate(machine: Machine) -> None:
+            machine.collection.extend(
+                sampler.sample_many(shares[machine.machine_id], machine.rng)
+            )
 
-    cluster.map(GENERATION, "profit/generate", generate)
+        cluster.map(GENERATION, "profit/generate", generate)
+    else:
+        num_rr_sets = sum(store.num_sets for store in collections)
     counts = gather_coverage_counts(cluster, label="profit/init")
 
     def reset(machine: Machine) -> int:

@@ -26,6 +26,7 @@ from ..coverage.newgreedi import newgreedi
 from ..graphs.digraph import DirectedGraph
 from ..ris import make_sampler
 from ..ris.rrset import RRSampler
+from .common import prepare_cluster
 from .result import ApplicationResult
 
 __all__ = ["TargetedSampler", "targeted_influence_maximization"]
@@ -61,6 +62,8 @@ def targeted_influence_maximization(
     model: str = "ic",
     network: NetworkModel | None = None,
     seed: int = 0,
+    cluster: SimulatedCluster | None = None,
+    collections: Sequence | None = None,
 ) -> ApplicationResult:
     """Select ``k`` seeds maximising the targeted influence spread.
 
@@ -78,22 +81,31 @@ def targeted_influence_maximization(
         Total targeted RR sets to generate (fixed-budget variant; the
         IMM-style adaptive schedule of :func:`repro.core.diimm.diimm`
         applies unchanged if a guarantee is required).
+    cluster:
+        Optional lent cluster to run on (the caller keeps ownership).
+    collections:
+        Optional pre-generated per-machine *targeted* RR stores (one per
+        machine, e.g. warm-pool prefix views grown with a
+        :class:`TargetedSampler` over the same target set); generation is
+        skipped and ``num_rr_sets`` is taken from their actual total size.
     """
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
     if num_rr_sets < 1:
         raise ValueError(f"num_rr_sets must be >= 1, got {num_rr_sets}")
     sampler = TargetedSampler(make_sampler(graph, model=model), list(targets))
-    cluster = SimulatedCluster(num_machines, network=network, seed=seed)
-    cluster.init_collections(graph.num_nodes)
-    shares = cluster.split_count(num_rr_sets)
+    cluster = prepare_cluster(graph, num_machines, network, seed, cluster, collections)
+    if collections is None:
+        shares = cluster.split_count(num_rr_sets)
 
-    def generate(machine: Machine) -> None:
-        machine.collection.extend(
-            sampler.sample_many(shares[machine.machine_id], machine.rng)
-        )
+        def generate(machine: Machine) -> None:
+            machine.collection.extend(
+                sampler.sample_many(shares[machine.machine_id], machine.rng)
+            )
 
-    cluster.map(GENERATION, "targeted/generate", generate)
+        cluster.map(GENERATION, "targeted/generate", generate)
+    else:
+        num_rr_sets = sum(store.num_sets for store in collections)
     selection = newgreedi(cluster, k, label="targeted/newgreedi")
     estimated = sampler.num_targets * selection.fraction
     return ApplicationResult(

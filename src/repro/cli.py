@@ -143,6 +143,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     app.add_argument("--seed", type=int, default=0)
 
+    serve = sub.add_parser(
+        "serve",
+        help="start a warm influence service answering queries over a "
+        "shared RR-sample pool (JSON lines over TCP)",
+    )
+    serve.add_argument("--dataset", default="facebook")
+    serve.add_argument("--machines", type=int, default=8)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--model", choices=("ic", "lt"), default="ic")
+    serve.add_argument(
+        "--method",
+        choices=("bfs", "subsim"),
+        default="bfs",
+        help="RR-set generation for the IMM-family pools (warm pools "
+        "need per-set samplers, so 'vectorized' is not offered)",
+    )
+    serve.add_argument(
+        "--executor", choices=("simulated", "multiprocessing"), default="simulated"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=7313, help="TCP port (0 picks a free one)"
+    )
+    serve.add_argument(
+        "--cache-size", type=int, default=128, help="memoized query results"
+    )
+
     validate = sub.add_parser("validate", help="Monte-Carlo validate seeds")
     validate.add_argument("--dataset", default="facebook")
     validate.add_argument("--seeds", required=True, help="comma-separated node ids")
@@ -319,6 +346,43 @@ def _cmd_app(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .graphs import load_dataset
+    from .serve import InfluenceService, ServingFrontend
+
+    dataset = load_dataset(args.dataset)
+    service = InfluenceService(
+        dataset.graph,
+        machines=args.machines,
+        seed=args.seed,
+        model=args.model,
+        method=args.method,
+        executor=args.executor,
+        cache_size=args.cache_size,
+    )
+
+    async def run_server() -> None:
+        frontend = ServingFrontend(service, host=args.host, port=args.port)
+        await frontend.start()
+        print(
+            f"serving {args.dataset} (n={dataset.graph.num_nodes}, "
+            f"machines={args.machines}) on {args.host}:{frontend.port} — "
+            'send {"op": "query", "kind": "diimm", "k": 20} per line; '
+            "Ctrl-C to stop"
+        )
+        await frontend.serve_forever()
+
+    try:
+        asyncio.run(run_server())
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        service.close()
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -332,4 +396,6 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_validate(args)
     if args.command == "app":
         return _cmd_app(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     return 2  # unreachable: argparse enforces the choices

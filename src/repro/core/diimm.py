@@ -23,6 +23,7 @@ from __future__ import annotations
 from ..cluster.cluster import SimulatedCluster
 from ..cluster.executor import make_executor
 from ..cluster.faults import FaultPlan, RetryPolicy
+from ..cluster.metrics import RunMetrics
 from ..cluster.network import NetworkModel
 from ..graphs.digraph import DirectedGraph
 from ..ris import make_collection
@@ -124,24 +125,89 @@ def diimm(
     return diimm_from_config(config, algorithm_label=algorithm_label)
 
 
-def diimm_from_config(config: RunConfig, algorithm_label: str = "DIIMM") -> IMResult:
-    """Run DIIMM from a validated :class:`~repro.core.config.RunConfig`."""
+def diimm_from_config(
+    config: RunConfig,
+    algorithm_label: str = "DIIMM",
+    *,
+    executor=None,
+    pool=None,
+) -> IMResult:
+    """Run DIIMM from a validated :class:`~repro.core.config.RunConfig`.
+
+    ``executor`` lends a pre-built executor (its worker pool,
+    shared-memory graph, and RNG streams are reused and never closed or
+    reseeded here).  ``pool`` serves the query warm from a
+    :class:`~repro.core.pool.SamplePool`; the result is bit-identical to
+    a cold run with the same config.
+    """
     config.validate()
     graph, k = config.graph, config.k
     n = graph.num_nodes
     delta = 1.0 / n if config.delta is None else config.delta
     params = ImmParameters.compute(n, k, config.eps, delta)
-    cluster = SimulatedCluster(config.machines, network=config.network, seed=config.seed)
-    exec_ = make_executor(
-        config.executor,
-        cluster,
-        graph=graph,
-        processes=config.processes,
-        faults=config.faults,
-        retry=config.retry,
-    )
     rule_type = SubsimScheduleRule if config.method == "subsim" else ImmScheduleRule
     rule = rule_type(params)
+
+    def result(run, driver, metrics, executor_name: str) -> IMResult:
+        return IMResult(
+            seeds=run.selection.seeds,
+            estimated_spread=n * run.selection.fraction,
+            num_rr_sets=driver.total_sets("main"),
+            total_rr_size=driver.total_size("main"),
+            total_edges_examined=driver.total_edges_examined("main"),
+            lower_bound=rule.lower_bound,
+            search_rounds=rule.search_rounds,
+            metrics=metrics,
+            algorithm=algorithm_label,
+            model=config.model,
+            method=config.method,
+            params={
+                "k": k,
+                "eps": config.eps,
+                "delta": delta,
+                "num_machines": config.machines,
+                "executor": executor_name,
+            },
+        )
+
+    if pool is not None:
+        if executor is not None:
+            raise ValueError("pass either executor or pool, not both")
+        pool.check_config(config, machines=config.machines)
+        with pool.query_metrics() as metrics:
+            driver = RoundDriver(
+                pool.executor,
+                rule,
+                k,
+                model=config.model,
+                method=config.method,
+                backend="flat",
+                pool=pool,
+            )
+            run = driver.run()
+        return result(run, driver, metrics, pool.executor.name)
+
+    owns_executor = executor is None
+    if owns_executor:
+        cluster = SimulatedCluster(
+            config.machines, network=config.network, seed=config.seed
+        )
+        exec_ = make_executor(
+            config.executor,
+            cluster,
+            graph=graph,
+            processes=config.processes,
+            faults=config.faults,
+            retry=config.retry,
+        )
+    else:
+        exec_ = executor
+        cluster = exec_.cluster
+        if cluster.num_machines != config.machines:
+            raise ValueError(
+                f"config asks for {config.machines} machines but the lent "
+                f"executor has {cluster.num_machines}"
+            )
     stores = {
         "main": [make_collection(n, config.backend) for _ in range(config.machines)]
     }
@@ -169,30 +235,20 @@ def diimm_from_config(config: RunConfig, algorithm_label: str = "DIIMM") -> IMRe
         checkpoint=checkpoint,
         resume=config.resume,
     )
+    metrics = cluster.metrics
+    if not owns_executor:
+        # Meter the lent-executor run in isolation, then fold it into the
+        # caller's accumulated metrics.
+        previous, metrics = cluster.metrics, RunMetrics()
+        cluster.metrics = metrics
     try:
         run = driver.run()
     finally:
-        # Reclaim the worker pool and shared-memory graph on every exit
-        # path, including fault-recovery aborts and checkpoint crashes.
-        exec_.close()
-
-    return IMResult(
-        seeds=run.selection.seeds,
-        estimated_spread=n * run.selection.fraction,
-        num_rr_sets=driver.total_sets("main"),
-        total_rr_size=driver.total_size("main"),
-        total_edges_examined=driver.total_edges_examined("main"),
-        lower_bound=rule.lower_bound,
-        search_rounds=rule.search_rounds,
-        metrics=cluster.metrics,
-        algorithm=algorithm_label,
-        model=config.model,
-        method=config.method,
-        params={
-            "k": k,
-            "eps": config.eps,
-            "delta": delta,
-            "num_machines": config.machines,
-            "executor": exec_.name,
-        },
-    )
+        if owns_executor:
+            # Reclaim the worker pool and shared-memory graph on every exit
+            # path, including fault-recovery aborts and checkpoint crashes.
+            exec_.close()
+        else:
+            cluster.metrics = previous
+            previous.merge(metrics)
+    return result(run, driver, metrics, exec_.name)

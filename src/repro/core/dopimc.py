@@ -32,6 +32,7 @@ import math
 from ..cluster.cluster import SimulatedCluster
 from ..cluster.executor import make_executor
 from ..cluster.faults import FaultPlan, RetryPolicy
+from ..cluster.metrics import RunMetrics
 from ..cluster.network import NetworkModel
 from ..graphs.digraph import DirectedGraph
 from ..ris import make_collection
@@ -96,8 +97,14 @@ def distributed_opimc(
     return distributed_opimc_from_config(config)
 
 
-def distributed_opimc_from_config(config: RunConfig) -> IMResult:
-    """Run D-OPIM-C from a validated :class:`~repro.core.config.RunConfig`."""
+def distributed_opimc_from_config(config: RunConfig, *, executor=None) -> IMResult:
+    """Run D-OPIM-C from a validated :class:`~repro.core.config.RunConfig`.
+
+    ``executor`` lends a pre-built executor; the run reuses its worker
+    pool, shared-memory graph, and RNG streams and never closes it.
+    OPIM-C interleaves draws across ``R1``/``R2``, so it has no warm
+    ``pool=`` mode (per-collection prefixes are not stream-deterministic).
+    """
     config.validate()
     graph, k, eps = config.graph, config.k, config.eps
     n = graph.num_nodes
@@ -112,15 +119,27 @@ def distributed_opimc_from_config(config: RunConfig) -> IMResult:
     i_max = max(int(math.ceil(math.log2(max(theta_max / theta_initial, 2.0)))), 1)
     a = math.log(3.0 * i_max / delta)
 
-    cluster = SimulatedCluster(config.machines, network=config.network, seed=config.seed)
-    exec_ = make_executor(
-        config.executor,
-        cluster,
-        graph=graph,
-        processes=config.processes,
-        faults=config.faults,
-        retry=config.retry,
-    )
+    owns_executor = executor is None
+    if owns_executor:
+        cluster = SimulatedCluster(
+            config.machines, network=config.network, seed=config.seed
+        )
+        exec_ = make_executor(
+            config.executor,
+            cluster,
+            graph=graph,
+            processes=config.processes,
+            faults=config.faults,
+            retry=config.retry,
+        )
+    else:
+        exec_ = executor
+        cluster = exec_.cluster
+        if cluster.num_machines != config.machines:
+            raise ValueError(
+                f"config asks for {config.machines} machines but the lent "
+                f"executor has {cluster.num_machines}"
+            )
     rule = OpimStoppingRule(n, eps=eps, theta_initial=theta_initial, i_max=i_max, a=a)
     stores = {
         key: [make_collection(n, config.backend) for _ in range(config.machines)]
@@ -150,10 +169,20 @@ def distributed_opimc_from_config(config: RunConfig) -> IMResult:
         checkpoint=checkpoint,
         resume=config.resume,
     )
+    metrics = cluster.metrics
+    if not owns_executor:
+        # Meter the lent-executor run in isolation, then fold it into the
+        # caller's accumulated metrics.
+        previous, metrics = cluster.metrics, RunMetrics()
+        cluster.metrics = metrics
     try:
         run = driver.run()
     finally:
-        exec_.close()
+        if owns_executor:
+            exec_.close()
+        else:
+            cluster.metrics = previous
+            previous.merge(metrics)
 
     total_rr = driver.total_sets("R1") + driver.total_sets("R2")
     total_size = driver.total_size("R1") + driver.total_size("R2")
@@ -166,7 +195,7 @@ def distributed_opimc_from_config(config: RunConfig) -> IMResult:
         total_edges_examined=total_edges,
         lower_bound=rule.certified_ratio,
         search_rounds=rule.rounds,
-        metrics=cluster.metrics,
+        metrics=metrics,
         algorithm="DOPIM-C",
         model=config.model,
         method=config.method,

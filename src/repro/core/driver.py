@@ -392,6 +392,14 @@ class RoundDriver:
         Restore the latest checkpoint before looping.  Raises
         :class:`FileNotFoundError` if the checkpoint directory holds no
         usable snapshot.
+    pool:
+        Optional :class:`~repro.core.pool.SamplePool`.  When set, the
+        driver serves the query *warm*: ``stores`` must be ``None`` (the
+        driver reads per-query prefix views of the pool's shared
+        collections), "generate until the rule is satisfied" becomes
+        "top the pool up until the rule is satisfied", and the coverage
+        state is forked copy-on-write from the pool's donated snapshots.
+        The executor must be the pool's, and checkpointing is refused.
     """
 
     def __init__(
@@ -399,13 +407,14 @@ class RoundDriver:
         executor: Executor,
         rule: StoppingRule,
         k: int,
-        stores: Dict[str, List],
+        stores: Dict[str, List] | None = None,
         model: str = "ic",
         method: str = "bfs",
         backend: str = "flat",
         selection: str = "newgreedi",
         checkpoint=None,
         resume: bool = False,
+        pool=None,
     ) -> None:
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
@@ -413,6 +422,19 @@ class RoundDriver:
             raise ValueError(
                 f"selection must be one of {SELECTION_MODES}, got {selection!r}"
             )
+        if pool is not None:
+            if stores is not None:
+                raise ValueError("pass either stores or pool, not both")
+            if checkpoint is not None or resume:
+                raise ValueError(
+                    "checkpointing is not supported on warm-pool queries: the "
+                    "pool outlives the query and snapshots would alias it"
+                )
+            if executor is not pool.executor:
+                raise ValueError("a pooled driver must run on the pool's executor")
+            stores = pool.view_stores(rule.collection_keys)
+        if stores is None:
+            raise ValueError("stores is required when no pool is given")
         if set(stores) != set(rule.collection_keys):
             raise ValueError(
                 f"stores keys {sorted(stores)} do not match the rule's "
@@ -442,6 +464,19 @@ class RoundDriver:
         self.selection_mode = selection
         self.checkpoint = checkpoint
         self.resume = resume
+        self.pool = pool
+        # Per-machine cumulative generation targets per collection.  Each
+        # round's *total* target is split over machines exactly as the
+        # historical per-wave split_count did, but tracked cumulatively:
+        # machine i's quota after any round is a pure function of the
+        # round targets, which is what lets a warm pool serve the same
+        # prefix a cold run would have generated.
+        self._needed: Dict[str, List[int]] = {
+            key: [store.num_sets for store in per_machine]
+            for key, per_machine in stores.items()
+        }
+        # Lazily replaced by a pool-donated fork at the first ingest.
+        self._coverage_forked = pool is None
         num_nodes = stores[rule.selection_key][0].num_nodes
         self.n = num_nodes
         # Only the selection collection needs master-side counts; the
@@ -495,13 +530,38 @@ class RoundDriver:
         return f"{round_label}/counts-{key}"
 
     def _grow(self, key: str, target: int, round_label: str) -> None:
-        missing = target - self.total_sets(key)
-        if missing <= 0:
+        """Raise collection ``key`` to ``target`` total RR sets.
+
+        The round's increment is split over machines with the cluster's
+        ``split_count`` and folded into the per-machine cumulative quotas
+        ``self._needed[key]``.  Cold mode then generates each machine's
+        shortfall — identical, machine for machine, to the historical
+        per-wave ``split_count(missing)`` — while pool mode tops the
+        shared collections up to the quotas and advances this query's
+        prefix views to them.
+        """
+        needed = self._needed[key]
+        total_needed = sum(needed)
+        if target > total_needed:
+            for idx, extra in enumerate(self.cluster.split_count(target - total_needed)):
+                needed[idx] += extra
+        if self.pool is not None:
+            self.pool.ensure(
+                key, needed, label=self._generate_label(round_label, key)
+            )
+            for view, limit in zip(self.stores[key], needed):
+                view.set_limit(limit)
+            return
+        counts = [
+            max(0, quota - store.num_sets)
+            for quota, store in zip(needed, self.stores[key])
+        ]
+        if not any(counts):
             return
         self.executor.run_phase(
             GeneratePhase(
                 self._generate_label(round_label, key),
-                counts=tuple(self.cluster.split_count(missing)),
+                counts=tuple(counts),
                 targets=tuple(self.stores[key]),
                 model=self.model,
                 method=self.method,
@@ -510,6 +570,15 @@ class RoundDriver:
 
     def _ingest(self, round_label: str) -> None:
         key = self.rule.selection_key
+        if not self._coverage_forked:
+            # First ingest of a pooled query: adopt the best donated
+            # coverage snapshot covered by this round's prefix, so only
+            # the sets beyond its watermarks need re-aggregating.
+            self._coverage_forked = True
+            limits = [store.num_sets for store in self.stores[key]]
+            forked = self.pool.fork_coverage(key, limits)
+            if forked is not None:
+                self.coverage = forked
         self.coverage.ingest(
             self.executor,
             self.stores[key],
@@ -573,6 +642,10 @@ class RoundDriver:
         for key, per_machine in snapshot.stores.items():
             for idx, store in enumerate(per_machine):
                 self.stores[key][idx] = store
+        # Checkpoints are taken at round boundaries, where every machine
+        # sits exactly at its cumulative quota.
+        for key, per_machine in self.stores.items():
+            self._needed[key] = [store.num_sets for store in per_machine]
         # Recovery events from before the restart stay visible in the
         # resumed run's metrics; the resumed rounds append after them.
         self.executor.metrics.restore_recovery(snapshot.recovery)
@@ -601,6 +674,10 @@ class RoundDriver:
                 stop = self.rule.check(self, selection, plan)
             rounds_executed += 1
             if stop:
+                if self.pool is not None:
+                    # Hand the final counts back for later queries to
+                    # fork; this driver never touches them again.
+                    self.pool.donate_coverage(self.rule.selection_key, self.coverage)
                 return DriverRun(
                     selection=selection,
                     rounds_executed=rounds_executed,

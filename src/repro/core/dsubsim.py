@@ -74,12 +74,19 @@ def distributed_subsim(
     return distributed_subsim_from_config(config)
 
 
-def distributed_subsim_from_config(config: RunConfig) -> IMResult:
+def distributed_subsim_from_config(
+    config: RunConfig, *, executor=None, pool=None
+) -> IMResult:
     """Run D-SUBSIM from a validated :class:`~repro.core.config.RunConfig`.
 
     Forces ``method="subsim"`` and validates the IC-only constraint, then
     delegates to the DIIMM driver under the ``DSUBSIM`` label.
+    ``executor`` and ``pool`` are forwarded unchanged (SUBSIM's sampler
+    is per-set stream-deterministic, so warm pools apply to it exactly as
+    to DIIMM).
     """
     config = config.with_overrides(method="subsim")
     config.validate("dsubsim")
-    return diimm_from_config(config, algorithm_label="DSUBSIM")
+    return diimm_from_config(
+        config, algorithm_label="DSUBSIM", executor=executor, pool=pool
+    )

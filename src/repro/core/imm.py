@@ -26,6 +26,7 @@ import numpy as np
 from ..cluster.cluster import SimulatedCluster
 from ..cluster.executor import make_executor
 from ..cluster.faults import FaultPlan, RetryPolicy
+from ..cluster.metrics import RunMetrics
 from ..graphs.digraph import DirectedGraph
 from ..ris import make_collection
 from .bounds import ImmParameters
@@ -97,32 +98,91 @@ def imm(
     return imm_from_config(config)
 
 
-def imm_from_config(config: RunConfig) -> IMResult:
+def imm_from_config(config: RunConfig, *, executor=None, pool=None) -> IMResult:
     """Run IMM from a validated :class:`~repro.core.config.RunConfig`.
 
     ``config.machines`` is ignored: the baseline is defined as the
     ``l = 1`` reference point, so it always runs one machine.
+
+    ``executor`` lends a pre-built single-machine executor whose worker
+    pool and shared-memory graph the run reuses and never closes; the
+    caller also owns the cluster's RNG streams (no reseeding happens).
+    ``pool`` serves the query warm from a
+    :class:`~repro.core.pool.SamplePool` built with
+    ``rng_scheme="legacy-imm"``; the result is bit-identical to a cold
+    run with the same config.
     """
     config.validate()
     graph, k = config.graph, config.k
     n = graph.num_nodes
     delta = 1.0 / n if config.delta is None else config.delta
     params = ImmParameters.compute(n, k, config.eps, delta)
-    cluster = SimulatedCluster(1, seed=config.seed)
-    # The baseline's historical stream: one generator seeded directly
-    # (not spawned through the cluster's seed sequence), so results match
-    # the original single-machine implementation bit for bit.
-    cluster.machines[0].rng = np.random.default_rng(config.seed)
-    exec_ = make_executor(
-        config.executor,
-        cluster,
-        graph=graph,
-        processes=config.processes,
-        faults=config.faults,
-        retry=config.retry,
-    )
     rule_type = SubsimScheduleRule if config.method == "subsim" else ImmScheduleRule
     rule = rule_type(params)
+
+    def result(run, driver, metrics) -> IMResult:
+        return IMResult(
+            seeds=run.selection.seeds,
+            estimated_spread=n * run.selection.fraction,
+            num_rr_sets=driver.total_sets("main"),
+            total_rr_size=driver.total_size("main"),
+            total_edges_examined=driver.total_edges_examined("main"),
+            lower_bound=rule.lower_bound,
+            search_rounds=rule.search_rounds,
+            metrics=metrics,
+            algorithm="IMM",
+            model=config.model,
+            method=config.method,
+            params={"k": k, "eps": config.eps, "delta": delta, "num_machines": 1},
+        )
+
+    if pool is not None:
+        if executor is not None:
+            raise ValueError("pass either executor or pool, not both")
+        pool.check_config(config, machines=1)
+        if pool.rng_scheme != "legacy-imm":
+            raise ValueError(
+                "IMM warm pools must use rng_scheme='legacy-imm' (the "
+                "baseline's historical stream); got "
+                f"{pool.rng_scheme!r}"
+            )
+        with pool.query_metrics() as metrics:
+            driver = RoundDriver(
+                pool.executor,
+                rule,
+                k,
+                model=config.model,
+                method=config.method,
+                backend="flat",
+                selection="central",
+                pool=pool,
+            )
+            run = driver.run()
+        return result(run, driver, metrics)
+
+    owns_executor = executor is None
+    if owns_executor:
+        cluster = SimulatedCluster(1, seed=config.seed)
+        # The baseline's historical stream: one generator seeded directly
+        # (not spawned through the cluster's seed sequence), so results
+        # match the original single-machine implementation bit for bit.
+        cluster.machines[0].rng = np.random.default_rng(config.seed)
+        exec_ = make_executor(
+            config.executor,
+            cluster,
+            graph=graph,
+            processes=config.processes,
+            faults=config.faults,
+            retry=config.retry,
+        )
+    else:
+        exec_ = executor
+        cluster = exec_.cluster
+        if cluster.num_machines != 1:
+            raise ValueError(
+                f"IMM is single-machine; the lent executor has "
+                f"{cluster.num_machines} machines"
+            )
     stores = {"main": [make_collection(n, "flat")]}
     checkpoint = manager_for(
         config.checkpoint_dir,
@@ -149,22 +209,18 @@ def imm_from_config(config: RunConfig) -> IMResult:
         checkpoint=checkpoint,
         resume=config.resume,
     )
+    metrics = cluster.metrics
+    if not owns_executor:
+        # Meter the lent-executor run in isolation, then fold it into the
+        # caller's accumulated metrics.
+        previous, metrics = cluster.metrics, RunMetrics()
+        cluster.metrics = metrics
     try:
         run = driver.run()
     finally:
-        exec_.close()
-
-    return IMResult(
-        seeds=run.selection.seeds,
-        estimated_spread=n * run.selection.fraction,
-        num_rr_sets=driver.total_sets("main"),
-        total_rr_size=driver.total_size("main"),
-        total_edges_examined=driver.total_edges_examined("main"),
-        lower_bound=rule.lower_bound,
-        search_rounds=rule.search_rounds,
-        metrics=cluster.metrics,
-        algorithm="IMM",
-        model=config.model,
-        method=config.method,
-        params={"k": k, "eps": config.eps, "delta": delta, "num_machines": 1},
-    )
+        if owns_executor:
+            exec_.close()
+        else:
+            cluster.metrics = previous
+            previous.merge(metrics)
+    return result(run, driver, metrics)

@@ -1,0 +1,378 @@
+"""The SamplePool: RR-sample lifetime split from query lifetime.
+
+Every cold entry point couples three lifetimes that have no business
+being coupled: the executor (worker processes, shared-memory graph), the
+per-machine RR collections, and the query being answered.  A
+:class:`SamplePool` owns the first two for as long as the caller wants —
+typically the lifetime of a :class:`~repro.serve.service.InfluenceService`
+— and answers any number of queries against *prefixes* of the same
+collections:
+
+* each machine's collection is append-only and grown by topping up
+  (:meth:`ensure`), continuing the machine's RNG stream exactly where
+  the previous query left it;
+* a query never reads the collections directly — it reads
+  :class:`~repro.ris.flat.FlatPrefixView` windows
+  (:meth:`view_stores`) whose limits follow the query's own sampling
+  schedule, so the sets it sees are bit-identical to the collections a
+  cold run of that schedule would have generated (the per-set samplers'
+  batch contract: machine ``i``'s first ``c`` RR sets depend only on its
+  stream and ``c``, not on wave boundaries);
+* finished queries donate their final
+  :class:`~repro.coverage.state.CoverageState` back to the pool
+  (:meth:`donate_coverage`); later queries whose first-round prefixes
+  dominate a donated watermark fork it copy-on-write
+  (:meth:`fork_coverage`) instead of re-aggregating from zero.
+
+The pool is thread-safe by serialization: :meth:`query_metrics` — which
+every query must wrap its phases in — holds the pool lock, swaps a fresh
+:class:`~repro.cluster.metrics.RunMetrics` onto the cluster for the
+query, and merges it into the pool's lifetime metrics afterwards.
+Queries against *different* pools run concurrently.
+
+Bit-for-bit warm/cold equivalence holds for the per-set generation
+methods (``bfs``, ``subsim``) only; the blocked ``vectorized`` sampler
+consumes randomness per wave, so pools refuse it rather than silently
+weakening the correctness anchor.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from ..cluster.cluster import SimulatedCluster
+from ..cluster.executor import GeneratePhase, MapPhase, make_executor
+from ..cluster.metrics import GENERATION, RunMetrics
+from ..cluster.network import NetworkModel
+from ..coverage.state import CoverageState
+from ..ris.flat import FlatPrefixView, FlatRRCollection, append_batch
+from ..ris.rrset import RRSampler
+
+__all__ = ["SamplePool", "PREFIX_DETERMINISTIC_METHODS", "RNG_SCHEMES"]
+
+#: Generation methods whose batches equal sequential per-set draws, the
+#: property warm/cold bit-equality rests on.
+PREFIX_DETERMINISTIC_METHODS: Tuple[str, ...] = ("bfs", "subsim")
+
+#: How the pool seeds its machines: ``"cluster"`` spawns per-machine
+#: streams from the cluster seed sequence (every distributed algorithm);
+#: ``"legacy-imm"`` seeds machine 0 directly (the single-machine IMM
+#: baseline's historical stream).
+RNG_SCHEMES: Tuple[str, ...] = ("cluster", "legacy-imm")
+
+#: Donated coverage snapshots kept per collection key.
+MAX_CACHED_COVERAGE = 4
+
+
+class SamplePool:
+    """A resident, shared, append-only RR-sample pool.
+
+    Parameters
+    ----------
+    graph:
+        The (already loaded) :class:`~repro.graphs.digraph.DirectedGraph`.
+    machines:
+        Cluster width ``l``; fixed for the pool's lifetime.
+    seed:
+        Root RNG seed.  Warm results equal cold runs with this seed.
+    model, method:
+        Sampler selection; ``method`` must be prefix-deterministic
+        (:data:`PREFIX_DETERMINISTIC_METHODS`).
+    executor:
+        ``"simulated"`` or ``"multiprocessing"``; the pool owns the
+        executor (worker processes, shared-memory graph) until
+        :meth:`close`.
+    rng_scheme:
+        See :data:`RNG_SCHEMES`.
+    sampler:
+        Optional custom :class:`~repro.ris.rrset.RRSampler` (e.g. a
+        :class:`~repro.applications.targeted.TargetedSampler`) used for
+        generation instead of the executor's ``(model, method)`` one.
+    """
+
+    def __init__(
+        self,
+        graph,
+        machines: int = 1,
+        *,
+        seed: int = 0,
+        model: str = "ic",
+        method: str = "bfs",
+        executor: str = "simulated",
+        processes: int | None = None,
+        network: NetworkModel | None = None,
+        rng_scheme: str = "cluster",
+        sampler: RRSampler | None = None,
+        start_method: str | None = None,
+        zero_copy: bool | None = None,
+    ) -> None:
+        if method not in PREFIX_DETERMINISTIC_METHODS:
+            raise ValueError(
+                f"SamplePool requires a prefix-deterministic method "
+                f"{PREFIX_DETERMINISTIC_METHODS} so warm queries stay "
+                f"bit-identical to cold runs; got {method!r}"
+            )
+        if rng_scheme not in RNG_SCHEMES:
+            raise ValueError(
+                f"rng_scheme must be one of {RNG_SCHEMES}, got {rng_scheme!r}"
+            )
+        if rng_scheme == "legacy-imm" and machines != 1:
+            raise ValueError(
+                f"the legacy-imm RNG scheme is single-machine, got {machines} machines"
+            )
+        self.graph = graph
+        self.seed = seed
+        self.model = model
+        self.method = method
+        self.rng_scheme = rng_scheme
+        self.cluster = SimulatedCluster(machines, network=network, seed=seed)
+        if rng_scheme == "legacy-imm":
+            self.cluster.machines[0].rng = np.random.default_rng(seed)
+        self.executor = make_executor(
+            executor,
+            self.cluster,
+            graph=graph,
+            processes=processes,
+            start_method=start_method,
+            zero_copy=zero_copy,
+        )
+        self._sampler = sampler
+        self._stores: Dict[str, List[FlatRRCollection]] = {}
+        self._coverage_cache: Dict[str, List[CoverageState]] = {}
+        self._lock = threading.RLock()
+        self.queries_served = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Shape
+    # ------------------------------------------------------------------
+    @property
+    def num_machines(self) -> int:
+        return self.cluster.num_machines
+
+    @property
+    def num_nodes(self) -> int:
+        return self.graph.num_nodes
+
+    @property
+    def lock(self) -> threading.RLock:
+        """The pool-wide lock serializing queries (held by
+        :meth:`query_metrics`)."""
+        return self._lock
+
+    @property
+    def lifetime_metrics(self) -> RunMetrics:
+        """Phases accumulated across every query served so far."""
+        return self.cluster.metrics
+
+    def sizes(self) -> Dict[str, List[int]]:
+        """Per-machine collection sizes for each key."""
+        with self._lock:
+            return {
+                key: [store.num_sets for store in stores]
+                for key, stores in self._stores.items()
+            }
+
+    def signature(self) -> Tuple[Tuple[str, Tuple[int, ...]], ...]:
+        """A hashable snapshot of the pool's contents — the pool-size
+        component of the serving layer's query-cache key."""
+        with self._lock:
+            return tuple(
+                sorted(
+                    (key, tuple(store.num_sets for store in stores))
+                    for key, stores in self._stores.items()
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Growth and views
+    # ------------------------------------------------------------------
+    def stores(self, key: str) -> List[FlatRRCollection]:
+        """The backing per-machine collections for ``key`` (created on
+        first use)."""
+        with self._lock:
+            stores = self._stores.get(key)
+            if stores is None:
+                stores = [
+                    FlatRRCollection(self.num_nodes)
+                    for _ in range(self.num_machines)
+                ]
+                self._stores[key] = stores
+            return stores
+
+    def view_stores(self, keys: Sequence[str]) -> Dict[str, List[FlatPrefixView]]:
+        """Fresh zero-limit prefix views, one per machine per key.
+
+        Each query gets its own views; their limits advance with the
+        query's schedule while the backing collections are shared.
+        """
+        return {
+            key: [FlatPrefixView(store, 0) for store in self.stores(key)]
+            for key in keys
+        }
+
+    def ensure(
+        self, key: str, needed: Sequence[int], label: str = "pool/ensure"
+    ) -> int:
+        """Top collection ``key`` up to ``needed[i]`` sets on machine ``i``.
+
+        Only the shortfall is generated, continuing each machine's RNG
+        stream; machines already at or past their target draw nothing.
+        Returns the number of RR sets generated.
+        """
+        with self._lock:
+            stores = self.stores(key)
+            if len(needed) != len(stores):
+                raise ValueError(
+                    f"expected {len(stores)} per-machine targets, got {len(needed)}"
+                )
+            counts = [
+                max(0, int(target) - store.num_sets)
+                for target, store in zip(needed, stores)
+            ]
+            total = sum(counts)
+            if total == 0:
+                return 0
+            if self._sampler is None:
+                self.executor.run_phase(
+                    GeneratePhase(
+                        label,
+                        counts=tuple(counts),
+                        targets=tuple(stores),
+                        model=self.model,
+                        method=self.method,
+                    )
+                )
+            else:
+                sampler = self._sampler
+
+                def top_up(machine) -> int:
+                    count = counts[machine.machine_id]
+                    if count:
+                        batch = sampler.sample_batch(machine.rng, count)
+                        append_batch(stores[machine.machine_id], batch)
+                    return count
+
+                self.executor.run_phase(MapPhase(label, top_up, category=GENERATION))
+            return total
+
+    # ------------------------------------------------------------------
+    # Coverage snapshot cache
+    # ------------------------------------------------------------------
+    def fork_coverage(self, key: str, limits: Sequence[int]) -> CoverageState | None:
+        """Fork the best donated coverage snapshot usable at ``limits``.
+
+        Usable means watermarks elementwise ``<=`` the query's first
+        ingest limits — the snapshot covers a strict prefix of what the
+        query sees, so folding the remainder on top reproduces a
+        from-scratch aggregation integer for integer.  Returns ``None``
+        when no donated snapshot qualifies.
+        """
+        with self._lock:
+            best: CoverageState | None = None
+            for state in self._coverage_cache.get(key, ()):
+                if all(w <= lim for w, lim in zip(state.watermarks, limits)) and (
+                    best is None or sum(state.watermarks) > sum(best.watermarks)
+                ):
+                    best = state
+            return best.fork() if best is not None else None
+
+    def donate_coverage(self, key: str, state: CoverageState) -> None:
+        """Adopt a finished query's coverage state into the snapshot cache.
+
+        The donor must not mutate the state afterwards; the pool only
+        ever hands out copy-on-write forks of it.
+        """
+        with self._lock:
+            cache = self._coverage_cache.setdefault(key, [])
+            marks = list(state.watermarks)
+            if any(cached.watermarks == marks for cached in cache):
+                return
+            cache.append(state)
+            if len(cache) > MAX_CACHED_COVERAGE:
+                cache.pop(0)
+
+    # ------------------------------------------------------------------
+    # Per-query metering
+    # ------------------------------------------------------------------
+    @contextmanager
+    def query_metrics(self) -> Iterator[RunMetrics]:
+        """Serialize one query and meter it in isolation.
+
+        Holds the pool lock for the duration, swaps a fresh
+        :class:`RunMetrics` onto the cluster (so the query's phases are
+        its own), and on exit merges them into the pool's lifetime
+        metrics and restores the previous sink.
+        """
+        with self._lock:
+            previous = self.cluster.metrics
+            metrics = RunMetrics()
+            self.cluster.metrics = metrics
+            try:
+                yield metrics
+            finally:
+                self.cluster.metrics = previous
+                previous.merge(metrics)
+                self.queries_served += 1
+
+    # ------------------------------------------------------------------
+    # Config compatibility
+    # ------------------------------------------------------------------
+    def check_config(self, config, machines: int | None = None) -> None:
+        """Reject a :class:`~repro.core.config.RunConfig` whose results
+        could not equal a cold run over this pool's streams."""
+        expected = self.num_machines if machines is None else machines
+        if machines is not None and self.num_machines != machines:
+            raise ValueError(
+                f"pool has {self.num_machines} machines, query needs {expected}"
+            )
+        if config.graph is not self.graph:
+            raise ValueError("config.graph is not the pool's graph")
+        if config.seed != self.seed:
+            raise ValueError(
+                f"config.seed={config.seed} differs from the pool seed "
+                f"{self.seed}; warm results would not match a cold run"
+            )
+        if config.model != self.model or config.method != self.method:
+            raise ValueError(
+                f"pool samples ({self.model!r}, {self.method!r}); config wants "
+                f"({config.model!r}, {config.method!r})"
+            )
+        if config.backend != "flat":
+            raise ValueError(
+                f"warm pools are flat-store only, got backend={config.backend!r}"
+            )
+        if config.checkpoint_dir is not None or config.resume:
+            raise ValueError("checkpointing is not supported on warm-pool queries")
+        if config.faults is not None:
+            raise ValueError("fault injection is not supported on warm-pool queries")
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the executor (worker pool, shared memory).  Idempotent."""
+        self._closed = True
+        self.executor.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "SamplePool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        sizes = {key: sum(s.num_sets for s in stores) for key, stores in self._stores.items()}
+        return (
+            f"SamplePool(machines={self.num_machines}, model={self.model!r}, "
+            f"method={self.method!r}, executor={self.executor.name!r}, "
+            f"sets={sizes})"
+        )

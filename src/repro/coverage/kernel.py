@@ -27,7 +27,7 @@ from typing import Tuple
 
 import numpy as np
 
-from ..ris.flat import FlatRRCollection, gather_rows
+from ..ris.flat import FlatPrefixView, FlatRRCollection, gather_rows
 
 __all__ = [
     "BACKENDS",
@@ -69,9 +69,15 @@ def resolve_backend(backend: str) -> str:
     return backend
 
 
-def as_flat(store) -> FlatRRCollection:
-    """Return ``store`` as a flat collection (no-op when already flat)."""
-    if isinstance(store, FlatRRCollection):
+def as_flat(store):
+    """Return ``store`` with the flat CSR surface (no-op when already flat).
+
+    A :class:`~repro.ris.flat.FlatPrefixView` — the warm pool's per-query
+    window onto a shared collection — already exposes the raw arrays the
+    kernel reads and passes through untouched; anything else is copied
+    into a fresh :class:`FlatRRCollection`.
+    """
+    if isinstance(store, (FlatRRCollection, FlatPrefixView)):
         return store
     return FlatRRCollection.from_store(store)
 

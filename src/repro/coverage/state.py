@@ -68,6 +68,37 @@ class CoverageState:
         self.watermarks: List[int] = [0] * num_machines
         # Reusable working buffer selection rounds decrement into.
         self._scratch = np.zeros(num_nodes, dtype=np.int64)
+        # Copy-on-write flag: a forked state shares its parent's counts
+        # array until its first ingest (see fork()).
+        self._owned = True
+
+    # ------------------------------------------------------------------
+    # Copy-on-write forking (the warm pool's per-query snapshot)
+    # ------------------------------------------------------------------
+    def fork(self) -> "CoverageState":
+        """A per-query snapshot sharing this state's counts copy-on-write.
+
+        Selection never mutates :attr:`counts` (it borrows a scratch copy
+        via :meth:`selection_counts`), so the fork shares the pristine
+        array for free; the first :meth:`ingest` that must fold new sets
+        copies it before writing.  Forks of a donated, no-longer-mutated
+        state are therefore safe to hand to concurrent queries — each
+        diverges into its own copy exactly when it ingests beyond the
+        snapshot.
+        """
+        child = CoverageState.__new__(CoverageState)
+        child.num_nodes = self.num_nodes
+        child.num_machines = self.num_machines
+        child.counts = self.counts
+        child.watermarks = list(self.watermarks)
+        child._scratch = np.zeros(self.num_nodes, dtype=np.int64)
+        child._owned = False
+        return child
+
+    def _ensure_owned(self) -> None:
+        if not self._owned:
+            self.counts = self.counts.copy()
+            self._owned = True
 
     # ------------------------------------------------------------------
     # Incremental maintenance
@@ -93,6 +124,7 @@ class CoverageState:
             raise ValueError(f"expected {self.num_machines} stores, got {len(stores)}")
         if all(store.num_sets == mark for store, mark in zip(stores, self.watermarks)):
             return
+        self._ensure_owned()
         starts = list(self.watermarks)
 
         def wave_delta(machine: Machine):
@@ -171,6 +203,7 @@ class CoverageState:
             )
         self.counts = counts
         self.watermarks = watermarks
+        self._owned = True
 
     def __repr__(self) -> str:
         return (

@@ -1,7 +1,7 @@
 """Reverse influence sampling: RR-set samplers, collections and statistics."""
 
 from .collection import RRCollection
-from .flat import FlatRRCollection, append_batch, make_collection
+from .flat import FlatPrefixView, FlatRRCollection, append_batch, make_collection
 from .ic_sampler import ICReverseBFSSampler
 from .lt_sampler import LTReverseWalkSampler
 from .rrset import FlatBatch, RRSample, RRSampler, pack_samples
@@ -45,6 +45,7 @@ __all__ = [
     "SubsimSampler",
     "RRCollection",
     "FlatRRCollection",
+    "FlatPrefixView",
     "make_collection",
     "RRSetStatistics",
     "collect_statistics",

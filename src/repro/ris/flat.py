@@ -35,7 +35,14 @@ import numpy as np
 from .collection import RRCollection
 from .rrset import FlatBatch, RRSample
 
-__all__ = ["FlatRRCollection", "MAX_NODES", "append_batch", "make_collection", "gather_rows"]
+__all__ = [
+    "FlatRRCollection",
+    "FlatPrefixView",
+    "MAX_NODES",
+    "append_batch",
+    "make_collection",
+    "gather_rows",
+]
 
 #: Largest graph the flat store can index: node ids are kept as ``int32``
 #: (halving memory and wire traffic versus ``int64``), so ids must lie in
@@ -93,6 +100,10 @@ class FlatRRCollection:
         self._inv_offsets = np.zeros(num_nodes + 1, dtype=np.int64)
         # Appends land here until the next read rebuilds the CSR arrays.
         self._pending: List[np.ndarray] = []
+        self._pending_edges: List[np.ndarray] = []
+        # Cumulative per-set edges-examined: entry j is the total over the
+        # first j sets, so any prefix's generation work is one lookup.
+        self._edges_cumsum = np.zeros(1, dtype=np.int64)
         self._num_sets = 0
         self._total_size = 0
         self._total_edges_examined = 0
@@ -108,11 +119,38 @@ class FlatRRCollection:
             )
         return nodes.astype(np.int32, copy=False)
 
+    @staticmethod
+    def _per_set_edges(edges_examined, count: int) -> np.ndarray:
+        """Per-set edge counts for ``count`` sets.
+
+        Accepts a per-set array (exact attribution) or an aggregate int,
+        which is spread evenly — the same policy
+        :meth:`to_collection` and the checkpoint loader already apply
+        when only the aggregate survived.
+        """
+        if np.ndim(edges_examined) > 0:
+            per_set = np.asarray(edges_examined, dtype=np.int64)
+            if per_set.size != count:
+                raise ValueError(
+                    f"edges_examined has {per_set.size} entries for {count} sets"
+                )
+            return per_set
+        total = int(edges_examined)
+        if count == 0:
+            return np.zeros(0, dtype=np.int64)
+        base, extra = divmod(total, count)
+        per_set = np.full(count, base, dtype=np.int64)
+        per_set[:extra] += 1
+        return per_set
+
     def add(self, sample: RRSample) -> int:
         """Append one RR set; returns its index within this collection."""
         nodes = self._validate(sample.nodes)
         idx = self._num_sets
         self._pending.append(nodes)
+        self._pending_edges.append(
+            np.asarray([sample.edges_examined], dtype=np.int64)
+        )
         self._num_sets += 1
         self._total_size += int(nodes.size)
         self._total_edges_examined += sample.edges_examined
@@ -127,22 +165,38 @@ class FlatRRCollection:
         self,
         nodes: np.ndarray,
         offsets: np.ndarray,
-        edges_examined: int = 0,
+        edges_examined=0,
     ) -> None:
-        """Append a whole flat batch (e.g. a worker's wave) in one call."""
+        """Append a whole flat batch (e.g. a worker's wave) in one call.
+
+        ``edges_examined`` is either the wave's aggregate (an int, spread
+        evenly over its sets) or a per-set ``int64`` array of length
+        ``offsets.size - 1`` (exact attribution, as
+        :attr:`FlatBatch.edges_examined <repro.ris.rrset.FlatBatch>`
+        carries it).
+        """
         offsets = np.asarray(offsets, dtype=np.int64)
         if offsets.size == 0 or offsets[0] != 0 or offsets[-1] != np.asarray(nodes).size:
             raise ValueError("offsets must start at 0 and end at nodes.size")
         nodes = self._validate(nodes)
-        for idx in range(offsets.size - 1):
+        count = offsets.size - 1
+        per_set = self._per_set_edges(edges_examined, count)
+        for idx in range(count):
             self._pending.append(nodes[offsets[idx] : offsets[idx + 1]])
-        self._num_sets += offsets.size - 1
+        self._pending_edges.append(per_set)
+        self._num_sets += count
         self._total_size += int(nodes.size)
-        self._total_edges_examined += int(edges_examined)
+        # The aggregate keeps its historical semantics even for an empty
+        # batch carrying a scalar count; per-set attribution needs sets.
+        if np.ndim(edges_examined) > 0:
+            self._total_edges_examined += int(per_set.sum())
+        else:
+            self._total_edges_examined += int(edges_examined)
 
     def _materialize(self) -> None:
         """Fold pending appends into the CSR arrays and rebuild the index."""
         if not self._pending:
+            self._pending_edges = [e for e in self._pending_edges if e.size]
             return
         sizes = np.fromiter(
             (arr.size for arr in self._pending), dtype=np.int64, count=len(self._pending)
@@ -151,6 +205,11 @@ class FlatRRCollection:
         new_offsets = self._offsets[-1] + np.cumsum(sizes)
         self._offsets = np.concatenate([self._offsets, new_offsets])
         self._pending = []
+        per_set_edges = np.concatenate(self._pending_edges)
+        self._edges_cumsum = np.concatenate(
+            [self._edges_cumsum, self._edges_cumsum[-1] + np.cumsum(per_set_edges)]
+        )
+        self._pending_edges = []
         # CSR inverted index: stable sort keeps element ids ascending
         # within each node bucket, matching the reference I_i(v) order.
         order = np.argsort(self._nodes, kind="stable")
@@ -211,6 +270,18 @@ class FlatRRCollection:
         """Sum of ``w(R)`` over stored sets (drives generation time)."""
         return self._total_edges_examined
 
+    def edges_examined_upto(self, limit: int) -> int:
+        """Edges examined generating the first ``limit`` RR sets.
+
+        Exact where the sets arrived with per-set counts (sampler
+        batches); evenly attributed where only a wave aggregate survived
+        (checkpoint round-trips), mirroring :meth:`to_collection`.
+        """
+        self._materialize()
+        if not 0 <= limit <= self._num_sets:
+            raise ValueError(f"limit {limit} out of range [0, {self._num_sets}]")
+        return int(self._edges_cumsum[limit])
+
     def get(self, idx: int) -> np.ndarray:
         """Node array (a view) of the ``idx``-th RR set."""
         self._materialize()
@@ -267,6 +338,9 @@ class FlatRRCollection:
         flat._num_sets = store.num_sets
         flat._total_size = store.total_size
         flat._total_edges_examined = int(getattr(store, "total_edges_examined", 0))
+        flat._pending_edges.append(
+            cls._per_set_edges(flat._total_edges_examined, store.num_sets)
+        )
         return flat
 
     # Alias matching the reference store's name in the issue/docs.
@@ -275,24 +349,21 @@ class FlatRRCollection:
     def to_collection(self) -> RRCollection:
         """Rebuild a reference :class:`RRCollection` with identical sets.
 
-        Per-sample edge attribution is not stored (only the aggregate), so
-        like :func:`repro.ris.serialization.load_collection` the edges are
-        spread evenly and each sample reports its smallest node as root.
+        Edges are attributed per set from the stored cumulative counts
+        (exact for sampler-appended sets, evenly spread where only a wave
+        aggregate survived); each sample reports its smallest node as
+        root, since roots are not stored.
         """
         self._materialize()
         collection = RRCollection(self._num_nodes)
-        base, extra = (
-            divmod(self._total_edges_examined, self._num_sets)
-            if self._num_sets
-            else (0, 0)
-        )
+        per_set_edges = np.diff(self._edges_cumsum)
         for idx in range(self._num_sets):
             nodes = self._nodes[self._offsets[idx] : self._offsets[idx + 1]].copy()
             collection.add(
                 RRSample(
                     nodes=nodes,
                     root=int(nodes[0]) if nodes.size else 0,
-                    edges_examined=base + (1 if idx < extra else 0),
+                    edges_examined=int(per_set_edges[idx]),
                 )
             )
         return collection
@@ -301,6 +372,162 @@ class FlatRRCollection:
         return (
             f"FlatRRCollection(num_sets={self._num_sets}, "
             f"total_size={self._total_size}, num_nodes={self._num_nodes})"
+        )
+
+
+class FlatPrefixView:
+    """A read-only view of the first ``limit`` RR sets of a flat store.
+
+    The warm-serving path (:mod:`repro.core.pool`) keeps one long-lived
+    :class:`FlatRRCollection` per machine and answers each query against
+    a *prefix* of it: because the per-set samplers' batch contract makes
+    machine ``i``'s first ``c`` RR sets depend only on its RNG stream and
+    ``c`` — never on how generation was batched into waves — the prefix
+    is bit-identical to the collection a cold run of the same schedule
+    would have built, and so is everything selected from it.
+
+    The view implements the full store read protocol plus the raw-array
+    surface the flat coverage kernel uses (:attr:`nodes`,
+    :attr:`offsets`, :attr:`inv_sets`, :attr:`inv_offsets`), so greedy
+    selection and NEWGREEDI run on a view unchanged.  ``nodes`` and
+    ``offsets`` are zero-copy slices; the prefix inverted index is built
+    lazily per distinct limit (one stable argsort over the prefix — the
+    same work a cold run's per-round materialize does), or borrowed from
+    the backing store when the view covers it entirely.
+
+    Limits only grow (:meth:`set_limit`), mirroring the append-only
+    store, and must never exceed the backing store's current size — the
+    pool tops the store up *before* advancing any view.
+    """
+
+    def __init__(self, store: FlatRRCollection, limit: int = 0) -> None:
+        self._store = store
+        self._limit = 0
+        self._inv_limit = -1
+        self._inv_sets = np.zeros(0, dtype=np.int64)
+        self._inv_offsets = np.zeros(store.num_nodes + 1, dtype=np.int64)
+        self.set_limit(limit)
+
+    @property
+    def base(self) -> FlatRRCollection:
+        """The backing (shared, append-only) collection."""
+        return self._store
+
+    @property
+    def limit(self) -> int:
+        return self._limit
+
+    def set_limit(self, limit: int) -> None:
+        """Advance the view to cover the first ``limit`` sets."""
+        limit = int(limit)
+        if limit < self._limit:
+            raise ValueError(
+                f"prefix views only grow: limit {limit} < current {self._limit}"
+            )
+        if limit > self._store.num_sets:
+            raise ValueError(
+                f"limit {limit} exceeds the backing store's "
+                f"{self._store.num_sets} sets; top the pool up first"
+            )
+        self._limit = limit
+
+    # -- raw CSR access (the kernel's view) -----------------------------
+    @property
+    def nodes(self) -> np.ndarray:
+        return self._store.nodes[: self._store.offsets[self._limit]]
+
+    @property
+    def offsets(self) -> np.ndarray:
+        return self._store.offsets[: self._limit + 1]
+
+    def _prefix_index(self) -> None:
+        if self._inv_limit == self._limit:
+            return
+        if self._limit == self._store.num_sets:
+            # The view covers the whole store: borrow its index.  The
+            # borrowed arrays stay valid even if the store grows later —
+            # they describe exactly the first `limit` sets.
+            self._inv_sets = self._store.inv_sets
+            self._inv_offsets = self._store.inv_offsets
+        else:
+            nodes = self.nodes
+            order = np.argsort(nodes, kind="stable")
+            set_ids = np.repeat(
+                np.arange(self._limit, dtype=np.int64), np.diff(self.offsets)
+            )
+            self._inv_sets = set_ids[order]
+            counts = np.bincount(nodes, minlength=self._store.num_nodes)
+            self._inv_offsets = np.zeros(self._store.num_nodes + 1, dtype=np.int64)
+            np.cumsum(counts, out=self._inv_offsets[1:])
+        self._inv_limit = self._limit
+
+    @property
+    def inv_sets(self) -> np.ndarray:
+        self._prefix_index()
+        return self._inv_sets
+
+    @property
+    def inv_offsets(self) -> np.ndarray:
+        self._prefix_index()
+        return self._inv_offsets
+
+    # -- store protocol -------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return self._store.num_nodes
+
+    @property
+    def num_sets(self) -> int:
+        return self._limit
+
+    @property
+    def total_size(self) -> int:
+        return int(self._store.offsets[self._limit])
+
+    @property
+    def total_edges_examined(self) -> int:
+        return self._store.edges_examined_upto(self._limit)
+
+    def get(self, idx: int) -> np.ndarray:
+        if idx < 0:
+            idx += self._limit
+        if not 0 <= idx < self._limit:
+            raise IndexError(f"set index {idx} out of range")
+        return self._store.get(idx)
+
+    def __len__(self) -> int:
+        return self._limit
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        for idx in range(self._limit):
+            yield self._store.get(idx)
+
+    def sets_containing(self, node: int) -> np.ndarray:
+        self._prefix_index()
+        node = int(node)
+        if not 0 <= node < self._store.num_nodes:
+            return self._inv_sets[:0]
+        return self._inv_sets[self._inv_offsets[node] : self._inv_offsets[node + 1]]
+
+    def coverage_counts(self, start: int = 0) -> np.ndarray:
+        offsets = self._store.offsets
+        lo = offsets[min(start, self._limit)]
+        hi = offsets[self._limit]
+        return np.bincount(
+            self._store.nodes[lo:hi], minlength=self._store.num_nodes
+        ).astype(np.int64)
+
+    def coverage_of(self, seeds: Iterable[int]) -> int:
+        self._prefix_index()
+        seeds = np.unique(np.fromiter((int(s) for s in seeds), dtype=np.int64))
+        seeds = seeds[(seeds >= 0) & (seeds < self._store.num_nodes)]
+        elements = gather_rows(self._inv_sets, self._inv_offsets, seeds)
+        return int(np.unique(elements).size)
+
+    def __repr__(self) -> str:
+        return (
+            f"FlatPrefixView(limit={self._limit}, "
+            f"store_sets={self._store.num_sets}, num_nodes={self.num_nodes})"
         )
 
 
@@ -326,7 +553,7 @@ def append_batch(collection, batch: FlatBatch) -> None:
         collection.append_arrays(
             batch.nodes,
             batch.offsets,
-            edges_examined=int(batch.edges_examined.sum()),
+            edges_examined=batch.edges_examined,
         )
     else:
         collection.extend(batch.to_samples())

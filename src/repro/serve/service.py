@@ -1,0 +1,380 @@
+"""The warm influence service over shared sample pools.
+
+An :class:`InfluenceService` owns one :class:`~repro.core.pool.SamplePool`
+per distinct sampling stream it has needed so far — the distributed
+cluster-seeded pool serving DIIMM / D-SUBSIM and the fixed-budget
+applications, the single-machine legacy pool serving the IMM baseline,
+and one targeted pool per distinct target set — and routes each query to
+the right pool:
+
+* **IMM-family queries** (``imm``, ``diimm``, ``dsubsim``) run the normal
+  :class:`~repro.core.driver.RoundDriver` schedule against prefix views
+  of the pool's collections, topping the pool up only when the query's
+  accuracy parameters push theta past what previous queries generated.
+* **Application queries** (``budgeted``, ``profit``, ``targeted``) are
+  fixed-budget: the service tops the pool up to the per-machine shares of
+  ``num_rr_sets`` and hands the application prefix views in place of
+  generation.
+
+Either way the answer is bit-identical to the cold entry point with the
+same parameters — the correctness anchor ``tests/serve`` pins.
+
+Results are memoized in an LRU cache keyed by ``(query fingerprint,
+graph version, pool signature)``: repeated queries that do not grow the
+pool are answered without touching the cluster at all.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..applications.budgeted import budgeted_influence_maximization
+from ..applications.profit import profit_maximization
+from ..applications.targeted import TargetedSampler, targeted_influence_maximization
+from ..cluster.network import NetworkModel
+from ..core.config import RunConfig
+from ..core.diimm import diimm_from_config
+from ..core.dsubsim import distributed_subsim_from_config
+from ..core.imm import imm_from_config
+from ..core.pool import SamplePool
+from ..graphs.digraph import DirectedGraph
+from ..ris import make_sampler
+from ..ris.flat import FlatPrefixView
+
+__all__ = ["QUERY_KINDS", "InfluenceService", "Query", "default_costs"]
+
+#: Query kinds the service answers.
+QUERY_KINDS: Tuple[str, ...] = (
+    "imm",
+    "diimm",
+    "dsubsim",
+    "budgeted",
+    "profit",
+    "targeted",
+)
+
+_IM_KINDS = ("imm", "diimm", "dsubsim")
+_APP_KINDS = ("budgeted", "profit", "targeted")
+
+
+def default_costs(graph: DirectedGraph) -> np.ndarray:
+    """The CLI's degree-scaled seeding costs: ``1 + 9 * outdeg/max``."""
+    degrees = graph.out_degrees()
+    return 1.0 + degrees / max(int(degrees.max()), 1) * 9.0
+
+
+@dataclass(frozen=True)
+class Query:
+    """One seed-selection request.
+
+    ``kind`` selects the algorithm (:data:`QUERY_KINDS`); the remaining
+    fields apply per kind — ``k``/``eps``/``delta`` to the IMM family and
+    ``targeted``, ``num_rr_sets``/``budget``/``costs``/``targets`` to the
+    fixed-budget applications (``costs=None`` uses
+    :func:`default_costs`).
+    """
+
+    kind: str
+    k: int = 10
+    eps: float = 0.5
+    delta: Optional[float] = None
+    num_rr_sets: int = 10000
+    budget: Optional[float] = None
+    costs: Optional[Tuple[float, ...]] = None
+    targets: Optional[Tuple[int, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in QUERY_KINDS:
+            raise ValueError(
+                f"kind must be one of {QUERY_KINDS}, got {self.kind!r}"
+            )
+        if self.costs is not None:
+            object.__setattr__(
+                self, "costs", tuple(float(c) for c in self.costs)
+            )
+        if self.targets is not None:
+            object.__setattr__(
+                self, "targets", tuple(sorted(int(t) for t in set(self.targets)))
+            )
+        if self.kind == "targeted" and not self.targets:
+            raise ValueError("targeted queries need a non-empty target set")
+        if self.kind == "budgeted" and (self.budget is None or self.budget <= 0):
+            raise ValueError("budgeted queries need a positive budget")
+
+    def fingerprint(self) -> Tuple:
+        """A hashable identity for the result cache."""
+        return (
+            self.kind,
+            self.k,
+            self.eps,
+            self.delta,
+            self.num_rr_sets,
+            self.budget,
+            self.costs,
+            self.targets,
+        )
+
+
+@dataclass
+class ServiceStats:
+    """Counters the service exposes over ``stats`` requests."""
+
+    queries: int = 0
+    cache_hits: int = 0
+    by_kind: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, kind: str, hit: bool) -> None:
+        self.queries += 1
+        if hit:
+            self.cache_hits += 1
+        self.by_kind[kind] = self.by_kind.get(kind, 0) + 1
+
+
+class InfluenceService:
+    """A long-lived, warm seed-selection service over shared sample pools.
+
+    Parameters
+    ----------
+    graph:
+        The loaded graph; resident for the service's lifetime.
+    machines:
+        Cluster width for the distributed pools (the IMM baseline pool is
+        always single-machine).
+    seed:
+        Root RNG seed; every warm answer equals the cold run with this
+        seed.
+    model, method:
+        Default sampler selection.  ``method`` applies to the IMM-family
+        pools; the applications always sample with the default per-set
+        sampler (``bfs``), matching their cold entry points.
+    executor, processes, network, start_method, zero_copy:
+        Forwarded to each pool's executor.
+    cache_size:
+        Maximum memoized query results (LRU).
+    """
+
+    def __init__(
+        self,
+        graph: DirectedGraph,
+        machines: int = 4,
+        *,
+        seed: int = 0,
+        model: str = "ic",
+        method: str = "bfs",
+        executor: str = "simulated",
+        processes: int | None = None,
+        network: NetworkModel | None = None,
+        start_method: str | None = None,
+        zero_copy: bool | None = None,
+        cache_size: int = 128,
+    ) -> None:
+        self.graph = graph
+        self.machines = machines
+        self.seed = seed
+        self.model = model
+        self.method = method
+        #: Bumped when the served graph is swapped; part of the cache key.
+        self.graph_version = 0
+        self._executor_kwargs = dict(
+            executor=executor,
+            processes=processes,
+            network=network,
+            start_method=start_method,
+            zero_copy=zero_copy,
+        )
+        self._pools: Dict[Tuple, SamplePool] = {}
+        self._cache: "OrderedDict[Tuple, object]" = OrderedDict()
+        self._cache_size = cache_size
+        self._lock = threading.Lock()
+        self.stats = ServiceStats()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Pool registry
+    # ------------------------------------------------------------------
+    def _pool(self, key: Tuple, **kwargs) -> SamplePool:
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("service is closed")
+            pool = self._pools.get(key)
+            if pool is None:
+                pool = SamplePool(
+                    self.graph, seed=self.seed, **self._executor_kwargs, **kwargs
+                )
+                self._pools[key] = pool
+            return pool
+
+    def _im_pool(self, kind: str) -> SamplePool:
+        if kind == "imm":
+            return self._pool(
+                ("legacy", self.method),
+                machines=1,
+                model=self.model,
+                method=self.method,
+                rng_scheme="legacy-imm",
+            )
+        method = "subsim" if kind == "dsubsim" else self.method
+        return self._pool(
+            ("cluster", method),
+            machines=self.machines,
+            model="ic" if kind == "dsubsim" else self.model,
+            method=method,
+        )
+
+    def _app_pool(self, query: Query) -> SamplePool:
+        if query.kind == "targeted":
+            # One pool per distinct target set: the targeted sampler's
+            # stream draws roots from the targets, so different target
+            # sets are different streams.
+            return self._pool(
+                ("targeted", query.targets),
+                machines=self.machines,
+                model=self.model,
+                method="bfs",
+                sampler=TargetedSampler(
+                    make_sampler(self.graph, model=self.model), list(query.targets)
+                ),
+            )
+        # budgeted/profit share the cluster bfs pool's samples: their cold
+        # entry points draw with the default per-set sampler on an
+        # identically seeded cluster, so the pool's stream prefixes are
+        # their cold collections.
+        return self._pool(
+            ("cluster", "bfs"),
+            machines=self.machines,
+            model=self.model,
+            method="bfs",
+        )
+
+    # ------------------------------------------------------------------
+    # Query dispatch
+    # ------------------------------------------------------------------
+    def query(self, query: Query):
+        """Answer ``query`` warm, memoizing by pool state.
+
+        Returns the same result object the cold entry point returns — an
+        :class:`~repro.core.result.IMResult` for the IMM family, an
+        :class:`~repro.applications.result.ApplicationResult` for the
+        applications.
+        """
+        pool = (
+            self._im_pool(query.kind)
+            if query.kind in _IM_KINDS
+            else self._app_pool(query)
+        )
+        cache_key = (query.fingerprint(), self.graph_version, pool.signature())
+        with self._lock:
+            cached = self._cache.get(cache_key)
+            if cached is not None:
+                self._cache.move_to_end(cache_key)
+                self.stats.record(query.kind, hit=True)
+                return cached
+        if query.kind in _IM_KINDS:
+            result = self._run_im(query, pool)
+        else:
+            result = self._run_app(query, pool)
+        with self._lock:
+            self.stats.record(query.kind, hit=False)
+            # Key on the pool state *after* the query: identical repeats
+            # top up nothing, so they hit this entry.
+            after_key = (query.fingerprint(), self.graph_version, pool.signature())
+            self._cache[after_key] = result
+            self._cache.move_to_end(after_key)
+            while len(self._cache) > self._cache_size:
+                self._cache.popitem(last=False)
+        return result
+
+    def _run_im(self, query: Query, pool: SamplePool):
+        config = RunConfig(
+            graph=self.graph,
+            k=query.k,
+            machines=1 if query.kind == "imm" else self.machines,
+            eps=query.eps,
+            delta=query.delta,
+            model=pool.model,
+            method=pool.method,
+            seed=self.seed,
+        )
+        entry = {
+            "imm": imm_from_config,
+            "diimm": diimm_from_config,
+            "dsubsim": distributed_subsim_from_config,
+        }[query.kind]
+        return entry(config, pool=pool)
+
+    def _run_app(self, query: Query, pool: SamplePool):
+        shares = pool.cluster.split_count(query.num_rr_sets)
+        with pool.query_metrics():
+            pool.ensure("main", shares, label=f"serve/{query.kind}/ensure")
+            views = [
+                FlatPrefixView(store, share)
+                for store, share in zip(pool.stores("main"), shares)
+            ]
+            common = dict(
+                num_machines=pool.num_machines,
+                num_rr_sets=query.num_rr_sets,
+                model=self.model,
+                seed=self.seed,
+                cluster=pool.cluster,
+                collections=views,
+            )
+            if query.kind == "budgeted":
+                costs = query.costs if query.costs is not None else default_costs(self.graph)
+                return budgeted_influence_maximization(
+                    self.graph, costs, query.budget, **common
+                )
+            if query.kind == "profit":
+                costs = query.costs if query.costs is not None else default_costs(self.graph)
+                return profit_maximization(self.graph, costs, **common)
+            return targeted_influence_maximization(
+                self.graph, list(query.targets), query.k, **common
+            )
+
+    # ------------------------------------------------------------------
+    # Introspection and lifecycle
+    # ------------------------------------------------------------------
+    def pool_sizes(self) -> Dict[str, Dict[str, list]]:
+        """Per-pool, per-key collection sizes (stringified pool keys)."""
+        with self._lock:
+            pools = dict(self._pools)
+        return {repr(key): pool.sizes() for key, pool in pools.items()}
+
+    def describe(self) -> Dict:
+        """The ``stats`` payload: counters, pools, and cache occupancy."""
+        with self._lock:
+            return {
+                "queries": self.stats.queries,
+                "cache_hits": self.stats.cache_hits,
+                "by_kind": dict(self.stats.by_kind),
+                "cache_entries": len(self._cache),
+                "num_pools": len(self._pools),
+                "machines": self.machines,
+                "graph_version": self.graph_version,
+            }
+
+    def close(self) -> None:
+        """Release every pool (worker processes, shared memory). Idempotent."""
+        with self._lock:
+            self._closed = True
+            pools = list(self._pools.values())
+            self._pools.clear()
+            self._cache.clear()
+        for pool in pools:
+            pool.close()
+
+    def __enter__(self) -> "InfluenceService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"InfluenceService(machines={self.machines}, seed={self.seed}, "
+            f"pools={len(self._pools)}, queries={self.stats.queries})"
+        )

@@ -1,0 +1,70 @@
+"""Unit tests for the shared ApplicationResult container."""
+
+import pytest
+
+from repro.applications.result import ApplicationResult
+from repro.cluster import COMMUNICATION, COMPUTATION, GENERATION, RunMetrics
+
+
+@pytest.fixture
+def result():
+    metrics = RunMetrics()
+    metrics.record_compute_phase(GENERATION, "gen", [2.0, 1.0])
+    metrics.record_compute_phase(COMPUTATION, "sel", [0.5, 0.25])
+    metrics.record_communication("gather", num_bytes=256, elapsed=0.125)
+    return ApplicationResult(
+        application="budgeted-influence-maximization",
+        seeds=[4, 17, 2],
+        objective=123.456789,
+        num_rr_sets=5000,
+        metrics=metrics,
+        params={"budget": 25.0, "num_machines": 2},
+    )
+
+
+class TestBreakdown:
+    def test_matches_metrics(self, result):
+        assert result.breakdown == result.metrics.breakdown()
+
+    def test_categories_and_total(self, result):
+        breakdown = result.breakdown
+        assert breakdown[GENERATION] == pytest.approx(2.0)
+        assert breakdown[COMPUTATION] == pytest.approx(0.5)
+        assert breakdown[COMMUNICATION] == pytest.approx(0.125)
+        assert breakdown["total"] == pytest.approx(2.625)
+
+
+class TestSummaryRow:
+    def test_core_fields(self, result):
+        row = result.summary_row()
+        assert row["application"] == "budgeted-influence-maximization"
+        assert row["num_seeds"] == 3
+        assert row["objective"] == 123.46  # rounded to 2 digits
+        assert row["num_rr_sets"] == 5000
+
+    def test_params_merged_in(self, result):
+        row = result.summary_row()
+        assert row["budget"] == 25.0
+        assert row["num_machines"] == 2
+
+    def test_breakdown_rounded_to_4(self, result):
+        row = result.summary_row()
+        assert row[GENERATION] == 2.0
+        assert row["total"] == 2.625
+        assert all(
+            row[key] == round(result.breakdown[key], 4)
+            for key in (GENERATION, COMPUTATION, COMMUNICATION, "total")
+        )
+
+    def test_empty_seed_set(self):
+        empty = ApplicationResult(
+            application="profit-maximization",
+            seeds=[],
+            objective=0.0,
+            num_rr_sets=100,
+            metrics=RunMetrics(),
+        )
+        row = empty.summary_row()
+        assert row["num_seeds"] == 0
+        assert row["objective"] == 0.0
+        assert row["total"] == 0.0

@@ -57,7 +57,97 @@ class TestMerge:
         metrics.merge(other)
         assert metrics.generation_time == 7.0
 
+    def test_merge_appends_recovery_events(self, metrics):
+        other = RunMetrics()
+        other.record_recovery("crash", machine_id=1, label="gen", attempt=1, time_lost=0.5)
+        metrics.merge(other)
+        assert [e.kind for e in metrics.recovery_events] == ["crash"]
+        assert metrics.recovery_time == pytest.approx(0.5)
+
     def test_phase_record_total(self, metrics):
         phase = metrics.phases[0]
         assert phase.total_machine_time == pytest.approx(6.0)
         assert phase.parallel_time == pytest.approx(3.0)
+
+
+class TestRoundAnnotations:
+    def test_annotated_stamps_phases(self):
+        m = RunMetrics()
+        with m.annotated(round_index=0, rule="imm"):
+            m.record_compute_phase(GENERATION, "gen0", [1.0])
+        with m.annotated(round_index=1, rule="imm"):
+            m.record_compute_phase(GENERATION, "gen1", [2.0])
+            m.record_communication("gather1", num_bytes=10, elapsed=0.1)
+        m.record_compute_phase(COMPUTATION, "outside", [0.5])
+        assert [p.label for p in m.phases_in_round(0)] == ["gen0"]
+        assert [p.label for p in m.phases_in_round(1)] == ["gen1", "gather1"]
+        assert m.rounds() == [0, 1]
+        assert m.phases[-1].round_index is None
+
+    def test_current_round_and_nesting(self):
+        m = RunMetrics()
+        assert m.current_round is None
+        with m.annotated(round_index=3, rule="outer"):
+            assert m.current_round == 3
+            with m.annotated(round_index=7, rule="inner"):
+                assert m.current_round == 7
+                m.record_compute_phase(COMPUTATION, "deep", [1.0])
+            assert m.current_round == 3
+        assert m.current_round is None
+        assert m.phases[0].rule == "inner"
+
+    def test_rounds_deduplicates_in_order(self):
+        m = RunMetrics()
+        for idx in (2, 0, 2, 1):
+            with m.annotated(round_index=idx):
+                m.record_compute_phase(GENERATION, f"g{idx}", [1.0])
+        assert m.rounds() == [2, 0, 1]
+
+
+class TestRecoveryAccounting:
+    @pytest.fixture
+    def faulty(self):
+        m = RunMetrics()
+        with m.annotated(round_index=1, rule="imm"):
+            m.record_recovery("crash", machine_id=0, label="gen", attempt=1, time_lost=1.5)
+            m.record_recovery("timeout", machine_id=2, label="gen", attempt=2, time_lost=0.5)
+            m.record_recovery(
+                "reassignment", machine_id=0, label="gen", attempt=3, time_lost=2.0
+            )
+            m.record_recovery(
+                "reassignment", machine_id=0, label="sel", attempt=1, time_lost=1.0
+            )
+        return m
+
+    def test_events_of_kind(self, faulty):
+        assert len(faulty.recovery_events_of("reassignment")) == 2
+        assert faulty.recovery_events_of("corruption") == []
+
+    def test_recovery_time_sums_losses(self, faulty):
+        assert faulty.recovery_time == pytest.approx(5.0)
+
+    def test_degraded_machines_deduplicated(self, faulty):
+        assert faulty.degraded_machines == (0,)
+
+    def test_failure_breakdown(self, faulty):
+        breakdown = faulty.failure_breakdown()
+        assert breakdown["crash"] == pytest.approx(1.5)
+        assert breakdown["reassignment"] == pytest.approx(3.0)
+        assert breakdown["total_lost"] == pytest.approx(5.0)
+        assert breakdown["events"] == 4.0
+        assert breakdown["degraded_machines"] == 1.0
+
+    def test_events_carry_round_annotation(self, faulty):
+        assert all(e.round_index == 1 and e.rule == "imm" for e in faulty.recovery_events)
+
+    def test_recovery_state_roundtrip(self, faulty):
+        snapshot = faulty.recovery_state()
+        assert all(isinstance(entry, dict) for entry in snapshot)
+        fresh = RunMetrics()
+        fresh.record_recovery("crash", machine_id=9, label="later", attempt=1)
+        fresh.restore_recovery(snapshot)
+        # Restored events are prepended before the fresh run's own.
+        assert len(fresh.recovery_events) == 5
+        assert fresh.recovery_events[0].kind == "crash"
+        assert fresh.recovery_events[-1].machine_id == 9
+        assert fresh.recovery_events[:4] == faulty.recovery_events

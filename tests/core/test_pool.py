@@ -1,0 +1,240 @@
+"""SamplePool: shared RR-sample lifetime, warm/cold equivalence, coverage cache."""
+
+import numpy as np
+import pytest
+
+from repro.api import POOLABLE, RunConfig, run
+from repro.cluster.cluster import SimulatedCluster
+from repro.core.pool import MAX_CACHED_COVERAGE, SamplePool
+from repro.coverage.state import CoverageState
+from repro.ris import FlatRRCollection, make_sampler
+
+
+@pytest.fixture
+def pool(small_wc_graph):
+    with SamplePool(small_wc_graph, machines=3, seed=7) as p:
+        yield p
+
+
+class TestConstruction:
+    def test_rejects_vectorized(self, small_wc_graph):
+        with pytest.raises(ValueError, match="prefix-deterministic"):
+            SamplePool(small_wc_graph, machines=2, method="vectorized")
+
+    def test_rejects_unknown_rng_scheme(self, small_wc_graph):
+        with pytest.raises(ValueError, match="rng_scheme"):
+            SamplePool(small_wc_graph, rng_scheme="nope")
+
+    def test_legacy_imm_is_single_machine(self, small_wc_graph):
+        with pytest.raises(ValueError, match="single-machine"):
+            SamplePool(small_wc_graph, machines=2, rng_scheme="legacy-imm")
+
+    def test_close_is_idempotent(self, small_wc_graph):
+        pool = SamplePool(small_wc_graph, machines=2)
+        pool.close()
+        pool.close()
+        assert pool.closed
+
+    def test_repr(self, pool):
+        assert "SamplePool" in repr(pool)
+
+
+class TestGrowth:
+    def test_ensure_generates_only_shortfall(self, pool):
+        assert pool.ensure("main", [10, 20, 30]) == 60
+        assert pool.sizes()["main"] == [10, 20, 30]
+        # Lower or equal targets draw nothing.
+        assert pool.ensure("main", [5, 20, 30]) == 0
+        assert pool.ensure("main", [15, 20, 35]) == 10
+        assert pool.sizes()["main"] == [15, 20, 35]
+
+    def test_ensure_validates_target_count(self, pool):
+        with pytest.raises(ValueError):
+            pool.ensure("main", [1, 2])
+
+    def test_topped_up_store_equals_cold_stream(self, pool, small_wc_graph):
+        # Two top-ups of machine i's collection must equal one cold draw
+        # of the same total from an identically seeded stream.
+        pool.ensure("main", [12, 12, 12])
+        pool.ensure("main", [40, 40, 40])
+        sampler = make_sampler(small_wc_graph, "ic")
+        cold_cluster = SimulatedCluster(3, seed=7)
+        for machine, store in zip(cold_cluster.machines, pool.stores("main")):
+            cold = FlatRRCollection(small_wc_graph.num_nodes)
+            cold.extend(sampler.sample_many(40, machine.rng))
+            assert np.array_equal(store.nodes, cold.nodes)
+            assert np.array_equal(store.offsets, cold.offsets)
+
+    def test_signature_tracks_sizes(self, pool):
+        empty = pool.signature()
+        pool.ensure("main", [5, 5, 5])
+        grown = pool.signature()
+        assert empty != grown
+        assert grown == (("main", (5, 5, 5)),)
+
+    def test_view_stores_start_empty(self, pool):
+        pool.ensure("main", [8, 8, 8])
+        views = pool.view_stores(["main"])
+        assert [v.num_sets for v in views["main"]] == [0, 0, 0]
+        views["main"][0].set_limit(8)
+        assert views["main"][0].num_sets == 8
+
+
+class TestCoverageCache:
+    def _state(self, pool, marks):
+        state = CoverageState(pool.num_nodes, pool.num_machines)
+        state.watermarks = list(marks)
+        return state
+
+    def test_fork_requires_dominated_watermarks(self, pool):
+        pool.donate_coverage("main", self._state(pool, [10, 10, 10]))
+        assert pool.fork_coverage("main", [9, 10, 10]) is None
+        forked = pool.fork_coverage("main", [10, 10, 10])
+        assert forked is not None
+        assert forked.watermarks == [10, 10, 10]
+
+    def test_fork_picks_largest_usable(self, pool):
+        pool.donate_coverage("main", self._state(pool, [5, 5, 5]))
+        pool.donate_coverage("main", self._state(pool, [20, 20, 20]))
+        forked = pool.fork_coverage("main", [25, 25, 25])
+        assert forked.watermarks == [20, 20, 20]
+
+    def test_donations_deduplicate_and_cap(self, pool):
+        pool.donate_coverage("main", self._state(pool, [1, 1, 1]))
+        pool.donate_coverage("main", self._state(pool, [1, 1, 1]))
+        assert len(pool._coverage_cache["main"]) == 1
+        for mark in range(2, 2 + MAX_CACHED_COVERAGE + 2):
+            pool.donate_coverage("main", self._state(pool, [mark] * 3))
+        assert len(pool._coverage_cache["main"]) == MAX_CACHED_COVERAGE
+
+    def test_forked_state_is_copy_on_write(self, pool):
+        donated = self._state(pool, [0, 0, 0])
+        donated.counts[:] = 5
+        pool.donate_coverage("main", donated)
+        fork = pool.fork_coverage("main", [100, 100, 100])
+        assert fork.counts is donated.counts  # shared until first ingest
+        fork._ensure_owned()
+        fork.counts[0] = 99
+        assert donated.counts[0] == 5
+
+
+class TestQueryMetrics:
+    def test_isolation_and_merge(self, pool):
+        with pool.query_metrics() as metrics:
+            pool.ensure("main", [4, 4, 4])
+            assert len(metrics.phases) == 1
+        assert pool.queries_served == 1
+        # The query's phases fold into the pool lifetime metrics on exit.
+        assert len(pool.lifetime_metrics.phases) == 1
+        with pool.query_metrics() as metrics2:
+            assert metrics2.phases == []
+
+
+class TestCheckConfig:
+    def test_accepts_matching_config(self, pool, small_wc_graph):
+        pool.check_config(
+            RunConfig(graph=small_wc_graph, k=5, machines=3, seed=7), machines=3
+        )
+
+    def test_rejects_wrong_seed(self, pool, small_wc_graph):
+        with pytest.raises(ValueError, match="seed"):
+            pool.check_config(RunConfig(graph=small_wc_graph, k=5, machines=3, seed=8))
+
+    def test_rejects_other_graph(self, pool, paper_graph):
+        with pytest.raises(ValueError, match="graph"):
+            pool.check_config(RunConfig(graph=paper_graph, k=2, machines=3, seed=7))
+
+    def test_rejects_wrong_method(self, pool, small_wc_graph):
+        with pytest.raises(ValueError, match="pool samples"):
+            pool.check_config(
+                RunConfig(graph=small_wc_graph, k=5, machines=3, seed=7, method="subsim")
+            )
+
+    def test_rejects_machine_mismatch(self, pool, small_wc_graph):
+        with pytest.raises(ValueError, match="machines"):
+            pool.check_config(
+                RunConfig(graph=small_wc_graph, k=5, machines=2, seed=7), machines=2
+            )
+
+    def test_rejects_checkpointing(self, pool, small_wc_graph, tmp_path):
+        with pytest.raises(ValueError, match="checkpoint"):
+            pool.check_config(
+                RunConfig(
+                    graph=small_wc_graph,
+                    k=5,
+                    machines=3,
+                    seed=7,
+                    checkpoint_dir=str(tmp_path),
+                )
+            )
+
+    def test_rejects_faults(self, pool, small_wc_graph):
+        with pytest.raises(ValueError, match="fault"):
+            pool.check_config(
+                RunConfig(graph=small_wc_graph, k=5, machines=3, seed=7, faults="crash@m0")
+            )
+
+
+class TestWarmColdEquivalence:
+    """The correctness anchor: warm queries == cold runs, bit for bit."""
+
+    def test_diimm_across_k_and_topups(self, small_wc_graph):
+        cold = {
+            k: run("diimm", RunConfig(graph=small_wc_graph, k=k, machines=3, seed=7))
+            for k in (3, 8)
+        }
+        with SamplePool(small_wc_graph, machines=3, seed=7) as pool:
+            # Ascending k grows the pool; repeating k=3 serves from a pool
+            # strictly larger than its theta — both must stay identical.
+            for k in (3, 8, 3):
+                warm = run(
+                    "diimm",
+                    RunConfig(graph=small_wc_graph, k=k, machines=3, seed=7),
+                    pool=pool,
+                )
+                assert warm.seeds == cold[k].seeds
+                assert warm.estimated_spread == cold[k].estimated_spread
+                assert warm.num_rr_sets == cold[k].num_rr_sets
+                assert warm.total_rr_size == cold[k].total_rr_size
+                assert warm.total_edges_examined == cold[k].total_edges_examined
+            assert pool.queries_served == 3
+
+    def test_imm_requires_legacy_scheme(self, small_wc_graph):
+        with SamplePool(small_wc_graph, machines=1, seed=7) as pool:
+            with pytest.raises(ValueError, match="legacy-imm"):
+                run("imm", RunConfig(graph=small_wc_graph, k=3, seed=7), pool=pool)
+
+    def test_imm_warm_equals_cold(self, small_wc_graph):
+        cold = run("imm", RunConfig(graph=small_wc_graph, k=4, seed=7))
+        with SamplePool(
+            small_wc_graph, machines=1, seed=7, rng_scheme="legacy-imm"
+        ) as pool:
+            warm = run("imm", RunConfig(graph=small_wc_graph, k=4, seed=7), pool=pool)
+        assert warm.seeds == cold.seeds
+        assert warm.estimated_spread == cold.estimated_spread
+
+    def test_unpoolable_algorithms_rejected(self, small_wc_graph):
+        assert "dssa" not in POOLABLE
+        with SamplePool(small_wc_graph, machines=3, seed=7) as pool:
+            with pytest.raises(ValueError, match="warm pool"):
+                run(
+                    "dssa",
+                    RunConfig(graph=small_wc_graph, k=3, machines=3, seed=7),
+                    pool=pool,
+                )
+
+    def test_executor_and_pool_are_exclusive(self, small_wc_graph, pool):
+        cluster = SimulatedCluster(3, seed=7)
+        from repro.cluster.executor import make_executor
+
+        exec_ = make_executor("simulated", cluster, graph=small_wc_graph)
+        try:
+            with pytest.raises(ValueError, match="not both"):
+                run(
+                    "diimm",
+                    RunConfig(graph=small_wc_graph, k=3, machines=3, seed=7),
+                    executor=exec_,
+                    pool=pool,
+                )
+        finally:
+            exec_.close()

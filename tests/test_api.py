@@ -92,6 +92,66 @@ class TestShimEquivalence:
         assert faulty.metrics.recovery_events_of("crash")
 
 
+class TestExternalResources:
+    """run() borrows executors/pools it is handed and never closes them."""
+
+    def test_lent_executor_is_reused_not_closed(self, small_wc_graph):
+        from repro.cluster.cluster import SimulatedCluster
+        from repro.cluster.executor import make_executor
+
+        config = RunConfig(graph=small_wc_graph, k=3, machines=3, eps=0.5, seed=7)
+        cold = run("diimm", config)
+        cluster = SimulatedCluster(3, seed=7)
+        executor = make_executor("simulated", cluster, graph=small_wc_graph)
+        try:
+            first = run("diimm", config, executor=executor)
+            assert_same_result(first, cold)
+            # Still open: the same executor serves further runs.  The lent
+            # RNG streams are never rewound (warm pools depend on them
+            # continuing), so the repeat draws fresh samples — it must
+            # succeed, not repeat bit-for-bit.
+            again = run("diimm", config, executor=executor)
+            assert len(again.seeds) == 3
+            # Per-run metrics fold into the lender's lifetime metrics.
+            assert len(cluster.metrics.phases) == (
+                len(first.metrics.phases) + len(again.metrics.phases)
+            )
+        finally:
+            executor.close()
+
+    def test_lent_executor_machine_count_must_match(self, small_wc_graph):
+        from repro.cluster.cluster import SimulatedCluster
+        from repro.cluster.executor import make_executor
+
+        cluster = SimulatedCluster(2, seed=7)
+        executor = make_executor("simulated", cluster, graph=small_wc_graph)
+        try:
+            with pytest.raises(ValueError, match="machines"):
+                run(
+                    "diimm",
+                    RunConfig(graph=small_wc_graph, k=3, machines=4, seed=7),
+                    executor=executor,
+                )
+        finally:
+            executor.close()
+
+    @pytest.mark.parametrize("algorithm", ["dssa", "dopimc"])
+    def test_lent_executor_works_for_unpoolable_algorithms(
+        self, small_wc_graph, algorithm
+    ):
+        from repro.cluster.cluster import SimulatedCluster
+        from repro.cluster.executor import make_executor
+
+        config = RunConfig(graph=small_wc_graph, k=3, machines=3, eps=0.5, seed=7)
+        cold = run(algorithm, config)
+        cluster = SimulatedCluster(3, seed=7)
+        executor = make_executor("simulated", cluster, graph=small_wc_graph)
+        try:
+            assert_same_result(run(algorithm, config, executor=executor), cold)
+        finally:
+            executor.close()
+
+
 class TestValidation:
     """Every validate() branch raises a ValueError naming the field."""
 
