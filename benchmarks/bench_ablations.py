@@ -15,6 +15,7 @@ from repro.experiments import (
     heterogeneity,
     lazy_vs_naive_greedy,
     seed_quality_comparison,
+    static_vs_dynamic_updates,
     subsim_vs_bfs_generation,
     traffic_tuple_vs_dense,
     workload_balance,
@@ -142,3 +143,24 @@ def test_ablation_workload_balance(benchmark, record_rows):
     record_rows("ablation_workload", rows, "Ablation — workload balance (Corollary 1)")
     for row in rows:
         assert row["max_over_mean"] < 1.6
+
+
+def test_ablation_static_vs_dynamic(benchmark, record_rows):
+    rows = benchmark.pedantic(
+        static_vs_dynamic_updates,
+        kwargs={
+            "dataset": "facebook",
+            "machines": 2,
+            "sets_per_machine": 400 if QUICK else 600,
+            "num_updates": 2 if QUICK else 3,
+            "edges_per_update": 2,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    record_rows(
+        "ablation_static_vs_dynamic",
+        rows,
+        "Ablation — static recompute vs dynamic in-place repair",
+    )
+    assert all(row["speedup"] > 1.0 for row in rows)

@@ -11,6 +11,13 @@ Commands
     Regenerate one of the paper's tables/figures and print its rows.
 ``validate``
     Monte-Carlo validate a comma-separated seed list on a dataset.
+``app``
+    Run an influence-based application (paper Section VI).
+``serve``
+    Start the warm influence service (``--dynamic`` accepts graph
+    updates).
+``update``
+    Send graph updates to a running dynamic service.
 """
 
 from __future__ import annotations
@@ -168,6 +175,55 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--cache-size", type=int, default=128, help="memoized query results"
+    )
+    serve.add_argument(
+        "--dynamic",
+        action="store_true",
+        help="serve a mutable graph: pools use per-set RNG substreams and "
+        "the service accepts 'update' requests (see the update command) "
+        "that repair resident RR sets in place",
+    )
+
+    update = sub.add_parser(
+        "update",
+        help="send graph updates to a running dynamic service "
+        "(started with serve --dynamic)",
+    )
+    update.add_argument("--host", default="127.0.0.1")
+    update.add_argument(
+        "--port", type=int, default=7313, help="port the service listens on"
+    )
+    update.add_argument(
+        "--updates",
+        default=None,
+        metavar="FILE",
+        help="JSONL file of GraphDelta payloads (keys add_edges, "
+        "remove_edges, reweight_edges, remove_nodes, add_nodes), "
+        "sent in order",
+    )
+    update.add_argument(
+        "--add-edge", action="append", default=[], metavar="U:V:P",
+        help="insert edge u->v with probability p (repeatable)",
+    )
+    update.add_argument(
+        "--remove-edge", action="append", default=[], metavar="U:V",
+        help="delete edge u->v (repeatable)",
+    )
+    update.add_argument(
+        "--reweight-edge", action="append", default=[], metavar="U:V:P",
+        help="set edge u->v's probability to p (repeatable)",
+    )
+    update.add_argument(
+        "--remove-node", action="append", default=[], metavar="ID", type=int,
+        help="isolate a node, dropping all its edges (repeatable)",
+    )
+    update.add_argument(
+        "--add-nodes", type=int, default=0, help="append this many fresh nodes"
+    )
+    update.add_argument(
+        "--compact",
+        action="store_true",
+        help="fold the service's overlay into a fresh base CSR afterwards",
     )
 
     validate = sub.add_parser("validate", help="Monte-Carlo validate seeds")
@@ -361,14 +417,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         method=args.method,
         executor=args.executor,
         cache_size=args.cache_size,
+        dynamic=args.dynamic,
     )
 
     async def run_server() -> None:
         frontend = ServingFrontend(service, host=args.host, port=args.port)
         await frontend.start()
+        mode = "dynamic" if args.dynamic else "static"
         print(
             f"serving {args.dataset} (n={dataset.graph.num_nodes}, "
-            f"machines={args.machines}) on {args.host}:{frontend.port} — "
+            f"machines={args.machines}, {mode}) on {args.host}:{frontend.port} — "
             'send {"op": "query", "kind": "diimm", "k": 20} per line; '
             "Ctrl-C to stop"
         )
@@ -380,6 +438,68 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print("\nshutting down")
     finally:
         service.close()
+    return 0
+
+
+def _cmd_update(args: argparse.Namespace) -> int:
+    import json
+
+    from .serve import request
+
+    def parse_edge(spec: str, with_prob: bool):
+        parts = spec.split(":")
+        expected = 3 if with_prob else 2
+        if len(parts) != expected:
+            raise ValueError(
+                f"expected {'U:V:P' if with_prob else 'U:V'}, got {spec!r}"
+            )
+        edge = [int(parts[0]), int(parts[1])]
+        if with_prob:
+            edge.append(float(parts[2]))
+        return edge
+
+    payloads = []
+    try:
+        if args.updates is not None:
+            with open(args.updates, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if line:
+                        payloads.append(json.loads(line))
+        inline = {
+            "add_edges": [parse_edge(s, True) for s in args.add_edge],
+            "remove_edges": [parse_edge(s, False) for s in args.remove_edge],
+            "reweight_edges": [parse_edge(s, True) for s in args.reweight_edge],
+            "remove_nodes": list(args.remove_node),
+            "add_nodes": args.add_nodes,
+        }
+        inline = {k: v for k, v in inline.items() if v}
+        if inline:
+            payloads.append(inline)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not payloads and not args.compact:
+        print("error: no updates given (see --updates / --add-edge ...)", file=sys.stderr)
+        return 2
+    for payload in payloads:
+        reply = request(args.port, {"op": "update", **payload}, host=args.host)
+        if not reply.get("ok"):
+            print(f"error: {reply.get('error')}", file=sys.stderr)
+            return 1
+        print(
+            f"graph v{reply['graph_version']}: {reply['num_changes']} changes, "
+            f"repaired {reply['repaired']}, evicted {reply['evicted']} cached results"
+        )
+    if args.compact:
+        reply = request(args.port, {"op": "compact"}, host=args.host)
+        if not reply.get("ok"):
+            print(f"error: {reply.get('error')}", file=sys.stderr)
+            return 1
+        print(
+            f"graph v{reply['graph_version']}: compacted to "
+            f"{reply['num_edges']} edges"
+        )
     return 0
 
 
@@ -398,4 +518,6 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_app(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "update":
+        return _cmd_update(args)
     return 2  # unreachable: argparse enforces the choices

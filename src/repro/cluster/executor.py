@@ -46,7 +46,7 @@ import numpy as np
 
 from ..ris import make_sampler
 from ..ris.flat import append_batch
-from ..ris.rrset import FlatBatch, RRSampler
+from ..ris.rrset import FlatBatch, RRSampler, sample_set_range
 from ..ris.wire import encoded_batch_nbytes
 from .cluster import MachineFailure, SimulatedCluster
 from .faults import (
@@ -98,6 +98,18 @@ class GeneratePhase:
         (default) appends to each machine's ``collection``.
     model, method:
         Sampler selection, as in :func:`repro.ris.make_sampler`.
+    rng_scheme:
+        ``"stream"`` (default) draws from each machine's sequential RNG
+        stream; ``"per-set"`` draws RR set ``i`` from its own
+        counter-based substream (:func:`repro.ris.rrset.per_set_rng`),
+        which is what makes sets individually regenerable after a graph
+        update.  Per-set phases require ``seed`` and ``starts``.
+    seed:
+        Base entropy for ``rng_scheme="per-set"``.
+    starts:
+        Per-machine index of the first set drawn by this phase
+        (``rng_scheme="per-set"`` only): machine ``m`` draws sets
+        ``starts[m] .. starts[m] + counts[m] - 1``.
     """
 
     label: str
@@ -105,6 +117,9 @@ class GeneratePhase:
     targets: Tuple[Any, ...] | None = None
     model: str = "ic"
     method: str = "bfs"
+    rng_scheme: str = "stream"
+    seed: int | None = None
+    starts: Tuple[int, ...] | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "counts", tuple(int(c) for c in self.counts))
@@ -112,6 +127,16 @@ class GeneratePhase:
             raise ValueError("generation counts must be >= 0")
         if self.targets is not None:
             object.__setattr__(self, "targets", tuple(self.targets))
+        if self.rng_scheme not in ("stream", "per-set"):
+            raise ValueError(f"unknown rng_scheme {self.rng_scheme!r}")
+        if self.rng_scheme == "per-set":
+            if self.seed is None or self.starts is None:
+                raise ValueError("per-set generation requires seed= and starts=")
+            object.__setattr__(self, "starts", tuple(int(s) for s in self.starts))
+            if len(self.starts) != len(self.counts):
+                raise ValueError("starts and counts must have one entry per machine")
+            if any(s < 0 for s in self.starts):
+                raise ValueError("per-set start indices must be >= 0")
 
 
 @dataclass(frozen=True)
@@ -226,6 +251,17 @@ class Executor(ABC):
             self._samplers[key] = make_sampler(self.graph, model=model, method=method)
         return self._samplers[key]
 
+    def refresh_graph(self) -> None:
+        """Drop per-graph caches after the graph mutated in place.
+
+        Samplers precompute traversal tables (overlay arrays, prefix
+        sums, ``p_max``) at construction, so every cached sampler is
+        stale once a :class:`~repro.graphs.digraph.GraphDelta` lands or
+        the graph is rebased.  The multiprocessing backend additionally
+        re-broadcasts the shared-memory block to its workers.
+        """
+        self._samplers = {}
+
     # -- phase dispatch -------------------------------------------------
     def run_phase(self, plan: PhasePlan) -> PhaseResult:
         """Execute one phase plan and return its metered outcome."""
@@ -237,6 +273,14 @@ class Executor(ABC):
             if plan.targets is not None and len(plan.targets) != self.num_machines:
                 raise ValueError(
                     f"expected {self.num_machines} generation targets, got {len(plan.targets)}"
+                )
+            if plan.rng_scheme == "per-set" and self.faults is not None:
+                # The fault machinery's snapshot/replay discipline manages
+                # sequential machine streams; per-set substreams are already
+                # replayable by construction, so the combination is refused
+                # rather than half-supported.
+                raise ValueError(
+                    "per-set generation does not compose with fault injection"
                 )
             return self._run_generate(plan)
         if isinstance(plan, MapPhase):
@@ -338,11 +382,21 @@ class SimulatedExecutor(Executor):
         sampler = self.sampler(plan.model, plan.method)
         targets = self._generation_targets(plan)
         counts = plan.counts
+        if plan.rng_scheme == "per-set":
+            seed, starts = plan.seed, plan.starts
 
-        def work(machine: Machine) -> int:
-            batch = sampler.sample_batch(machine.rng, counts[machine.machine_id])
-            append_batch(targets[machine.machine_id], batch)
-            return batch.count
+            def work(machine: Machine) -> int:
+                mid = machine.machine_id
+                batch = sample_set_range(sampler, seed, mid, starts[mid], counts[mid])
+                append_batch(targets[mid], batch)
+                return batch.count
+
+        else:
+
+            def work(machine: Machine) -> int:
+                batch = sampler.sample_batch(machine.rng, counts[machine.machine_id])
+                append_batch(targets[machine.machine_id], batch)
+                return batch.count
 
         results = self.cluster.map(GENERATION, plan.label, work)
         return self._result_from_last_phase(plan.label, results)
@@ -540,15 +594,30 @@ class MultiprocessingExecutor(Executor):
         if pool is not None:
             pool.close()
 
+    def refresh_graph(self) -> None:
+        super().refresh_graph()
+        if self._pool is not None:
+            self._pool.refresh_graph()
+
     def _run_generate(self, plan: GeneratePhase) -> PhaseResult:
         if self.faults is not None:
             return self._run_generate_with_faults(plan)
         targets = self._generation_targets(plan)
+        if plan.rng_scheme == "per-set":
+            # The worker resolves this token into per_set_rng substreams;
+            # the machines' sequential streams are never consumed, so no
+            # rng_state comes back.
+            rngs = [
+                ("per-set", plan.seed, machine.machine_id, plan.starts[machine.machine_id])
+                for machine in self.machines
+            ]
+        else:
+            rngs = [machine.rng for machine in self.machines]
         outcomes = self.pool.run(
             plan.model,
             plan.method,
             list(plan.counts),
-            [machine.rng for machine in self.machines],
+            rngs,
         )
         times = []
         results = []
@@ -558,7 +627,8 @@ class MultiprocessingExecutor(Executor):
                 raise MachineFailure(machine.machine_id, plan.label) from RuntimeError(
                     outcome.error
                 )
-            machine.set_rng_state(outcome.rng_state)
+            if outcome.rng_state is not None:
+                machine.set_rng_state(outcome.rng_state)
             append_batch(target, outcome.batch)
             times.append(outcome.elapsed * machine.slowdown)
             results.append(outcome.batch.count)

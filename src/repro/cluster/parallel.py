@@ -68,9 +68,9 @@ from typing import Any, Dict, List, NamedTuple, Sequence, Tuple
 
 import numpy as np
 
-from ..graphs.digraph import DirectedGraph, SharedGraphHandle
+from ..graphs.digraph import DirectedGraph, SharedGraphHandle, attach_shared
 from ..ris import make_sampler
-from ..ris.rrset import FlatBatch
+from ..ris.rrset import FlatBatch, sample_set_range
 from ..ris.serialization import (
     MESSAGE_HEADER_BYTES,
     PayloadCorruptionError,
@@ -113,7 +113,9 @@ _WORKER_SAMPLERS: Dict[Tuple[str, str], Any] = {}
 def _init_worker(graph_or_spec: Any, shared: bool) -> None:
     global _WORKER_GRAPH
     if shared:
-        _WORKER_GRAPH = DirectedGraph.from_shared(graph_or_spec)
+        # The spec's "kind" decides whether this is a plain CSR block or a
+        # versioned base+overlay export.
+        _WORKER_GRAPH = attach_shared(graph_or_spec)
     else:
         _WORKER_GRAPH = graph_or_spec
     _WORKER_SAMPLERS.clear()
@@ -135,8 +137,16 @@ def _worker_generate(
         if sampler is None:
             sampler = make_sampler(_WORKER_GRAPH, model=model, method=method)
             _WORKER_SAMPLERS[(model, method)] = sampler
-        batch = sampler.sample_batch(rng, count)
-        payload = pack_message((encode_batch(batch), rng.bit_generator.state))
+        if isinstance(rng, tuple) and rng and rng[0] == "per-set":
+            # Per-set token ("per-set", seed, machine_id, start): each RR
+            # set comes from its own counter-based substream, so no
+            # sequential rng state travels either way.
+            __, seed, token_machine, start_index = rng
+            batch = sample_set_range(sampler, seed, token_machine, start_index, count)
+            payload = pack_message((encode_batch(batch), None))
+        else:
+            batch = sampler.sample_batch(rng, count)
+            payload = pack_message((encode_batch(batch), rng.bit_generator.state))
     except Exception as exc:  # shipped back; the executor decides recovery
         prefix = "crash: " if directive == CRASH else ""
         return (
@@ -249,6 +259,20 @@ class GenerationPool:
         if pool is not None:
             pool.terminate()
             pool.join()
+
+    def refresh_graph(self) -> None:
+        """Re-broadcast the graph after it mutated in place.
+
+        The shared-memory export is a snapshot, so workers attached to
+        it keep sampling the old graph after a
+        :class:`~repro.graphs.digraph.GraphDelta` lands.  Discarding the
+        workers and the block makes the next phase export the graph's
+        current state and start a fresh pool against it.
+        """
+        self._discard_pool()
+        handle, self._handle = self._handle, None
+        if handle is not None:
+            handle.unlink()
 
     def run(
         self,

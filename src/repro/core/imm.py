@@ -140,11 +140,11 @@ def imm_from_config(config: RunConfig, *, executor=None, pool=None) -> IMResult:
         if executor is not None:
             raise ValueError("pass either executor or pool, not both")
         pool.check_config(config, machines=1)
-        if pool.rng_scheme != "legacy-imm":
+        if pool.rng_scheme not in ("legacy-imm", "per-set"):
             raise ValueError(
                 "IMM warm pools must use rng_scheme='legacy-imm' (the "
-                "baseline's historical stream); got "
-                f"{pool.rng_scheme!r}"
+                "baseline's historical stream) or 'per-set' (dynamic "
+                f"serving's repairable substreams); got {pool.rng_scheme!r}"
             )
         with pool.query_metrics() as metrics:
             driver = RoundDriver(

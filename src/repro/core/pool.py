@@ -34,6 +34,24 @@ Bit-for-bit warm/cold equivalence holds for the per-set generation
 methods (``bfs``, ``subsim``) only; the blocked ``vectorized`` sampler
 consumes randomness per wave, so pools refuse it rather than silently
 weakening the correctness anchor.
+
+Dynamic graphs
+--------------
+A pool built with ``rng_scheme="per-set"`` over a
+:class:`~repro.graphs.digraph.VersionedGraph` survives graph updates:
+every RR set is drawn from its own counter-based substream
+(:func:`~repro.ris.rrset.per_set_rng`), so when
+:meth:`apply_update` lands a :class:`~repro.graphs.digraph.GraphDelta`
+the pool regenerates *only* the sets whose traversal consulted a
+changed in-row (:meth:`FlatRRCollection.affected_sets
+<repro.ris.flat.FlatRRCollection.affected_sets>`) and splices them in
+place under stable ids (:meth:`~repro.ris.flat.FlatRRCollection.replace_sets`).
+Donated coverage snapshots are repaired by retraction deltas instead of
+being discarded, and the pool's :meth:`signature` carries an update
+epoch so the serving layer's result cache misses exactly the entries a
+repair invalidated.  The differential anchor: a repaired warm pool is
+bit-identical to a pool built cold on the already-updated graph with
+the same seed and schedule.
 """
 
 from __future__ import annotations
@@ -49,8 +67,9 @@ from ..cluster.executor import GeneratePhase, MapPhase, make_executor
 from ..cluster.metrics import GENERATION, RunMetrics
 from ..cluster.network import NetworkModel
 from ..coverage.state import CoverageState
-from ..ris.flat import FlatPrefixView, FlatRRCollection, append_batch
-from ..ris.rrset import RRSampler
+from ..graphs.digraph import GraphDelta, VersionedGraph
+from ..ris.flat import FlatPrefixView, FlatRRCollection, append_batch, gather_rows
+from ..ris.rrset import RRSampler, concat_batches, sample_set_range
 
 __all__ = ["SamplePool", "PREFIX_DETERMINISTIC_METHODS", "RNG_SCHEMES"]
 
@@ -61,8 +80,11 @@ PREFIX_DETERMINISTIC_METHODS: Tuple[str, ...] = ("bfs", "subsim")
 #: How the pool seeds its machines: ``"cluster"`` spawns per-machine
 #: streams from the cluster seed sequence (every distributed algorithm);
 #: ``"legacy-imm"`` seeds machine 0 directly (the single-machine IMM
-#: baseline's historical stream).
-RNG_SCHEMES: Tuple[str, ...] = ("cluster", "legacy-imm")
+#: baseline's historical stream); ``"per-set"`` draws RR set ``i`` of
+#: machine ``m`` from its own counter-based substream
+#: (:func:`~repro.ris.rrset.per_set_rng`), which is what makes sets
+#: individually regenerable after a graph update (:meth:`SamplePool.repair`).
+RNG_SCHEMES: Tuple[str, ...] = ("cluster", "legacy-imm", "per-set")
 
 #: Donated coverage snapshots kept per collection key.
 MAX_CACHED_COVERAGE = 4
@@ -92,6 +114,11 @@ class SamplePool:
         Optional custom :class:`~repro.ris.rrset.RRSampler` (e.g. a
         :class:`~repro.applications.targeted.TargetedSampler`) used for
         generation instead of the executor's ``(model, method)`` one.
+    sampler_factory:
+        Optional ``graph -> RRSampler`` callable building the custom
+        sampler; required instead of ``sampler`` when the pool must
+        survive graph updates (:meth:`repair` rebuilds the sampler
+        against the mutated graph, which a fixed instance cannot do).
     """
 
     def __init__(
@@ -107,6 +134,7 @@ class SamplePool:
         network: NetworkModel | None = None,
         rng_scheme: str = "cluster",
         sampler: RRSampler | None = None,
+        sampler_factory=None,
         start_method: str | None = None,
         zero_copy: bool | None = None,
     ) -> None:
@@ -140,11 +168,19 @@ class SamplePool:
             start_method=start_method,
             zero_copy=zero_copy,
         )
-        self._sampler = sampler
+        if sampler is not None and sampler_factory is not None:
+            raise ValueError("pass either sampler or sampler_factory, not both")
+        self._sampler_factory = sampler_factory
+        self._sampler = (
+            sampler_factory(graph) if sampler_factory is not None else sampler
+        )
         self._stores: Dict[str, List[FlatRRCollection]] = {}
         self._coverage_cache: Dict[str, List[CoverageState]] = {}
         self._lock = threading.RLock()
         self.queries_served = 0
+        #: Number of graph updates repaired into the pool; part of
+        #: :meth:`signature` so repaired contents miss stale cache entries.
+        self.updates = 0
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -177,15 +213,23 @@ class SamplePool:
                 for key, stores in self._stores.items()
             }
 
-    def signature(self) -> Tuple[Tuple[str, Tuple[int, ...]], ...]:
-        """A hashable snapshot of the pool's contents — the pool-size
-        component of the serving layer's query-cache key."""
+    def signature(self) -> Tuple:
+        """A hashable snapshot of the pool's contents — the pool-state
+        component of the serving layer's query-cache key.
+
+        Covers per-key collection sizes *and* the update epoch: an
+        in-place repair keeps every size but rewrites contents, so the
+        epoch is what makes pre-update cache entries miss.
+        """
         with self._lock:
-            return tuple(
-                sorted(
-                    (key, tuple(store.num_sets for store in stores))
-                    for key, stores in self._stores.items()
-                )
+            return (
+                self.updates,
+                tuple(
+                    sorted(
+                        (key, tuple(store.num_sets for store in stores))
+                        for key, stores in self._stores.items()
+                    )
+                ),
             )
 
     # ------------------------------------------------------------------
@@ -237,6 +281,8 @@ class SamplePool:
             total = sum(counts)
             if total == 0:
                 return 0
+            per_set = self.rng_scheme == "per-set"
+            starts = tuple(store.num_sets for store in stores)
             if self._sampler is None:
                 self.executor.run_phase(
                     GeneratePhase(
@@ -245,20 +291,178 @@ class SamplePool:
                         targets=tuple(stores),
                         model=self.model,
                         method=self.method,
+                        rng_scheme="per-set" if per_set else "stream",
+                        seed=self.seed if per_set else None,
+                        starts=starts if per_set else None,
                     )
                 )
             else:
                 sampler = self._sampler
+                seed = self.seed
 
                 def top_up(machine) -> int:
-                    count = counts[machine.machine_id]
+                    mid = machine.machine_id
+                    count = counts[mid]
                     if count:
-                        batch = sampler.sample_batch(machine.rng, count)
-                        append_batch(stores[machine.machine_id], batch)
+                        if per_set:
+                            batch = sample_set_range(
+                                sampler, seed, mid, starts[mid], count
+                            )
+                        else:
+                            batch = sampler.sample_batch(machine.rng, count)
+                        append_batch(stores[mid], batch)
                     return count
 
                 self.executor.run_phase(MapPhase(label, top_up, category=GENERATION))
             return total
+
+    # ------------------------------------------------------------------
+    # Dynamic-graph repair
+    # ------------------------------------------------------------------
+    def apply_update(self, delta: GraphDelta) -> Dict[str, int]:
+        """Land ``delta`` on the pool's graph and repair every collection.
+
+        The graph must be a :class:`~repro.graphs.digraph.VersionedGraph`
+        (it mutates in place, preserving the identity
+        :meth:`check_config` pins).  Returns, per collection key, how
+        many RR sets were regenerated.
+        """
+        with self._lock:
+            if not isinstance(self.graph, VersionedGraph):
+                raise TypeError(
+                    "apply_update needs a VersionedGraph; wrap the base graph "
+                    "in VersionedGraph(graph) when building the pool"
+                )
+            touched = self.graph.apply(delta)
+            return self.repair(touched)
+
+    def repair(self, touched=None) -> Dict[str, int]:
+        """Regenerate the RR sets invalidated by a graph mutation.
+
+        ``touched`` is what :meth:`VersionedGraph.apply
+        <repro.graphs.digraph.VersionedGraph.apply>` returned: the
+        ascending node ids whose in-rows changed, or ``None`` for full
+        invalidation (node additions).  Only sets containing a touched
+        node are redrawn — from the same per-set substreams a cold pool
+        on the updated graph would use — and spliced in place under
+        stable ids, so repaired collections are bit-identical to cold
+        regeneration.  Donated coverage snapshots are patched by
+        retraction deltas (full invalidation drops them instead).
+        Requires ``rng_scheme="per-set"``; metered as generation phases
+        in the pool's lifetime metrics.
+        """
+        with self._lock:
+            if self.rng_scheme != "per-set":
+                raise ValueError(
+                    "in-place repair requires rng_scheme='per-set' (sequential "
+                    f"machine streams cannot redraw single sets), got "
+                    f"{self.rng_scheme!r}"
+                )
+            self.executor.refresh_graph()
+            if self._sampler_factory is not None:
+                self._sampler = self._sampler_factory(self.graph)
+            elif self._sampler is not None:
+                raise ValueError(
+                    "the pool's fixed custom sampler cannot be rebuilt against "
+                    "the updated graph; construct the pool with "
+                    "sampler_factory= instead of sampler="
+                )
+            repaired: Dict[str, int] = {}
+            for key in list(self._stores):
+                stores = self._stores[key]
+                sampler = (
+                    self._sampler
+                    if self._sampler is not None
+                    else self.executor.sampler(self.model, self.method)
+                )
+                if touched is None:
+                    repaired[key] = self._regenerate_all(key, stores, sampler)
+                else:
+                    repaired[key] = self._repair_touched(key, stores, sampler, touched)
+            if touched is None:
+                self._coverage_cache.clear()
+            # A repair that rewrote nothing left every collection — and
+            # therefore every cached result — bit-identical, so the epoch
+            # (and with it the serving cache) only moves on real rewrites.
+            if touched is None or any(repaired.values()):
+                self.updates += 1
+            return repaired
+
+    def _repair_touched(
+        self,
+        key: str,
+        stores: List[FlatRRCollection],
+        sampler: RRSampler,
+        touched: np.ndarray,
+    ) -> int:
+        """Redraw and splice the sets containing a touched node."""
+        seed = self.seed
+        cache = tuple(self._coverage_cache.get(key, ()))
+
+        def regen(machine) -> int:
+            mid = machine.machine_id
+            store = stores[mid]
+            ids = store.affected_sets(touched)
+            if ids.size == 0:
+                return 0
+            # Old contents (id order) for the coverage retraction deltas.
+            old_nodes = gather_rows(store.nodes, store.offsets, ids)
+            old_sizes = store.offsets[ids + 1] - store.offsets[ids]
+            old_bounds = np.concatenate(([0], np.cumsum(old_sizes)))
+            # Redraw each contiguous id run from its own substreams.
+            runs = np.split(ids, np.flatnonzero(np.diff(ids) != 1) + 1)
+            batch = concat_batches(
+                [
+                    sample_set_range(sampler, seed, mid, int(run[0]), run.size)
+                    for run in runs
+                ]
+            )
+            store.replace_sets(ids, batch)
+            for state in cache:
+                # Only ids below the snapshot's watermark were ever
+                # ingested; retract their old contents, add the new.
+                below = int(np.searchsorted(ids, state.watermarks[mid]))
+                if below:
+                    state.repair(
+                        mid,
+                        old_nodes[: old_bounds[below]],
+                        batch.nodes[: batch.offsets[below]],
+                    )
+            return int(ids.size)
+
+        results = self.executor.run_phase(
+            MapPhase(f"pool/repair/{key}", regen, category=GENERATION)
+        ).results
+        return int(sum(results))
+
+    def _regenerate_all(
+        self, key: str, stores: List[FlatRRCollection], sampler: RRSampler
+    ) -> int:
+        """Full invalidation: rebuild each machine's collection cold.
+
+        Node additions change the root-draw range (and possibly the node
+        universe the stores validate against), so every set is redrawn
+        into a fresh collection of the graph's current size; set counts
+        are preserved so outstanding schedules resume unchanged.
+        """
+        seed = self.seed
+        num_nodes = self.num_nodes
+        counts = [store.num_sets for store in stores]
+
+        def rebuild(machine) -> int:
+            mid = machine.machine_id
+            fresh = FlatRRCollection(num_nodes)
+            if counts[mid]:
+                append_batch(
+                    fresh, sample_set_range(sampler, seed, mid, 0, counts[mid])
+                )
+            stores[mid] = fresh
+            return counts[mid]
+
+        results = self.executor.run_phase(
+            MapPhase(f"pool/rebuild/{key}", rebuild, category=GENERATION)
+        ).results
+        return int(sum(results))
 
     # ------------------------------------------------------------------
     # Coverage snapshot cache

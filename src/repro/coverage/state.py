@@ -151,6 +151,32 @@ class CoverageState:
                 apply_sparse_delta(self.counts, nodes, counts)
         self.watermarks = [store.num_sets for store in stores]
 
+    def repair(
+        self,
+        machine_id: int,
+        old_nodes: np.ndarray,
+        new_nodes: np.ndarray,
+    ) -> None:
+        """Retraction delta: swap one machine's repaired set contents.
+
+        When a graph update regenerates RR sets *below* this state's
+        watermark, their old contributions are subtracted and the new
+        ones added — no rebuild.  ``old_nodes`` / ``new_nodes`` are the
+        concatenated contents of the replaced sets before and after the
+        repair (set ids are stable, so membership counts are all that
+        changes).  Sets at or above the watermark were never ingested
+        and need no retraction.
+        """
+        if not 0 <= machine_id < self.num_machines:
+            raise ValueError(f"machine_id {machine_id} out of range")
+        self._ensure_owned()
+        old_nodes = np.asarray(old_nodes, dtype=np.int64)
+        new_nodes = np.asarray(new_nodes, dtype=np.int64)
+        if old_nodes.size:
+            self.counts -= np.bincount(old_nodes, minlength=self.num_nodes)
+        if new_nodes.size:
+            self.counts += np.bincount(new_nodes, minlength=self.num_nodes)
+
     def rebuild_from(self, stores: Sequence) -> np.ndarray:
         """Oracle path: re-aggregate the counts from the full stores.
 

@@ -19,6 +19,7 @@ from .ablations import (
     epsilon_sweep,
     heterogeneity,
     lazy_vs_naive_greedy,
+    static_vs_dynamic_updates,
     subsim_vs_bfs_generation,
     traffic_tuple_vs_dense,
     workload_balance,
@@ -56,6 +57,7 @@ __all__ = [
     "workload_balance",
     "heterogeneity",
     "epsilon_sweep",
+    "static_vs_dynamic_updates",
     "seed_quality_comparison",
     "framework_comparison",
     "communication_scaling",

@@ -2,7 +2,13 @@
 
 from .builder import GraphBuilder
 from .datasets import DATASET_NAMES, Dataset, dataset_summary, load_dataset
-from .digraph import DirectedGraph, SharedGraphHandle
+from .digraph import (
+    DirectedGraph,
+    GraphDelta,
+    SharedGraphHandle,
+    VersionedGraph,
+    attach_shared,
+)
 from .generators import (
     barabasi_albert,
     chung_lu,
@@ -30,7 +36,10 @@ from .weights import trivalency, uniform, weighted_cascade
 
 __all__ = [
     "DirectedGraph",
+    "GraphDelta",
+    "VersionedGraph",
     "SharedGraphHandle",
+    "attach_shared",
     "GraphBuilder",
     "Dataset",
     "DATASET_NAMES",

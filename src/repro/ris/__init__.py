@@ -4,7 +4,15 @@ from .collection import RRCollection
 from .flat import FlatPrefixView, FlatRRCollection, append_batch, make_collection
 from .ic_sampler import ICReverseBFSSampler
 from .lt_sampler import LTReverseWalkSampler
-from .rrset import FlatBatch, RRSample, RRSampler, pack_samples
+from .rrset import (
+    FlatBatch,
+    RRSample,
+    RRSampler,
+    concat_batches,
+    pack_samples,
+    per_set_rng,
+    sample_set_range,
+)
 from .stats import (
     RRSetStatistics,
     collect_statistics,
@@ -39,6 +47,9 @@ __all__ = [
     "RRSample",
     "RRSampler",
     "pack_samples",
+    "per_set_rng",
+    "sample_set_range",
+    "concat_batches",
     "append_batch",
     "ICReverseBFSSampler",
     "LTReverseWalkSampler",
@@ -87,6 +98,15 @@ def make_sampler(graph, model: str = "ic", method: str = "bfs") -> RRSampler:
         sets per NumPy call; see :mod:`repro.ris.vectorized`).
     """
     model_key, method_key = model.lower(), method.lower()
+    if method_key == "vectorized":
+        from ..graphs.digraph import VersionedGraph
+
+        if isinstance(graph, VersionedGraph):
+            raise ValueError(
+                "the vectorized kernels read base CSR arrays only and cannot "
+                "traverse a VersionedGraph overlay; call graph.compact() (or "
+                "rebase()) and sample the compacted graph instead"
+            )
     if model_key == "lt":
         if method_key == "subsim":
             raise ValueError("SUBSIM subset sampling applies to the IC model only")

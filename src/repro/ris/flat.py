@@ -9,13 +9,23 @@ built in one shot with a stable ``np.argsort`` over the nodes array plus
 an ``np.bincount`` prefix sum, instead of the reference
 :class:`~repro.ris.collection.RRCollection`'s per-node Python lists.
 
-The collection stays append-only like the reference store: DIIMM grows
-``R_i`` in waves, so appends are buffered and both CSR structures are
-rebuilt lazily on the next read.  With ``W`` waves over ``T`` total
-incidences the rebuild work is ``O(W * T)`` — negligible next to
-generation — and every read between waves hits pure NumPy arrays, which
-is what lets :mod:`repro.coverage.kernel` replace the per-element Python
-loops of the greedy hot path with fancy indexing.
+The collection grows append-mostly: DIIMM grows ``R_i`` in waves, so
+appends are buffered and both CSR structures are rebuilt lazily on the
+next read.  With ``W`` waves over ``T`` total incidences the rebuild
+work is ``O(W * T)`` — negligible next to generation — and every read
+between waves hits pure NumPy arrays, which is what lets
+:mod:`repro.coverage.kernel` replace the per-element Python loops of the
+greedy hot path with fancy indexing.
+
+Since the dynamic-graph work the store also *repairs* in place: when a
+:class:`~repro.graphs.digraph.GraphDelta` lands, :meth:`affected_sets`
+resolves which RR sets consulted a changed in-row (the node-keyed
+inverted index doubles as the edge→RR-set index, because a reverse
+traversal examines the in-rows of exactly the nodes it collects),
+:meth:`replace_sets` splices their regenerated contents over the old
+ones — set ids stay stable — and :meth:`invalidate` tombstones sets
+(contents cleared, id kept) when regeneration is deferred.
+:meth:`compact` drops accumulated tombstones and renumbers.
 
 Ordering invariants (relied on by the exactness tests):
 
@@ -73,7 +83,7 @@ def gather_rows(values: np.ndarray, offsets: np.ndarray, rows: np.ndarray) -> np
 
 
 class FlatRRCollection:
-    """An append-only RR-set store over flat CSR arrays.
+    """An RR-set store over flat CSR arrays: append-mostly, repairable.
 
     Implements the same read protocol as :class:`RRCollection`
     (``num_nodes`` / ``num_sets`` / ``total_size`` / ``get`` /
@@ -81,6 +91,13 @@ class FlatRRCollection:
     coverage algorithm accepts either store; the flat kernel additionally
     reads the raw arrays via :attr:`nodes`, :attr:`offsets`,
     :attr:`inv_sets` and :attr:`inv_offsets`.
+
+    Mutation is appends (:meth:`add` / :meth:`append_arrays`) plus the
+    dynamic-graph repair surface: :meth:`replace_sets` rewrites chosen
+    sets in place under stable ids, :meth:`invalidate` tombstones them,
+    and :meth:`compact` drops tombstones.  In-place mutation invalidates
+    any outstanding :class:`FlatPrefixView` over this store — build
+    views after repairing, as the sample pool does.
     """
 
     def __init__(self, num_nodes: int) -> None:
@@ -107,6 +124,7 @@ class FlatRRCollection:
         self._num_sets = 0
         self._total_size = 0
         self._total_edges_examined = 0
+        self._num_tombstones = 0
 
     # ------------------------------------------------------------------
     # Mutation
@@ -210,6 +228,9 @@ class FlatRRCollection:
             [self._edges_cumsum, self._edges_cumsum[-1] + np.cumsum(per_set_edges)]
         )
         self._pending_edges = []
+        self._rebuild_index()
+
+    def _rebuild_index(self) -> None:
         # CSR inverted index: stable sort keeps element ids ascending
         # within each node bucket, matching the reference I_i(v) order.
         order = np.argsort(self._nodes, kind="stable")
@@ -220,6 +241,144 @@ class FlatRRCollection:
         counts = np.bincount(self._nodes, minlength=self._num_nodes)
         self._inv_offsets = np.zeros(self._num_nodes + 1, dtype=np.int64)
         np.cumsum(counts, out=self._inv_offsets[1:])
+
+    # ------------------------------------------------------------------
+    # Repair surface (dynamic graphs)
+    # ------------------------------------------------------------------
+    def affected_sets(self, touched) -> np.ndarray:
+        """Element ids of RR sets whose traversal consulted a changed row.
+
+        ``touched`` is what :meth:`VersionedGraph.apply
+        <repro.graphs.digraph.VersionedGraph.apply>` returned: the
+        ascending node ids whose in-rows changed, or ``None`` meaning
+        every set.  A reverse traversal examines the in-rows of exactly
+        the nodes it collects, so a set consulted a changed row iff it
+        *contains* a touched node — the node-keyed inverted index is the
+        edge→RR-set index.
+        """
+        self._materialize()
+        if touched is None:
+            return np.arange(self._num_sets, dtype=np.int64)
+        touched = np.asarray(touched, dtype=np.int64)
+        touched = touched[(touched >= 0) & (touched < self._num_nodes)]
+        hits = gather_rows(self._inv_sets, self._inv_offsets, touched)
+        return np.unique(hits)
+
+    def replace_sets(self, set_ids, batch: FlatBatch) -> None:
+        """Rewrite the contents of ``set_ids`` (ascending) in place.
+
+        The ``pos``-th set of ``batch`` becomes the new content of
+        ``set_ids[pos]``; ids and set count are unchanged, so seed sets
+        and coverage element ids stay comparable across the repair.
+        Outstanding prefix views over this store become stale — rebuild
+        them afterwards.
+        """
+        self._materialize()
+        ids = np.asarray(set_ids, dtype=np.int64)
+        if ids.size == 0:
+            if batch.count:
+                raise ValueError(f"batch has {batch.count} sets for 0 ids")
+            return
+        if ids.size > 1 and np.any(np.diff(ids) <= 0):
+            raise ValueError("set_ids must be strictly ascending")
+        if int(ids[0]) < 0 or int(ids[-1]) >= self._num_sets:
+            raise IndexError(f"set ids out of range [0, {self._num_sets})")
+        if batch.count != ids.size:
+            raise ValueError(f"batch has {batch.count} sets for {ids.size} ids")
+        new_nodes = self._validate(batch.nodes)
+        old_sizes = np.diff(self._offsets)
+        new_sizes = np.diff(batch.offsets)
+        tombstone_delta = int(
+            np.count_nonzero(new_sizes == 0) - np.count_nonzero(old_sizes[ids] == 0)
+        )
+        # Splice: alternate unchanged spans with the replacement rows.
+        parts = []
+        prev = 0
+        for pos in range(ids.size):
+            sid = int(ids[pos])
+            parts.append(self._nodes[self._offsets[prev] : self._offsets[sid]])
+            parts.append(new_nodes[batch.offsets[pos] : batch.offsets[pos + 1]])
+            prev = sid + 1
+        parts.append(self._nodes[self._offsets[prev] :])
+        self._nodes = np.concatenate(parts)
+        sizes = old_sizes
+        sizes[ids] = new_sizes
+        self._offsets = np.zeros(sizes.size + 1, dtype=np.int64)
+        np.cumsum(sizes, out=self._offsets[1:])
+        self._total_size = int(self._offsets[-1])
+        per_set_edges = np.diff(self._edges_cumsum)
+        per_set_edges[ids] = batch.edges_examined
+        self._edges_cumsum = np.zeros(per_set_edges.size + 1, dtype=np.int64)
+        np.cumsum(per_set_edges, out=self._edges_cumsum[1:])
+        self._total_edges_examined = int(self._edges_cumsum[-1])
+        self._num_tombstones += tombstone_delta
+        self._rebuild_index()
+
+    def invalidate(self, set_ids) -> int:
+        """Tombstone the given sets: contents cleared, ids kept.
+
+        A tombstone is a logically empty set (real RR sets always contain
+        their root, so emptiness is unambiguous); its edge accounting is
+        zeroed.  Returns how many sets were *newly* tombstoned.  Used
+        when regeneration is deferred; the pool's repair path instead
+        regenerates and calls :meth:`replace_sets` directly.
+        """
+        ids = np.unique(np.asarray(set_ids, dtype=np.int64))
+        if ids.size == 0:
+            return 0
+        before = self._num_tombstones
+        empty = FlatBatch(
+            np.zeros(0, dtype=np.int32),
+            np.zeros(ids.size + 1, dtype=np.int64),
+            np.full(ids.size, -1, dtype=np.int64),
+            np.zeros(ids.size, dtype=np.int64),
+        )
+        self.replace_sets(ids, empty)
+        return self._num_tombstones - before
+
+    def compact(self) -> np.ndarray:
+        """Drop tombstoned sets, re-packing the CSR arrays.
+
+        Returns the old→new id mapping (length: old ``num_sets``; ``-1``
+        for dropped sets).  Tombstones hold no node content, so only the
+        offset/edge bookkeeping shrinks; the byte accounting is asserted.
+        """
+        self._materialize()
+        sizes = np.diff(self._offsets)
+        keep = np.flatnonzero(sizes > 0)
+        mapping = np.full(self._num_sets, -1, dtype=np.int64)
+        mapping[keep] = np.arange(keep.size, dtype=np.int64)
+        if keep.size == self._num_sets:
+            self._num_tombstones = 0
+            return mapping
+        bytes_before = self.nbytes()
+        per_set_edges = np.diff(self._edges_cumsum)
+        self._offsets = np.zeros(keep.size + 1, dtype=np.int64)
+        np.cumsum(sizes[keep], out=self._offsets[1:])
+        self._edges_cumsum = np.zeros(keep.size + 1, dtype=np.int64)
+        np.cumsum(per_set_edges[keep], out=self._edges_cumsum[1:])
+        self._num_sets = int(keep.size)
+        self._total_size = int(self._offsets[-1])
+        self._total_edges_examined = int(self._edges_cumsum[-1])
+        self._num_tombstones = 0
+        self._rebuild_index()
+        # Byte accounting: all node content was live (tombstones are
+        # empty), so the nodes array is untouched and every index array
+        # shrank or stayed; nothing may have grown.
+        assert int(self._offsets[-1]) == self._nodes.size
+        assert self.nbytes() <= bytes_before, "compact grew the store"
+        return mapping
+
+    def nbytes(self) -> int:
+        """Bytes held by the materialized CSR arrays."""
+        self._materialize()
+        return int(
+            self._nodes.nbytes
+            + self._offsets.nbytes
+            + self._inv_sets.nbytes
+            + self._inv_offsets.nbytes
+            + self._edges_cumsum.nbytes
+        )
 
     # ------------------------------------------------------------------
     # Raw CSR access (the kernel's view)
@@ -259,6 +418,16 @@ class FlatRRCollection:
     def num_sets(self) -> int:
         """Number of RR sets stored (``|R_i|``)."""
         return self._num_sets
+
+    @property
+    def num_tombstones(self) -> int:
+        """Number of tombstoned (logically empty) sets awaiting compaction."""
+        return self._num_tombstones
+
+    @property
+    def num_live_sets(self) -> int:
+        """Stored sets minus tombstones."""
+        return self._num_sets - self._num_tombstones
 
     @property
     def total_size(self) -> int:
@@ -395,9 +564,14 @@ class FlatPrefixView:
     same work a cold run's per-round materialize does), or borrowed from
     the backing store when the view covers it entirely.
 
-    Limits only grow (:meth:`set_limit`), mirroring the append-only
-    store, and must never exceed the backing store's current size — the
-    pool tops the store up *before* advancing any view.
+    Limits only grow (:meth:`set_limit`), matching the store's
+    append-mostly growth, and must never exceed the backing store's
+    current size — the pool tops the store up *before* advancing any
+    view.  A view does **not** survive in-place repair: after
+    :meth:`FlatRRCollection.replace_sets` / :meth:`~FlatRRCollection.compact`
+    its sliced arrays and cached prefix index describe the old contents,
+    so repair-capable callers (the sample pool) build a fresh view per
+    query and never hold one across an update.
     """
 
     def __init__(self, store: FlatRRCollection, limit: int = 0) -> None:

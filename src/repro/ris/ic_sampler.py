@@ -40,10 +40,28 @@ def _grow(buffer: np.ndarray, used: int, needed: int) -> np.ndarray:
 
 
 class ICReverseBFSSampler(RRSampler):
-    """Stochastic reverse BFS sampler for the IC model."""
+    """Stochastic reverse BFS sampler for the IC model.
+
+    Works on plain CSR graphs and on versioned graphs: traversal arrays
+    come from ``graph.in_csr()``, and when an overlay is present each
+    wave resolves patched in-rows through it.  The coins of a wave are
+    mapped to edges in frontier order with each row's order preserved,
+    so the RNG stream matches a plain sampler on the compacted graph.
+    """
 
     def __init__(self, graph: DirectedGraph) -> None:
         super().__init__(graph)
+        self._indptr, self._indices, self._probs, overlay = graph.in_csr()
+        if overlay is None:
+            self._ov_lookup = None
+            self._ov_indptr = self._ov_indices = self._ov_probs = None
+        else:
+            (
+                self._ov_lookup,
+                self._ov_indptr,
+                self._ov_indices,
+                self._ov_probs,
+            ) = overlay
         self._visited = np.zeros(graph.num_nodes, dtype=bool)
         # True while a draw is in flight; a draw that raised mid-BFS leaves
         # it set, and the next draw hard-resets the scratch bitmap instead
@@ -52,15 +70,50 @@ class ICReverseBFSSampler(RRSampler):
         # Lazy plain-Python indptr copy for sample_batch's single-node
         # frontier fast path (list scalar reads beat numpy scalar reads).
         self._indptr_list: list[int] | None = None
+        self._ov_lists: tuple | None = None
 
     def _reset_scratch(self) -> None:
         if self._scratch_dirty:
             self._visited[:] = False
         self._scratch_dirty = True
 
+    def _frontier_rows(self, frontier: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """``(probs, indices)`` of the frontier's in-edges, frontier order.
+
+        Clean frontiers (no patched row) keep the one-shot vectorised
+        gather over the base CSR; a frontier containing patched rows is
+        assembled row-by-row so overlay rows substitute their base rows
+        in place, preserving the coin-to-edge order.
+        """
+        lookup = self._ov_lookup
+        if lookup is None or not np.any(lookup[frontier] >= 0):
+            indptr = self._indptr
+            starts = indptr[frontier]
+            counts = indptr[frontier + 1] - starts
+            ends = counts.cumsum()
+            total = int(ends[-1])
+            if total == 0:
+                return np.zeros(0, dtype=np.float64), np.zeros(0, dtype=np.int32)
+            edge_idx = starts.repeat(counts) + (
+                np.arange(total) - (ends - counts).repeat(counts)
+            )
+            return self._probs[edge_idx], self._indices[edge_idx]
+        prob_parts = []
+        idx_parts = []
+        for node in frontier:
+            row = int(lookup[node])
+            if row >= 0:
+                start, stop = self._ov_indptr[row], self._ov_indptr[row + 1]
+                prob_parts.append(self._ov_probs[start:stop])
+                idx_parts.append(self._ov_indices[start:stop])
+            else:
+                start, stop = self._indptr[node], self._indptr[node + 1]
+                prob_parts.append(self._probs[start:stop])
+                idx_parts.append(self._indices[start:stop])
+        return np.concatenate(prob_parts), np.concatenate(idx_parts)
+
     def sample(self, rng: np.random.Generator, root: int | None = None) -> RRSample:
         """Draw one RR set; ``root`` can be pinned for testing."""
-        graph = self.graph
         if root is None:
             root = self.sample_root(rng)
         self._reset_scratch()
@@ -70,20 +123,14 @@ class ICReverseBFSSampler(RRSampler):
         frontier = np.asarray([root], dtype=np.int64)
         edges_examined = 0
 
-        indptr, indices, probs = graph.in_indptr, graph.in_indices, graph.in_probs
         while frontier.size:
-            starts = indptr[frontier]
-            stops = indptr[frontier + 1]
-            counts = stops - starts
-            total = int(counts.sum())
+            row_probs, row_indices = self._frontier_rows(frontier)
+            total = int(row_probs.size)
             edges_examined += total
             if total == 0:
                 break
-            offsets = np.repeat(starts, counts)
-            within = np.arange(total) - np.repeat(np.cumsum(counts) - counts, counts)
-            edge_idx = offsets + within
-            success = rng.random(total) < probs[edge_idx]
-            reached = indices[edge_idx[success]]
+            success = rng.random(total) < row_probs
+            reached = row_indices[success]
             if reached.size == 0:
                 break
             reached = np.unique(reached)
@@ -111,12 +158,19 @@ class ICReverseBFSSampler(RRSampler):
         """
         if count < 0:
             raise ValueError(f"count must be >= 0, got {count}")
-        graph = self.graph
-        n = graph.num_nodes
-        indptr, indices, probs = graph.in_indptr, graph.in_indices, graph.in_probs
+        n = self.graph.num_nodes
+        indices, probs = self._indices, self._probs
         if self._indptr_list is None:
-            self._indptr_list = indptr.tolist()
+            self._indptr_list = self._indptr.tolist()
         indptr_l = self._indptr_list
+        if self._ov_lookup is not None and self._ov_lists is None:
+            self._ov_lists = (self._ov_lookup.tolist(), self._ov_indptr.tolist())
+        if self._ov_lists is not None:
+            ov_lookup_l, ov_indptr_l = self._ov_lists
+            ov_indices, ov_probs = self._ov_indices, self._ov_probs
+        else:
+            ov_lookup_l = None
+            ov_indptr_l = ov_indices = ov_probs = None
         self._reset_scratch()
         visited = self._visited
         random = rng.random
@@ -144,26 +198,30 @@ class ICReverseBFSSampler(RRSampler):
             edges_examined = 0
             while True:
                 if single >= 0:
-                    start = indptr_l[single]
-                    total = indptr_l[single + 1] - start
+                    if ov_lookup_l is not None and ov_lookup_l[single] >= 0:
+                        row = ov_lookup_l[single]
+                        start = ov_indptr_l[row]
+                        total = ov_indptr_l[row + 1] - start
+                        seg_probs = ov_probs[start : start + total]
+                        seg_indices = ov_indices[start : start + total]
+                    else:
+                        start = indptr_l[single]
+                        total = indptr_l[single + 1] - start
+                        seg_probs = probs[start : start + total]
+                        seg_indices = indices[start : start + total]
                     edges_examined += total
                     if total == 0:
                         break
-                    success = random(total) < probs[start : start + total]
-                    reached = indices[start : start + total][success]
+                    success = random(total) < seg_probs
+                    reached = seg_indices[success]
                 else:
-                    starts = indptr[frontier]
-                    counts = indptr[frontier + 1] - starts
-                    ends = counts.cumsum()
-                    total = int(ends[-1])
+                    row_probs, row_indices = self._frontier_rows(frontier)
+                    total = int(row_probs.size)
                     edges_examined += total
                     if total == 0:
                         break
-                    edge_idx = starts.repeat(counts) + (
-                        np.arange(total) - (ends - counts).repeat(counts)
-                    )
-                    success = random(total) < probs[edge_idx]
-                    reached = indices[edge_idx[success]]
+                    success = random(total) < row_probs
+                    reached = row_indices[success]
                 if reached.size == 0:
                     break
                 # Same set as sample()'s unique-then-filter, computed as

@@ -26,13 +26,37 @@ __all__ = ["LTReverseWalkSampler"]
 
 
 class LTReverseWalkSampler(RRSampler):
-    """Reverse random-walk sampler for the LT model."""
+    """Reverse random-walk sampler for the LT model.
+
+    Traversal arrays come from ``graph.in_csr()``; when an overlay is
+    present (a :class:`~repro.graphs.digraph.VersionedGraph`) each step
+    resolves the current node's row through it, with a second prefix-sum
+    table over the overlay's probabilities for the non-uniform branch.
+    Note the compaction caveat: the uniform (weighted-cascade) branch
+    draws from the row's *degree* alone and matches the compacted graph
+    bit-for-bit, while the non-uniform branch accumulates a global float
+    prefix sum whose rounding can differ between overlay and compacted
+    layouts — equivalence there is distributional, not bitwise.
+    """
 
     def __init__(self, graph: DirectedGraph) -> None:
         super().__init__(graph)
+        self._indptr, self._indices, self._in_probs, overlay = graph.in_csr()
+        if overlay is None:
+            self._ov_lookup = None
+            self._ov_indptr = self._ov_indices = self._ov_probs = None
+            self._ov_prefix = None
+        else:
+            (
+                self._ov_lookup,
+                self._ov_indptr,
+                self._ov_indices,
+                self._ov_probs,
+            ) = overlay
+            self._ov_prefix = np.concatenate(([0.0], np.cumsum(self._ov_probs)))
         # Prefix sums of in-probabilities let each walk step pick its
         # in-edge with a single binary search instead of a per-edge scan.
-        self._prefix = np.concatenate(([0.0], np.cumsum(graph.in_probs)))
+        self._prefix = np.concatenate(([0.0], np.cumsum(self._in_probs)))
         sums = graph.in_probability_sums()
         if sums.size and float(sums.max()) > 1.0 + 1e-9:
             raise ValueError("LT sampler requires incoming probabilities to sum to <= 1")
@@ -40,12 +64,17 @@ class LTReverseWalkSampler(RRSampler):
         # Weighted-cascade fast path: when all in-edges of a node carry the
         # same probability, the step distribution is "stop with 1 - sum,
         # else uniform neighbor", which avoids the binary search.
-        indptr, probs = graph.in_indptr, graph.in_probs
+        indptr, probs = self._indptr, self._in_probs
         self._uniform = np.zeros(graph.num_nodes, dtype=bool)
         for v in range(graph.num_nodes):
             seg = probs[indptr[v] : indptr[v + 1]]
             if seg.size:
                 self._uniform[v] = bool(np.all(seg == seg[0]))
+        if self._ov_lookup is not None:
+            for v in np.flatnonzero(self._ov_lookup >= 0):
+                row = int(self._ov_lookup[v])
+                seg = self._ov_probs[self._ov_indptr[row] : self._ov_indptr[row + 1]]
+                self._uniform[v] = bool(seg.size and np.all(seg == seg[0]))
         # Plain-Python copies of the walk's lookup tables, built lazily by
         # sample_batch: scalar indexing into lists is several times faster
         # than numpy scalar indexing, and the walk is all scalar reads.
@@ -53,20 +82,30 @@ class LTReverseWalkSampler(RRSampler):
 
     def _batch_tables(self) -> tuple:
         if self._list_tables is None:
+            if self._ov_lookup is None:
+                overlay_lists = None
+            else:
+                overlay_lists = (
+                    self._ov_lookup.tolist(),
+                    self._ov_indptr.tolist(),
+                    self._ov_indices.tolist(),
+                    self._ov_prefix.tolist(),
+                )
             self._list_tables = (
-                self.graph.in_indptr.tolist(),
-                self.graph.in_indices.tolist(),
+                self._indptr.tolist(),
+                self._indices.tolist(),
                 self._prefix.tolist(),
                 self._uniform.tolist(),
                 self._sums.tolist(),
+                overlay_lists,
             )
         return self._list_tables
 
     def sample(self, rng: np.random.Generator, root: int | None = None) -> RRSample:
         """Draw one RR set; ``root`` can be pinned for testing."""
-        graph = self.graph
-        indptr, indices = graph.in_indptr, graph.in_indices
+        indptr, indices = self._indptr, self._indices
         prefix = self._prefix
+        ov_lookup = self._ov_lookup
         if root is None:
             root = self.sample_root(rng)
 
@@ -81,7 +120,14 @@ class LTReverseWalkSampler(RRSampler):
         buffer = rng.random(64)
         cursor = 0
         while True:
-            start, stop = int(indptr[current]), int(indptr[current + 1])
+            row = int(ov_lookup[current]) if ov_lookup is not None else -1
+            if row >= 0:
+                start = int(self._ov_indptr[row])
+                stop = int(self._ov_indptr[row + 1])
+                step_prefix, step_indices = self._ov_prefix, self._ov_indices
+            else:
+                start, stop = int(indptr[current]), int(indptr[current + 1])
+                step_prefix, step_indices = prefix, indices
             degree = stop - start
             edges_examined += degree
             if degree == 0:
@@ -100,14 +146,14 @@ class LTReverseWalkSampler(RRSampler):
                 edge = start + int(buffer[cursor] * degree)
                 cursor += 1
             else:
-                threshold = prefix[start] + buffer[cursor]
+                threshold = step_prefix[start] + buffer[cursor]
                 cursor += 1
                 # First in-edge whose cumulative probability reaches the
                 # draw; a draw beyond the node's incoming mass means stop.
-                edge = int(np.searchsorted(prefix, threshold, side="left")) - 1
+                edge = int(np.searchsorted(step_prefix, threshold, side="left")) - 1
                 if edge >= stop or edge < start:
                     break
-            nxt = int(indices[edge])
+            nxt = int(step_indices[edge])
             if nxt in visited:
                 break
             visited.add(nxt)
@@ -131,7 +177,12 @@ class LTReverseWalkSampler(RRSampler):
         if count < 0:
             raise ValueError(f"count must be >= 0, got {count}")
         n = self.graph.num_nodes
-        indptr, indices, prefix, uniform, sums = self._batch_tables()
+        indptr, indices, prefix, uniform, sums, overlay_lists = self._batch_tables()
+        if overlay_lists is not None:
+            ov_lookup, ov_indptr, ov_indices, ov_prefix = overlay_lists
+        else:
+            ov_lookup = None
+            ov_indptr = ov_indices = ov_prefix = None
         random = rng.random
 
         parts: list[np.ndarray] = []
@@ -150,8 +201,15 @@ class LTReverseWalkSampler(RRSampler):
             buffer = random(64).tolist()
             cursor = 0
             while True:
-                start = indptr[current]
-                stop = indptr[current + 1]
+                row = ov_lookup[current] if ov_lookup is not None else -1
+                if row >= 0:
+                    start = ov_indptr[row]
+                    stop = ov_indptr[row + 1]
+                    step_prefix, step_indices = ov_prefix, ov_indices
+                else:
+                    start = indptr[current]
+                    stop = indptr[current + 1]
+                    step_prefix, step_indices = prefix, indices
                 degree = stop - start
                 edges_examined += degree
                 if degree == 0:
@@ -169,12 +227,12 @@ class LTReverseWalkSampler(RRSampler):
                     edge = start + int(buffer[cursor] * degree)
                     cursor += 1
                 else:
-                    threshold = prefix[start] + buffer[cursor]
+                    threshold = step_prefix[start] + buffer[cursor]
                     cursor += 1
-                    edge = bisect_left(prefix, threshold) - 1
+                    edge = bisect_left(step_prefix, threshold) - 1
                     if edge >= stop or edge < start:
                         break
-                nxt = indices[edge]
+                nxt = step_indices[edge]
                 if nxt in visited:
                     break
                 visited.add(nxt)

@@ -24,20 +24,49 @@ __all__ = ["SubsimSampler"]
 
 
 class SubsimSampler(RRSampler):
-    """Geometric-jump (subset sampling) RR sampler for the IC model."""
+    """Geometric-jump (subset sampling) RR sampler for the IC model.
+
+    Traversal arrays come from ``graph.in_csr()``; when an overlay is
+    present (a :class:`~repro.graphs.digraph.VersionedGraph`) the
+    geometric jumps walk the *effective* row of each node, so the draw
+    sequence matches a plain sampler on the compacted graph.
+    """
 
     def __init__(self, graph: DirectedGraph) -> None:
         super().__init__(graph)
         n = graph.num_nodes
+        self._indptr, self._indices, self._probs, overlay = graph.in_csr()
+        if overlay is None:
+            self._ov_lookup = None
+            self._ov_indptr = self._ov_indices = self._ov_probs = None
+        else:
+            (
+                self._ov_lookup,
+                self._ov_indptr,
+                self._ov_indices,
+                self._ov_probs,
+            ) = overlay
         self._p_max = np.zeros(n, dtype=np.float64)
         self._uniform = np.zeros(n, dtype=bool)
-        indptr, probs = graph.in_indptr, graph.in_probs
+        indptr, probs = self._indptr, self._probs
         for v in range(n):
             seg = probs[indptr[v] : indptr[v + 1]]
             if seg.size:
                 p_max = float(seg.max())
                 self._p_max[v] = p_max
                 self._uniform[v] = bool(np.all(seg == p_max))
+        if self._ov_lookup is not None:
+            # Patched rows override whatever the base said about them.
+            for v in np.flatnonzero(self._ov_lookup >= 0):
+                row = int(self._ov_lookup[v])
+                seg = self._ov_probs[self._ov_indptr[row] : self._ov_indptr[row + 1]]
+                if seg.size:
+                    p_max = float(seg.max())
+                    self._p_max[v] = p_max
+                    self._uniform[v] = bool(np.all(seg == p_max))
+                else:
+                    self._p_max[v] = 0.0
+                    self._uniform[v] = False
         self._visited = np.zeros(n, dtype=bool)
         # True while a draw is in flight; left set by a draw that raised,
         # which makes the next draw hard-reset the scratch bitmap.
@@ -48,48 +77,53 @@ class SubsimSampler(RRSampler):
             self._visited[:] = False
         self._scratch_dirty = True
 
+    def _row(self, node: int) -> tuple[np.ndarray, np.ndarray]:
+        """Effective in-row ``(indices, probs)`` of ``node``."""
+        lookup = self._ov_lookup
+        if lookup is not None:
+            row = int(lookup[node])
+            if row >= 0:
+                start, stop = self._ov_indptr[row], self._ov_indptr[row + 1]
+                return self._ov_indices[start:stop], self._ov_probs[start:stop]
+        start, stop = self._indptr[node], self._indptr[node + 1]
+        return self._indices[start:stop], self._probs[start:stop]
+
     def _successful_in_edges(
         self,
         node: int,
         rng: np.random.Generator,
-    ) -> tuple[np.ndarray, int]:
-        """Indices (into the in-CSR arrays) of live in-edges of ``node``.
+    ) -> tuple[np.ndarray | list[int], int]:
+        """In-neighbors of ``node`` whose edges came up live.
 
-        Returns ``(edge_indices, draws)`` where ``draws`` counts the random
+        Returns ``(neighbors, draws)`` where ``draws`` counts the random
         positions visited — the sampler's actual work for this node.
         """
-        graph = self.graph
-        start = int(graph.in_indptr[node])
-        stop = int(graph.in_indptr[node + 1])
-        degree = stop - start
+        row_indices, row_probs = self._row(node)
+        degree = int(row_indices.size)
         if degree == 0:
-            return np.empty(0, dtype=np.int64), 0
+            return (), 0
         p_max = self._p_max[node]
         if p_max <= 0.0:
-            return np.empty(0, dtype=np.int64), 0
+            return (), 0
         if p_max >= 1.0:
             # Every edge is a candidate; fall back to direct flips.
-            seg = graph.in_probs[start:stop]
-            hits = np.flatnonzero(rng.random(degree) < seg)
-            return hits + start, degree
+            hits = rng.random(degree) < row_probs
+            return row_indices[hits], degree
         accepted: list[int] = []
         draws = 0
         position = -1
         uniform = bool(self._uniform[node])
-        probs = graph.in_probs
         while True:
             position += int(rng.geometric(p_max))
             draws += 1
             if position >= degree:
                 break
-            edge = start + position
-            if uniform or rng.random() * p_max < probs[edge]:
-                accepted.append(edge)
-        return np.asarray(accepted, dtype=np.int64), draws
+            if uniform or rng.random() * p_max < row_probs[position]:
+                accepted.append(int(row_indices[position]))
+        return accepted, draws
 
     def sample(self, rng: np.random.Generator, root: int | None = None) -> RRSample:
         """Draw one RR set; ``root`` can be pinned for testing."""
-        graph = self.graph
         if root is None:
             root = self.sample_root(rng)
         self._reset_scratch()
@@ -98,13 +132,12 @@ class SubsimSampler(RRSampler):
         visited[root] = True
         queue = [root]
         edges_examined = 0
-        indices = graph.in_indices
         while queue:
             node = queue.pop()
-            live_edges, draws = self._successful_in_edges(node, rng)
+            live_neighbors, draws = self._successful_in_edges(node, rng)
             edges_examined += draws
-            for edge in live_edges:
-                neighbor = int(indices[edge])
+            for neighbor in live_neighbors:
+                neighbor = int(neighbor)
                 if not visited[neighbor]:
                     visited[neighbor] = True
                     collected.append(neighbor)

@@ -6,6 +6,13 @@ One request per line, one JSON reply per line:
   :class:`~repro.serve.service.Query` field; replies with the seed set,
   objective, and timing breakdown.
 * ``{"op": "stats"}`` — service counters and pool sizes.
+* ``{"op": "update", "add_edges": [[u, v, p], ...], "remove_edges":
+  [[u, v], ...], ...}`` — any :meth:`GraphDelta.from_json
+  <repro.graphs.digraph.GraphDelta.from_json>` field; lands the delta on
+  a ``dynamic=True`` service's graph, repairs the resident pools in
+  place, and replies with the new graph version and repair counts.
+* ``{"op": "compact"}`` — fold the dynamic graph's overlay into a fresh
+  base CSR.
 * ``{"op": "ping"}`` — liveness check.
 
 Queries run in worker threads (``asyncio.to_thread``), so slow cold
@@ -27,6 +34,7 @@ from typing import Dict
 
 from ..applications.result import ApplicationResult
 from ..core.result import IMResult
+from ..graphs.digraph import GraphDelta
 from .service import InfluenceService, Query
 
 __all__ = ["ServingFrontend", "request", "result_payload"]
@@ -133,6 +141,13 @@ class ServingFrontend:
                 )
                 result = await asyncio.to_thread(self.service.query, query)
                 return {"ok": True, "op": "query", **result_payload(result)}
+            if op == "update":
+                delta = GraphDelta.from_json(req)
+                summary = await asyncio.to_thread(self.service.apply_update, delta)
+                return {"ok": True, "op": "update", **summary}
+            if op == "compact":
+                summary = await asyncio.to_thread(self.service.compact)
+                return {"ok": True, "op": "compact", **summary}
             raise ValueError(f"unknown op {op!r}")
         except Exception as exc:  # noqa: BLE001 — every error becomes a reply
             return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}

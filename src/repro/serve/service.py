@@ -20,14 +20,30 @@ Either way the answer is bit-identical to the cold entry point with the
 same parameters — the correctness anchor ``tests/serve`` pins.
 
 Results are memoized in an LRU cache keyed by ``(query fingerprint,
-graph version, pool signature)``: repeated queries that do not grow the
-pool are answered without touching the cluster at all.
+pool signature)``; the signature carries both the pool's collection
+sizes and its update epoch, so repeated queries that neither grow nor
+repair the pool are answered without touching the cluster at all.
+
+Dynamic serving
+---------------
+A service started with ``dynamic=True`` wraps its graph in a
+:class:`~repro.graphs.digraph.VersionedGraph` and builds every pool on
+the ``"per-set"`` RNG scheme, which is what makes resident RR sets
+individually regenerable.  :meth:`InfluenceService.apply_update` lands a
+:class:`~repro.graphs.digraph.GraphDelta` on the shared graph, repairs
+every resident pool in place (:meth:`SamplePool.repair
+<repro.core.pool.SamplePool.repair>`), bumps :attr:`graph_version`, and
+evicts exactly the cache entries of pools whose collections were
+rewritten — untouched pools keep serving their memoized results.
+Answers after an update are bit-identical to a fresh dynamic service
+started on the already-updated graph.
 """
 
 from __future__ import annotations
 
 import threading
 from collections import OrderedDict
+from contextlib import ExitStack
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
@@ -42,7 +58,7 @@ from ..core.diimm import diimm_from_config
 from ..core.dsubsim import distributed_subsim_from_config
 from ..core.imm import imm_from_config
 from ..core.pool import SamplePool
-from ..graphs.digraph import DirectedGraph
+from ..graphs.digraph import DirectedGraph, GraphDelta, VersionedGraph
 from ..ris import make_sampler
 from ..ris.flat import FlatPrefixView
 
@@ -156,6 +172,13 @@ class InfluenceService:
         Forwarded to each pool's executor.
     cache_size:
         Maximum memoized query results (LRU).
+    dynamic:
+        Serve a mutable graph: wraps ``graph`` in a
+        :class:`~repro.graphs.digraph.VersionedGraph` and builds every
+        pool on the ``"per-set"`` RNG scheme so :meth:`apply_update`
+        can repair resident RR sets in place.  Static services (the
+        default) keep the historical per-machine stream schemes and
+        refuse updates.
     """
 
     def __init__(
@@ -172,13 +195,19 @@ class InfluenceService:
         start_method: str | None = None,
         zero_copy: bool | None = None,
         cache_size: int = 128,
+        dynamic: bool = False,
     ) -> None:
+        if dynamic and not isinstance(graph, VersionedGraph):
+            graph = VersionedGraph(graph)
         self.graph = graph
         self.machines = machines
         self.seed = seed
         self.model = model
         self.method = method
-        #: Bumped when the served graph is swapped; part of the cache key.
+        self.dynamic = dynamic
+        #: Number of graph mutations served so far: bumped by every
+        #: :meth:`apply_update` and :meth:`compact`, exposed over
+        #: ``stats`` and in update replies.
         self.graph_version = 0
         self._executor_kwargs = dict(
             executor=executor,
@@ -216,7 +245,7 @@ class InfluenceService:
                 machines=1,
                 model=self.model,
                 method=self.method,
-                rng_scheme="legacy-imm",
+                rng_scheme="per-set" if self.dynamic else "legacy-imm",
             )
         method = "subsim" if kind == "dsubsim" else self.method
         return self._pool(
@@ -224,21 +253,37 @@ class InfluenceService:
             machines=self.machines,
             model="ic" if kind == "dsubsim" else self.model,
             method=method,
+            rng_scheme="per-set" if self.dynamic else "cluster",
         )
 
     def _app_pool(self, query: Query) -> SamplePool:
         if query.kind == "targeted":
             # One pool per distinct target set: the targeted sampler's
             # stream draws roots from the targets, so different target
-            # sets are different streams.
+            # sets are different streams.  Dynamic services pass a
+            # factory instead of an instance so repair can rebuild the
+            # sampler against the mutated graph.
+            targets = list(query.targets)
+            model = self.model
+            if self.dynamic:
+                kwargs = dict(
+                    rng_scheme="per-set",
+                    sampler_factory=lambda graph: TargetedSampler(
+                        make_sampler(graph, model=model), targets
+                    ),
+                )
+            else:
+                kwargs = dict(
+                    sampler=TargetedSampler(
+                        make_sampler(self.graph, model=model), targets
+                    )
+                )
             return self._pool(
                 ("targeted", query.targets),
                 machines=self.machines,
                 model=self.model,
                 method="bfs",
-                sampler=TargetedSampler(
-                    make_sampler(self.graph, model=self.model), list(query.targets)
-                ),
+                **kwargs,
             )
         # budgeted/profit share the cluster bfs pool's samples: their cold
         # entry points draw with the default per-set sampler on an
@@ -249,6 +294,7 @@ class InfluenceService:
             machines=self.machines,
             model=self.model,
             method="bfs",
+            rng_scheme="per-set" if self.dynamic else "cluster",
         )
 
     # ------------------------------------------------------------------
@@ -267,23 +313,30 @@ class InfluenceService:
             if query.kind in _IM_KINDS
             else self._app_pool(query)
         )
-        cache_key = (query.fingerprint(), self.graph_version, pool.signature())
+        # The signature covers collection sizes and the pool's update
+        # epoch, so entries from before an in-place repair miss here.
+        cache_key = (query.fingerprint(), pool.signature())
         with self._lock:
             cached = self._cache.get(cache_key)
             if cached is not None:
                 self._cache.move_to_end(cache_key)
                 self.stats.record(query.kind, hit=True)
-                return cached
+                return cached[1]
         if query.kind in _IM_KINDS:
             result = self._run_im(query, pool)
         else:
             result = self._run_app(query, pool)
         with self._lock:
             self.stats.record(query.kind, hit=False)
+            # Values remember which pool produced them, so apply_update
+            # can evict exactly the repaired pools' entries.
+            poolkey = next(
+                (key for key, p in self._pools.items() if p is pool), None
+            )
             # Key on the pool state *after* the query: identical repeats
             # top up nothing, so they hit this entry.
-            after_key = (query.fingerprint(), self.graph_version, pool.signature())
-            self._cache[after_key] = result
+            after_key = (query.fingerprint(), pool.signature())
+            self._cache[after_key] = (poolkey, result)
             self._cache.move_to_end(after_key)
             while len(self._cache) > self._cache_size:
                 self._cache.popitem(last=False)
@@ -336,6 +389,83 @@ class InfluenceService:
             )
 
     # ------------------------------------------------------------------
+    # Dynamic graph updates
+    # ------------------------------------------------------------------
+    def apply_update(self, delta: GraphDelta) -> Dict:
+        """Land ``delta`` on the served graph and repair every pool.
+
+        Requires ``dynamic=True``.  Takes every resident pool's lock (in
+        a fixed order, after in-flight queries drain), applies the delta
+        to the shared :class:`~repro.graphs.digraph.VersionedGraph`
+        once, repairs each pool's collections in place, evicts the cache
+        entries of pools whose contents were rewritten, and bumps
+        :attr:`graph_version`.  Returns a JSON-safe summary: the new
+        graph version, how many RR sets each pool regenerated, and how
+        many cache entries were evicted.
+        """
+        if not self.dynamic:
+            raise RuntimeError(
+                "this service is static; start it with dynamic=True to "
+                "accept graph updates"
+            )
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("service is closed")
+            pools = dict(self._pools)
+        with ExitStack() as stack:
+            for key in sorted(pools, key=repr):
+                stack.enter_context(pools[key].lock)
+            touched = self.graph.apply(delta)
+            repaired = {
+                key: pool.repair(touched) for key, pool in pools.items()
+            }
+            rewritten = {
+                key for key, counts in repaired.items() if any(counts.values())
+            }
+            with self._lock:
+                evicted = [
+                    cache_key
+                    for cache_key, (poolkey, _) in self._cache.items()
+                    if poolkey in rewritten
+                ]
+                for cache_key in evicted:
+                    del self._cache[cache_key]
+                self.graph_version += 1
+                version = self.graph_version
+        return {
+            "graph_version": version,
+            "num_changes": delta.num_changes,
+            "repaired": {
+                repr(key): sum(counts.values()) for key, counts in repaired.items()
+            },
+            "evicted": len(evicted),
+        }
+
+    def compact(self) -> Dict:
+        """Fold the overlay into a fresh base CSR and refresh every pool.
+
+        Rebasing preserves every in-row element-for-element, so resident
+        collections — and cached results — stay valid; only the pools'
+        traversal tables and worker broadcasts are rebuilt.
+        """
+        if not self.dynamic:
+            raise RuntimeError("this service is static; nothing to compact")
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("service is closed")
+            pools = dict(self._pools)
+        with ExitStack() as stack:
+            for key in sorted(pools, key=repr):
+                stack.enter_context(pools[key].lock)
+            self.graph.rebase()
+            for pool in pools.values():
+                pool.executor.refresh_graph()
+            with self._lock:
+                self.graph_version += 1
+                version = self.graph_version
+        return {"graph_version": version, "num_edges": self.graph.num_edges}
+
+    # ------------------------------------------------------------------
     # Introspection and lifecycle
     # ------------------------------------------------------------------
     def pool_sizes(self) -> Dict[str, Dict[str, list]]:
@@ -354,6 +484,7 @@ class InfluenceService:
                 "cache_entries": len(self._cache),
                 "num_pools": len(self._pools),
                 "machines": self.machines,
+                "dynamic": self.dynamic,
                 "graph_version": self.graph_version,
             }
 

@@ -70,7 +70,7 @@ class TestGrowth:
         pool.ensure("main", [5, 5, 5])
         grown = pool.signature()
         assert empty != grown
-        assert grown == (("main", (5, 5, 5)),)
+        assert grown == (0, (("main", (5, 5, 5)),))
 
     def test_view_stores_start_empty(self, pool):
         pool.ensure("main", [8, 8, 8])

@@ -1,0 +1,96 @@
+"""IO / interop round-trips through VersionedGraph (load -> delta -> save)."""
+
+import pytest
+
+from repro.graphs import (
+    DirectedGraph,
+    GraphDelta,
+    VersionedGraph,
+    from_networkx,
+    load_npz,
+    read_edge_list,
+    save_npz,
+    to_networkx,
+    write_edge_list,
+)
+
+
+def edge_triples(graph):
+    return sorted((u, v, round(p, 9)) for u, v, p in graph.edges())
+
+
+@pytest.fixture
+def delta(small_wc_graph):
+    edges = [(u, v) for u, v, _ in small_wc_graph.edges()]
+    return GraphDelta(
+        add_edges=[(0, 3, 0.5), (9, 1, 0.25)],
+        remove_edges=edges[:4],
+        reweight_edges=[(edges[6][0], edges[6][1], 0.75)],
+    )
+
+
+@pytest.fixture
+def updated(small_wc_graph, delta):
+    graph = VersionedGraph(
+        DirectedGraph(small_wc_graph.num_nodes, *small_wc_graph.edge_arrays())
+    )
+    graph.apply(delta)
+    return graph
+
+
+class TestNpzRoundTrip:
+    def test_save_compacted_equals_direct(self, updated, tmp_path):
+        path = tmp_path / "updated.npz"
+        save_npz(updated.compact(), path)
+        loaded = load_npz(path)
+        assert loaded.num_nodes == updated.num_nodes
+        assert loaded.num_edges == updated.num_edges
+        assert edge_triples(loaded) == edge_triples(updated)
+
+    def test_load_apply_save_load(self, small_wc_graph, delta, tmp_path):
+        # load -> wrap -> delta -> compact -> save must equal building the
+        # updated graph directly from its edge arrays.
+        base_path = tmp_path / "base.npz"
+        save_npz(small_wc_graph, base_path)
+        graph = VersionedGraph(load_npz(base_path))
+        graph.apply(delta)
+        out_path = tmp_path / "out.npz"
+        save_npz(graph.compact(), out_path)
+        direct = DirectedGraph(graph.num_nodes, *graph.edge_arrays())
+        assert edge_triples(load_npz(out_path)) == edge_triples(direct)
+
+
+class TestEdgeListRoundTrip:
+    def test_write_read_versioned(self, updated, tmp_path):
+        path = tmp_path / "updated.txt"
+        write_edge_list(updated.compact(), path)
+        loaded = read_edge_list(path, num_nodes=updated.num_nodes)
+        assert loaded.num_edges == updated.num_edges
+        assert edge_triples(loaded) == edge_triples(updated)
+
+    def test_write_accepts_versioned_directly(self, updated, tmp_path):
+        # write_edge_list only needs .edges()/num_nodes/num_edges, which
+        # the overlay view serves without compacting first.
+        path = tmp_path / "overlay.txt"
+        write_edge_list(updated, path)
+        loaded = read_edge_list(path, num_nodes=updated.num_nodes)
+        assert edge_triples(loaded) == edge_triples(updated)
+
+
+class TestNetworkxRoundTrip:
+    def test_interop_through_versioned(self, updated):
+        rebuilt = from_networkx(to_networkx(updated.compact()))
+        assert rebuilt.num_nodes == updated.num_nodes
+        assert edge_triples(rebuilt) == edge_triples(updated)
+
+    def test_grown_graph_round_trip(self, small_wc_graph, tmp_path):
+        graph = VersionedGraph(
+            DirectedGraph(small_wc_graph.num_nodes, *small_wc_graph.edge_arrays())
+        )
+        n = graph.num_nodes
+        graph.apply(GraphDelta(add_nodes=3, add_edges=[(n, 0, 0.5), (n + 1, n, 0.5)]))
+        path = tmp_path / "grown.npz"
+        save_npz(graph.compact(), path)
+        loaded = load_npz(path)
+        assert loaded.num_nodes == n + 3
+        assert edge_triples(loaded) == edge_triples(graph)

@@ -1,0 +1,105 @@
+"""Overlay traversal == compacted-graph traversal, bit for bit.
+
+The repair contract rests on one equivalence: a sampler walking a
+VersionedGraph (base CSR + overlay rows) must produce *exactly* the RR
+set that the same per-set stream produces on the compacted graph.  The
+compaction order invariant (effective in-rows keep per-target order)
+makes this exact, not just statistical.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graphs import DirectedGraph, GraphDelta, VersionedGraph
+from repro.ris import make_sampler
+from repro.ris.rrset import sample_set_range
+
+
+def versioned_with_delta(graph, rng, lt_safe=False):
+    wrapped = VersionedGraph(DirectedGraph(graph.num_nodes, *graph.edge_arrays()))
+    triples = list(graph.edges())
+    picks = rng.choice(len(triples), size=8, replace=False)
+    # LT needs per-node in-probability sums <= 1 (weighted cascade sits at
+    # exactly 1), so its delta may only remove edges or reweight downward.
+    delta = GraphDelta(
+        add_edges=[]
+        if lt_safe
+        else [
+            (int(rng.integers(graph.num_nodes)), int(rng.integers(graph.num_nodes)), 0.3)
+            for _ in range(4)
+        ],
+        remove_edges=[(u, v) for u, v, _ in (triples[int(i)] for i in picks[:4])],
+        reweight_edges=[
+            (u, v, p * 0.5 if lt_safe else 0.8)
+            for u, v, p in (triples[int(i)] for i in picks[4:])
+        ],
+    )
+    wrapped.apply(delta)
+    return wrapped
+
+
+def batches_equal(a, b):
+    return (
+        np.array_equal(a.nodes, b.nodes)
+        and np.array_equal(a.offsets, b.offsets)
+        and np.array_equal(a.roots, b.roots)
+        and np.array_equal(a.edges_examined, b.edges_examined)
+    )
+
+
+@pytest.mark.parametrize(
+    "model,method",
+    [("ic", "bfs"), ("ic", "subsim"), ("lt", "bfs")],
+)
+def test_overlay_matches_compacted(small_wc_graph, rng, model, method):
+    graph = versioned_with_delta(small_wc_graph, rng, lt_safe=model == "lt")
+    compacted = graph.compact()
+    overlay_sampler = make_sampler(graph, model=model, method=method)
+    compact_sampler = make_sampler(compacted, model=model, method=method)
+    for machine_id in (0, 2):
+        a = sample_set_range(overlay_sampler, seed=11, machine_id=machine_id, start=0, count=60)
+        b = sample_set_range(compact_sampler, seed=11, machine_id=machine_id, start=0, count=60)
+        assert batches_equal(a, b)
+
+
+@pytest.mark.parametrize("model,method", [("ic", "bfs"), ("lt", "bfs")])
+def test_clean_wrapper_matches_plain_graph(small_wc_graph, model, method):
+    # An overlay-free VersionedGraph is transparent: same bytes as the base.
+    graph = VersionedGraph(
+        DirectedGraph(small_wc_graph.num_nodes, *small_wc_graph.edge_arrays())
+    )
+    a = sample_set_range(
+        make_sampler(graph, model=model, method=method), seed=5, machine_id=0, start=0, count=40
+    )
+    b = sample_set_range(
+        make_sampler(small_wc_graph, model=model, method=method),
+        seed=5,
+        machine_id=0,
+        start=0,
+        count=40,
+    )
+    assert batches_equal(a, b)
+
+
+def test_removed_node_never_sampled(small_wc_graph, rng):
+    graph = VersionedGraph(
+        DirectedGraph(small_wc_graph.num_nodes, *small_wc_graph.edge_arrays())
+    )
+    victim = int(max(range(graph.num_nodes), key=graph.out_degree))
+    graph.apply(GraphDelta(remove_nodes=[victim]))
+    sampler = make_sampler(graph, model="ic", method="bfs")
+    batch = sample_set_range(sampler, seed=1, machine_id=0, start=0, count=120)
+    # The victim may still be a root (node ids are kept) but can never be
+    # *reached* through an edge: any appearance is as a singleton root.
+    for i in range(batch.count):
+        row = batch.nodes[batch.offsets[i] : batch.offsets[i + 1]]
+        if victim in row:
+            assert int(batch.roots[i]) == victim and row.size == 1
+
+
+def test_vectorized_refuses_overlay(small_wc_graph):
+    graph = VersionedGraph(
+        DirectedGraph(small_wc_graph.num_nodes, *small_wc_graph.edge_arrays())
+    )
+    with pytest.raises(ValueError, match="compact"):
+        make_sampler(graph, model="ic", method="vectorized")
