@@ -405,6 +405,66 @@ def test_micro_dataplane(record_rows, graph):
     assert reduction >= 1.5, f"payload reduction {reduction:.2f}x below the 1.5x floor"
 
 
+def test_micro_socket_overhead(record_rows, graph):
+    """The TCP socket backend vs the multiprocessing pool on the same
+    generation workload (loopback workers, shared-memory graph).  Both
+    backends ship the identical delta+varint payload, so ``num_bytes``
+    must agree exactly; the socket's *measured* transport counters then
+    expose the true framing cost.  CI gates: payload accounting parity,
+    framing overhead <= 2 KiB per round trip, and wall-clock within 1.5x
+    of the multiprocessing pool."""
+    from repro.cluster import GENERATION, GeneratePhase, make_executor
+
+    machines = 4
+    count = 1500
+    counts = (count,) * machines
+
+    def generate(name):
+        cluster = SimulatedCluster(machines, seed=0)
+        cluster.init_collections(graph.num_nodes, backend="flat")
+        with make_executor(name, cluster, graph=graph) as executor:
+            executor.run_phase(GeneratePhase("bench/gen", counts=counts))
+            record = executor.metrics.phases_in(GENERATION)[-1]
+            sets = [m.collection.num_sets for m in executor.machines]
+        return record, sets
+
+    mp_s, (mp_record, mp_sets) = _best_of(lambda: generate("multiprocessing"))
+    socket_s, (socket_record, socket_sets) = _best_of(lambda: generate("socket"))
+
+    assert socket_sets == mp_sets == list(counts)
+    # Backend-neutral payload accounting is identical byte for byte.
+    assert socket_record.num_bytes == mp_record.num_bytes
+    assert mp_record.wire_sent == mp_record.wire_received == 0
+
+    wire_total = socket_record.wire_sent + socket_record.wire_received
+    framing = wire_total - socket_record.num_bytes
+    framing_per_rt = framing / max(socket_record.round_trips, 1)
+    overhead_pct = (socket_s / mp_s - 1.0) * 100.0
+
+    rows = [
+        {
+            "workload": f"generate(facebook, m={machines}, {count * machines} sets)",
+            "mp_s": round(mp_s, 4),
+            "socket_s": round(socket_s, 4),
+            "overhead_pct": round(overhead_pct, 2),
+            "payload_bytes": socket_record.num_bytes,
+            "wire_bytes": wire_total,
+            "framing_per_rt": round(framing_per_rt, 1),
+        }
+    ]
+    record_rows(
+        "micro_socket_overhead",
+        rows,
+        "Socket executor: loopback TCP transport vs the multiprocessing pool",
+    )
+    assert framing_per_rt <= 2048, (
+        f"socket framing overhead {framing_per_rt:.0f} B/round-trip above the 2 KiB bound"
+    )
+    assert socket_s <= mp_s * 1.5, (
+        f"socket backend {overhead_pct:.1f}% slower than multiprocessing, above the 50% bound"
+    )
+
+
 def test_micro_fault_overhead(record_rows, graph):
     """Fault-tolerance bookkeeping on the healthy path: generation with
     ``faults=None`` (the original code path) vs an *empty* ``FaultPlan``

@@ -40,10 +40,14 @@ from .applications import (
 )
 from .baselines import celf_greedy, degree_discount, max_degree, pagerank_seeds
 from .cluster import (
+    ExecutorSpec,
     FaultPlan,
+    MultiprocessingSpec,
     NetworkModel,
     RetryPolicy,
     SimulatedCluster,
+    SimulatedSpec,
+    SocketSpec,
     gigabit_cluster,
     shared_memory_server,
 )
@@ -111,6 +115,10 @@ __all__ = [
     "shared_memory_server",
     "FaultPlan",
     "RetryPolicy",
+    "ExecutorSpec",
+    "SimulatedSpec",
+    "MultiprocessingSpec",
+    "SocketSpec",
     # coverage
     "CoverageInstance",
     "greedy_max_coverage",

@@ -16,6 +16,8 @@ Commands
 ``serve``
     Start the warm influence service (``--dynamic`` accepts graph
     updates).
+``worker``
+    Start one socket-executor worker process for ``--executor socket:...``.
 ``update``
     Send graph updates to a running dynamic service.
 """
@@ -65,10 +67,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument(
         "--executor",
-        choices=("simulated", "multiprocessing"),
         default="simulated",
-        help="phase-plan executor for distributed algorithms "
-        "(ignored by imm, which is single-machine)",
+        metavar="SPEC",
+        help="phase-plan executor spec: 'simulated', 'multiprocessing[:N]' "
+        "or 'socket[:N | :HOST:PORT,PORT;HOST:PORT]' (workers started with "
+        "'repro worker'; ignored by imm, which is single-machine)",
     )
     run.add_argument(
         "--backend",
@@ -167,7 +170,11 @@ def build_parser() -> argparse.ArgumentParser:
         "need per-set samplers, so 'vectorized' is not offered)",
     )
     serve.add_argument(
-        "--executor", choices=("simulated", "multiprocessing"), default="simulated"
+        "--executor",
+        default="simulated",
+        metavar="SPEC",
+        help="executor spec for the pools: 'simulated', 'multiprocessing[:N]' "
+        "or 'socket:...' (see the run command)",
     )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument(
@@ -224,6 +231,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--compact",
         action="store_true",
         help="fold the service's overlay into a fresh base CSR afterwards",
+    )
+
+    worker = sub.add_parser(
+        "worker",
+        help="start one socket-executor worker; point a master at it with "
+        "--executor socket:HOST:PORT",
+    )
+    worker.add_argument("--host", default="127.0.0.1")
+    worker.add_argument(
+        "--port", type=int, default=0, help="TCP port (0 picks a free one)"
     )
 
     validate = sub.add_parser("validate", help="Monte-Carlo validate seeds")
@@ -409,16 +426,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .serve import InfluenceService, ServingFrontend
 
     dataset = load_dataset(args.dataset)
-    service = InfluenceService(
-        dataset.graph,
-        machines=args.machines,
-        seed=args.seed,
-        model=args.model,
-        method=args.method,
-        executor=args.executor,
-        cache_size=args.cache_size,
-        dynamic=args.dynamic,
-    )
+    try:
+        service = InfluenceService(
+            dataset.graph,
+            machines=args.machines,
+            seed=args.seed,
+            model=args.model,
+            method=args.method,
+            executor=args.executor,
+            cache_size=args.cache_size,
+            dynamic=args.dynamic,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
     async def run_server() -> None:
         frontend = ServingFrontend(service, host=args.host, port=args.port)
@@ -438,6 +459,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print("\nshutting down")
     finally:
         service.close()
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from .cluster import serve_worker
+
+    def announce(port: int) -> None:
+        print(
+            f"worker listening on {args.host}:{port} — enroll it with "
+            f"--executor socket:{args.host}:{port}; Ctrl-C to stop",
+            flush=True,
+        )
+
+    try:
+        serve_worker(args.host, args.port, ready=announce)
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 
@@ -518,6 +559,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_app(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "worker":
+        return _cmd_worker(args)
     if args.command == "update":
         return _cmd_update(args)
     return 2  # unreachable: argparse enforces the choices

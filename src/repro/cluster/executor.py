@@ -37,10 +37,13 @@ takes the original code path untouched.
 
 from __future__ import annotations
 
+import dataclasses
 import time
+import warnings
 from abc import ABC, abstractmethod
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Tuple
 
 import numpy as np
 
@@ -51,10 +54,11 @@ from ..ris.wire import encoded_batch_nbytes
 from .cluster import MachineFailure, SimulatedCluster
 from .faults import (
     CORRUPT,
-    CRASH,
     CRASH_HARD,
     DEFAULT_RETRY,
+    DISCONNECT,
     DROP,
+    FAILURE_KINDS,
     FaultPlan,
     FaultToleranceExceeded,
     PhaseTimeoutError,
@@ -62,7 +66,14 @@ from .faults import (
 )
 from .machine import Machine
 from .metrics import COMPUTATION, GENERATION, RunMetrics
-from .parallel import GenerationPool
+from .parallel import GenerationOutcome, GenerationPool
+from .spec import (
+    ExecutorSpec,
+    MultiprocessingSpec,
+    SimulatedSpec,
+    SocketSpec,
+    as_spec,
+)
 
 __all__ = [
     "GeneratePhase",
@@ -73,10 +84,13 @@ __all__ = [
     "PhaseResult",
     "Executor",
     "SimulatedExecutor",
+    "WorkerBackedExecutor",
     "MultiprocessingExecutor",
     "EXECUTORS",
     "make_executor",
+    "fold_legacy_executor_kwargs",
     "as_executor",
+    "executor_scope",
 ]
 
 
@@ -454,12 +468,16 @@ class SimulatedExecutor(Executor):
                 timed_out = (
                     policy.phase_timeout is not None and metered > policy.phase_timeout
                 )
-                if fault is not None and fault.kind in (CRASH, CRASH_HARD, DROP):
-                    # A plain crash reports itself; a hard kill or dropped
-                    # payload is silent and only the deadline notices.
+                if fault is not None and fault.kind in FAILURE_KINDS:
+                    # A plain crash reports itself and a dropped connection
+                    # resets the stream, so both are noticed at once; a hard
+                    # kill or dropped payload is silent and only the
+                    # deadline notices.
                     silent = fault.kind in (CRASH_HARD, DROP)
                     if silent and policy.phase_timeout is not None:
                         last_kind, lost = "timeout", policy.phase_timeout
+                    elif fault.kind == DISCONNECT:
+                        last_kind, lost = "disconnect", metered
                     else:
                         last_kind, lost = "crash", metered
                     self.metrics.record_recovery(
@@ -535,22 +553,230 @@ class SimulatedExecutor(Executor):
         return self._result_from_last_phase(label, results)
 
 
-class MultiprocessingExecutor(Executor):
-    """Real OS-process fan-out for the generation phase.
+class WorkerBackedExecutor(Executor):
+    """Shared master-side logic for executors that fan out to real workers.
 
-    Each machine's private RNG is pickled to its worker process, the
-    worker draws the machine's batch with it, and the advanced RNG state
-    is restored on the master — so collections *and* subsequent random
+    Subclasses provide :meth:`_dispatch` — ship per-machine generation
+    tasks to *some* worker transport (an OS-process pool, TCP sockets)
+    and return one :class:`~repro.cluster.parallel.GenerationOutcome`
+    per machine — and inherit everything delicate: RNG restore, batch
+    append, slowdown metering, and the fault path's attempt loop with
+    retries, backoff, per-kind recovery events and reassignment of last
+    resort.  Keeping that logic in one place is what keeps the backends
+    bit-identical to each other under every fault scenario.
+
+    Each machine's private RNG is shipped to its worker, the worker
+    draws the machine's batch with it, and the advanced RNG state is
+    restored on the master — so collections *and* subsequent random
     decisions are bit-identical to :class:`SimulatedExecutor` for the
-    same seed.  Worker wall-clock time is scaled by the machine's
-    ``slowdown``, keeping heterogeneous-cluster metering consistent.
+    same seed.  A machine's own RNG is only advanced once its payload
+    verifies, so every retry ships the identical pre-attempt state and
+    redraws the identical batch — content never depends on which faults
+    fired.
+    """
+
+    def _dispatch(
+        self,
+        model: str,
+        method: str,
+        counts: List[int],
+        rngs: List[Any],
+        directives: List[str | None] | None = None,
+        timeout: float | None = None,
+    ) -> List[GenerationOutcome]:
+        """Run one generation wave on the backend's workers.
+
+        ``counts[i]`` / ``rngs[i]`` / ``directives[i]`` describe task
+        ``i``; outcomes come back in the same order.  Failures are
+        captured per task (``outcome.error``), never raised."""
+        raise NotImplementedError
+
+    # -- backend knobs the fault path consults --------------------------
+    def _directive_for(self, kind: str) -> str:
+        """Worker directive injecting fault ``kind``.
+
+        Process-pool workers have no connection to sever and no payload
+        channel of their own to drop, so both are collapsed onto a hard
+        kill: silent from the master's side, detected only by the phase
+        deadline.  Transports with richer failure modes override this.
+        """
+        if kind in (DROP, DISCONNECT):
+            return CRASH_HARD
+        return kind
+
+    def _error_kind(self, error: str) -> str:
+        """Recovery-event kind for a worker error string."""
+        for kind in ("timeout", "corruption", "disconnect"):
+            if error.startswith(kind):
+                return kind
+        return "crash"
+
+    # -- measured-transport hooks ---------------------------------------
+    def _wire_mark(self) -> Any:
+        """Snapshot of the transport counters before a phase (or None)."""
+        return None
+
+    def _wire_extras(self, mark: Any) -> Dict[str, int]:
+        """Per-phase transport kwargs for ``record_compute_phase``."""
+        return {}
+
+    def _run_generate(self, plan: GeneratePhase) -> PhaseResult:
+        if self.faults is not None:
+            return self._run_generate_with_faults(plan)
+        targets = self._generation_targets(plan)
+        if plan.rng_scheme == "per-set":
+            # The worker resolves this token into per_set_rng substreams;
+            # the machines' sequential streams are never consumed, so no
+            # rng_state comes back.
+            rngs = [
+                ("per-set", plan.seed, machine.machine_id, plan.starts[machine.machine_id])
+                for machine in self.machines
+            ]
+        else:
+            rngs = [machine.rng for machine in self.machines]
+        mark = self._wire_mark()
+        outcomes = self._dispatch(
+            plan.model,
+            plan.method,
+            list(plan.counts),
+            rngs,
+        )
+        times = []
+        results = []
+        ipc_bytes = 0
+        for machine, target, outcome in zip(self.machines, targets, outcomes):
+            if outcome.error is not None:
+                raise MachineFailure(machine.machine_id, plan.label) from RuntimeError(
+                    outcome.error
+                )
+            if outcome.rng_state is not None:
+                machine.set_rng_state(outcome.rng_state)
+            append_batch(target, outcome.batch)
+            times.append(outcome.elapsed * machine.slowdown)
+            results.append(outcome.batch.count)
+            ipc_bytes += outcome.nbytes
+        self.metrics.record_compute_phase(
+            GENERATION, plan.label, times, num_bytes=ipc_bytes, **self._wire_extras(mark)
+        )
+        return self._result_from_last_phase(plan.label, results)
+
+    def _run_generate_with_faults(self, plan: GeneratePhase) -> PhaseResult:
+        """Generation over real workers with real failure detection.
+
+        Injected faults become per-worker *directives* (raise, SIGKILL,
+        flip a payload byte, sever the connection); the phase timeout and
+        backoff are genuine wall-clock, so a hard-killed worker really is
+        declared lost by the deadline — and a severed connection really
+        is detected by the broken stream.
+        """
+        targets = self._generation_targets(plan)
+        counts = plan.counts
+        faults, policy = self.faults, self.retry
+        round_index = self.metrics.current_round
+        label = plan.label
+
+        times: List[float] = [0.0] * self.num_machines
+        results: List[int] = [0] * self.num_machines
+        pending = set(range(self.num_machines))
+        last_kind: Dict[int, str] = {}
+        ipc_bytes = 0
+        mark = self._wire_mark()
+
+        for attempt in range(1, policy.max_attempts + 1):
+            if not pending:
+                break
+            delay = policy.delay_before(attempt)
+            if delay:
+                time.sleep(delay)
+            ids = sorted(pending)
+            directives: List[str | None] = [
+                None
+                if (fault := faults.failure_for(mid, round_index, attempt)) is None
+                else self._directive_for(fault.kind)
+                for mid in ids
+            ]
+            outcomes = self._dispatch(
+                plan.model,
+                plan.method,
+                [counts[mid] for mid in ids],
+                [self.machines[mid].rng for mid in ids],
+                directives=directives,
+                timeout=policy.phase_timeout,
+            )
+            for mid, (batch, rng_state, elapsed, error, nbytes) in zip(ids, outcomes):
+                machine = self.machines[mid]
+                ipc_bytes += nbytes
+                if error is None:
+                    factor = faults.straggler_factor(mid, round_index, attempt)
+                    metered = elapsed * machine.slowdown * factor
+                    if factor > 1.0:
+                        self.metrics.record_recovery(
+                            "straggler-wait",
+                            mid,
+                            label,
+                            attempt,
+                            time_lost=metered - elapsed * machine.slowdown,
+                            detail=f"injected slowdown x{factor:g}",
+                        )
+                    machine.set_rng_state(rng_state)
+                    append_batch(targets[mid], batch)
+                    results[mid] = batch.count
+                    times[mid] += metered
+                    pending.discard(mid)
+                    continue
+                kind = self._error_kind(error)
+                last_kind[mid] = kind
+                lost = elapsed * machine.slowdown + delay
+                self.metrics.record_recovery(
+                    kind, mid, label, attempt, time_lost=lost, detail=error
+                )
+                times[mid] += lost
+
+        if pending:
+            failed = {mid: last_kind.get(mid, "crash") for mid in sorted(pending)}
+            if not policy.reassign:
+                self._raise_unrecovered(label, failed, policy.max_attempts)
+            # Reassignment of last resort: the master replays each lost
+            # quota inline with the machine's own (never-advanced) RNG, so
+            # the batches equal what the workers would have produced.
+            sampler = self.sampler(plan.model, plan.method)
+            for mid in sorted(pending):
+                machine = self.machines[mid]
+                start = time.perf_counter()
+                batch = sampler.sample_batch(machine.rng, counts[mid])
+                elapsed = time.perf_counter() - start
+                append_batch(targets[mid], batch)
+                results[mid] = batch.count
+                times[mid] += elapsed
+                self.metrics.record_recovery(
+                    "reassignment",
+                    mid,
+                    label,
+                    policy.max_attempts,
+                    time_lost=elapsed,
+                    detail=(
+                        f"quota of {counts[mid]} RR sets replayed on the master "
+                        f"after {failed[mid]}"
+                    ),
+                )
+
+        self.metrics.record_compute_phase(
+            GENERATION, label, times, num_bytes=ipc_bytes, **self._wire_extras(mark)
+        )
+        return self._result_from_last_phase(label, results)
+
+
+class MultiprocessingExecutor(WorkerBackedExecutor):
+    """Real OS-process fan-out for the generation phase.
 
     The executor owns a persistent :class:`~repro.cluster.parallel.GenerationPool`
     — workers and the shared-memory graph broadcast live for the whole
     run instead of being rebuilt every phase.  Call :meth:`close` (the
-    entry points do, in a ``finally``) to stop the workers and unlink
+    entry points do, via a ``with``-block) to stop the workers and unlink
     the shared block.  Generation phases record the framed, compressed
-    payload bytes the workers actually shipped.
+    payload bytes the workers actually shipped; worker wall-clock time is
+    scaled by the machine's ``slowdown``, keeping heterogeneous-cluster
+    metering consistent.
 
     Non-generation phases run through the shared accounting path: seed
     selection is master-side and cheap compared to generation (the
@@ -599,169 +825,73 @@ class MultiprocessingExecutor(Executor):
         if self._pool is not None:
             self._pool.refresh_graph()
 
-    def _run_generate(self, plan: GeneratePhase) -> PhaseResult:
-        if self.faults is not None:
-            return self._run_generate_with_faults(plan)
-        targets = self._generation_targets(plan)
-        if plan.rng_scheme == "per-set":
-            # The worker resolves this token into per_set_rng substreams;
-            # the machines' sequential streams are never consumed, so no
-            # rng_state comes back.
-            rngs = [
-                ("per-set", plan.seed, machine.machine_id, plan.starts[machine.machine_id])
-                for machine in self.machines
-            ]
-        else:
-            rngs = [machine.rng for machine in self.machines]
-        outcomes = self.pool.run(
-            plan.model,
-            plan.method,
-            list(plan.counts),
-            rngs,
+    def _dispatch(
+        self,
+        model: str,
+        method: str,
+        counts: List[int],
+        rngs: List[Any],
+        directives: List[str | None] | None = None,
+        timeout: float | None = None,
+    ) -> List[GenerationOutcome]:
+        return self.pool.run(
+            model, method, counts, rngs, directives=directives, timeout=timeout
         )
-        times = []
-        results = []
-        ipc_bytes = 0
-        for machine, target, outcome in zip(self.machines, targets, outcomes):
-            if outcome.error is not None:
-                raise MachineFailure(machine.machine_id, plan.label) from RuntimeError(
-                    outcome.error
-                )
-            if outcome.rng_state is not None:
-                machine.set_rng_state(outcome.rng_state)
-            append_batch(target, outcome.batch)
-            times.append(outcome.elapsed * machine.slowdown)
-            results.append(outcome.batch.count)
-            ipc_bytes += outcome.nbytes
-        self.metrics.record_compute_phase(
-            GENERATION, plan.label, times, num_bytes=ipc_bytes
-        )
-        return self._result_from_last_phase(plan.label, results)
-
-    def _run_generate_with_faults(self, plan: GeneratePhase) -> PhaseResult:
-        """Generation over real workers with real failure detection.
-
-        Injected faults become per-worker *directives* (raise, SIGKILL,
-        flip a payload byte); the phase timeout and backoff are genuine
-        wall-clock, so a hard-killed worker really is declared lost by the
-        deadline.  A machine's own RNG is only advanced once its payload
-        verifies, so every retry ships the identical pre-attempt state and
-        redraws the identical batch — content never depends on which
-        faults fired.
-        """
-        targets = self._generation_targets(plan)
-        counts = plan.counts
-        faults, policy = self.faults, self.retry
-        round_index = self.metrics.current_round
-        label = plan.label
-
-        times: List[float] = [0.0] * self.num_machines
-        results: List[int] = [0] * self.num_machines
-        pending = set(range(self.num_machines))
-        last_kind: Dict[int, str] = {}
-        ipc_bytes = 0
-
-        for attempt in range(1, policy.max_attempts + 1):
-            if not pending:
-                break
-            delay = policy.delay_before(attempt)
-            if delay:
-                time.sleep(delay)
-            ids = sorted(pending)
-            directives: List[str | None] = []
-            for mid in ids:
-                fault = faults.failure_for(mid, round_index, attempt)
-                if fault is None:
-                    directives.append(None)
-                elif fault.kind in (CRASH_HARD, DROP):
-                    # Both are silent from the master's side: the worker
-                    # dies (or its payload vanishes) and only the phase
-                    # deadline notices.
-                    directives.append(CRASH_HARD)
-                else:
-                    directives.append(fault.kind)
-            outcomes = self.pool.run(
-                plan.model,
-                plan.method,
-                [counts[mid] for mid in ids],
-                [self.machines[mid].rng for mid in ids],
-                directives=directives,
-                timeout=policy.phase_timeout,
-            )
-            for mid, (batch, rng_state, elapsed, error, nbytes) in zip(ids, outcomes):
-                machine = self.machines[mid]
-                ipc_bytes += nbytes
-                if error is None:
-                    factor = faults.straggler_factor(mid, round_index, attempt)
-                    metered = elapsed * machine.slowdown * factor
-                    if factor > 1.0:
-                        self.metrics.record_recovery(
-                            "straggler-wait",
-                            mid,
-                            label,
-                            attempt,
-                            time_lost=metered - elapsed * machine.slowdown,
-                            detail=f"injected slowdown x{factor:g}",
-                        )
-                    machine.set_rng_state(rng_state)
-                    append_batch(targets[mid], batch)
-                    results[mid] = batch.count
-                    times[mid] += metered
-                    pending.discard(mid)
-                    continue
-                if error.startswith("timeout"):
-                    kind = "timeout"
-                elif error.startswith("corruption"):
-                    kind = "corruption"
-                else:
-                    kind = "crash"
-                last_kind[mid] = kind
-                lost = elapsed * machine.slowdown + delay
-                self.metrics.record_recovery(
-                    kind, mid, label, attempt, time_lost=lost, detail=error
-                )
-                times[mid] += lost
-
-        if pending:
-            failed = {mid: last_kind.get(mid, "crash") for mid in sorted(pending)}
-            if not policy.reassign:
-                self._raise_unrecovered(label, failed, policy.max_attempts)
-            # Reassignment of last resort: the master replays each lost
-            # quota inline with the machine's own (never-advanced) RNG, so
-            # the batches equal what the workers would have produced.
-            sampler = self.sampler(plan.model, plan.method)
-            for mid in sorted(pending):
-                machine = self.machines[mid]
-                start = time.perf_counter()
-                batch = sampler.sample_batch(machine.rng, counts[mid])
-                elapsed = time.perf_counter() - start
-                append_batch(targets[mid], batch)
-                results[mid] = batch.count
-                times[mid] += elapsed
-                self.metrics.record_recovery(
-                    "reassignment",
-                    mid,
-                    label,
-                    policy.max_attempts,
-                    time_lost=elapsed,
-                    detail=(
-                        f"quota of {counts[mid]} RR sets replayed on the master "
-                        f"after {failed[mid]}"
-                    ),
-                )
-
-        self.metrics.record_compute_phase(GENERATION, label, times, num_bytes=ipc_bytes)
-        return self._result_from_last_phase(label, results)
 
 
 # ----------------------------------------------------------------------
 # Factories
 # ----------------------------------------------------------------------
-EXECUTORS: Tuple[str, ...] = ("simulated", "multiprocessing")
+EXECUTORS: Tuple[str, ...] = ("simulated", "multiprocessing", "socket")
+
+
+def fold_legacy_executor_kwargs(
+    spec: ExecutorSpec,
+    *,
+    processes: int | None = None,
+    start_method: str | None = None,
+    zero_copy: bool | None = None,
+    owner: str = "make_executor",
+) -> ExecutorSpec:
+    """Fold deprecated per-backend kwargs into an :class:`ExecutorSpec`.
+
+    Emits one :class:`DeprecationWarning` per kwarg actually passed, then
+    returns a spec with the value applied (explicit spec options win over
+    legacy kwargs).  Legacy kwargs on a backend that has no such option
+    (``processes`` with the simulated or socket executor) raise
+    ``ValueError`` exactly as the old keyword plumbing did implicitly by
+    ignoring them — silently dropping a requested worker count would be
+    worse than failing.
+    """
+    legacy = {
+        "processes": processes,
+        "start_method": start_method,
+        "zero_copy": zero_copy,
+    }
+    changes = {}
+    for name, value in legacy.items():
+        if value is None:
+            continue
+        warnings.warn(
+            f"{owner}: the {name}= keyword is deprecated; pass an ExecutorSpec "
+            f'(e.g. MultiprocessingSpec({name}={value!r})) or a string shorthand '
+            "instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        if not any(f.name == name for f in dataclasses.fields(spec)):
+            raise ValueError(
+                f"{name}= does not apply to the {spec.kind!r} executor"
+            )
+        if getattr(spec, name) is None:
+            changes[name] = value
+    if changes:
+        spec = spec.with_overrides(**changes)
+    return spec.validate()
 
 
 def make_executor(
-    name: str,
+    spec: ExecutorSpec | str | None,
     cluster: SimulatedCluster,
     graph=None,
     processes: int | None = None,
@@ -770,30 +900,76 @@ def make_executor(
     start_method: str | None = None,
     zero_copy: bool | None = None,
 ) -> Executor:
-    """Build the named executor over ``cluster``.
+    """Build the executor an :class:`~repro.cluster.spec.ExecutorSpec` describes.
 
-    ``processes``, ``start_method`` and ``zero_copy`` only apply to the
-    multiprocessing backend: worker-pool size (defaults to one process
-    per machine capped at the CPU count), ``multiprocessing`` start
-    method, and whether the graph is broadcast through shared memory
-    (default: try, fall back to copying).  ``faults`` (a
-    :class:`~repro.cluster.faults.FaultPlan`) enables the fault-tolerant
-    generation path on either backend; ``retry`` overrides the default
-    recovery policy.
+    ``spec`` is a spec instance, a string shorthand (``"simulated"``,
+    ``"multiprocessing:8"``, ``"socket:127.0.0.1:9100,9101"`` — see
+    :mod:`repro.cluster.spec`) or ``None`` for the default simulated
+    backend.  ``faults`` (a :class:`~repro.cluster.faults.FaultPlan`)
+    enables the fault-tolerant generation path on any backend; ``retry``
+    overrides the default recovery policy.
+
+    ``processes``, ``start_method`` and ``zero_copy`` are deprecated:
+    they predate specs and now warn before being folded into the spec's
+    matching option (the spec wins when both are given).
     """
-    if name == "simulated":
+    resolved = fold_legacy_executor_kwargs(
+        as_spec(spec),
+        processes=processes,
+        start_method=start_method,
+        zero_copy=zero_copy,
+    )
+    if isinstance(resolved, SimulatedSpec):
         return SimulatedExecutor(cluster, graph=graph, faults=faults, retry=retry)
-    if name == "multiprocessing":
+    if isinstance(resolved, MultiprocessingSpec):
         return MultiprocessingExecutor(
             cluster,
             graph=graph,
-            processes=processes,
+            processes=resolved.processes,
             faults=faults,
             retry=retry,
-            start_method=start_method,
-            zero_copy=zero_copy,
+            start_method=resolved.start_method,
+            zero_copy=resolved.zero_copy,
         )
-    raise ValueError(f"unknown executor {name!r}; expected one of {EXECUTORS}")
+    if isinstance(resolved, SocketSpec):
+        # Imported lazily: the socket backend pulls in server plumbing
+        # that pure simulated/multiprocessing runs never need.
+        from .socket_executor import SocketExecutor
+
+        return SocketExecutor(
+            cluster, graph=graph, spec=resolved, faults=faults, retry=retry
+        )
+    raise ValueError(
+        f"no executor registered for spec kind {resolved.kind!r}; "
+        f"expected one of {EXECUTORS}"
+    )
+
+
+@contextmanager
+def executor_scope(exec_: Executor, *, owned: bool) -> Iterator[RunMetrics]:
+    """Scope one entry-point run on an owned or lent executor.
+
+    An *owned* executor (the entry point built it) is entered as a
+    context manager, so its worker pool and shared-memory graph are
+    reclaimed on every exit path — fault-recovery aborts and checkpoint
+    crashes included.  A *lent* executor is metered in isolation
+    instead: a fresh :class:`~repro.cluster.metrics.RunMetrics` replaces
+    the cluster's for the duration and is folded back into the caller's
+    accumulated metrics on exit.  Yields the metrics the scoped run
+    records into.
+    """
+    cluster = exec_.cluster
+    if owned:
+        with exec_:
+            yield cluster.metrics
+    else:
+        previous, metrics = cluster.metrics, RunMetrics()
+        cluster.metrics = metrics
+        try:
+            yield metrics
+        finally:
+            cluster.metrics = previous
+            previous.merge(metrics)
 
 
 def as_executor(obj) -> Executor:

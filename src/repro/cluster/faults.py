@@ -46,7 +46,9 @@ __all__ = [
     "STRAGGLER",
     "CORRUPT",
     "DROP",
+    "DISCONNECT",
     "FAULT_KINDS",
+    "FAILURE_KINDS",
     "FaultSpec",
     "FaultPlan",
     "RetryPolicy",
@@ -67,14 +69,19 @@ STRAGGLER = "straggler"
 CORRUPT = "corrupt"
 #: The payload never arrives; only the phase timeout detects it.
 DROP = "drop"
+#: The machine's transport connection closes mid-attempt.  The socket
+#: executor detects this *immediately* (EOF/reset on the stream, no
+#: deadline wait) and reconnects before retrying; backends without a
+#: connection treat it like a silent loss.
+DISCONNECT = "disconnect"
 
-FAULT_KINDS: Tuple[str, ...] = (CRASH, CRASH_HARD, STRAGGLER, CORRUPT, DROP)
+FAULT_KINDS: Tuple[str, ...] = (CRASH, CRASH_HARD, STRAGGLER, CORRUPT, DROP, DISCONNECT)
 
 #: Kinds that make an attempt fail outright (vs. merely slowing it).
-FAILURE_KINDS: Tuple[str, ...] = (CRASH, CRASH_HARD, DROP)
+FAILURE_KINDS: Tuple[str, ...] = (CRASH, CRASH_HARD, DROP, DISCONNECT)
 
 _SPEC_RE = re.compile(
-    r"^(?P<kind>crash-hard|crash|straggler|corrupt|drop)"
+    r"^(?P<kind>crash-hard|crash|straggler|corrupt|drop|disconnect)"
     r"@m(?P<machine>\d+)"
     r"(?:r(?P<round>\d+|\*))?"
     r"(?:a(?P<attempt>\d+|\*))?"
@@ -201,6 +208,7 @@ class FaultPlan:
             straggler@m0x3.5    machine 0 runs 3.5x slow in every round
             corrupt@m2r1        machine 2's round-1 payload fails its CRC
             crash@m1a*          machine 1 dies on every attempt (reassignment)
+            disconnect@m0r1     machine 0's connection drops in round 1
         """
         specs = []
         for part in filter(None, (piece.strip() for piece in re.split(r"[;,]", text))):

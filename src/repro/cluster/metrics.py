@@ -42,6 +42,13 @@ class PhaseRecord:
     :class:`~repro.core.driver.RoundDriver` stamps on every phase executed
     inside one of its rounds (``None`` for phases recorded outside a
     driver loop), letting tracing attribute time to doubling rounds.
+
+    ``wire_sent`` / ``wire_received`` / ``round_trips`` are the *measured*
+    transport counters the socket executor stamps on its generation
+    phases: framed bytes written to and read from real sockets, and the
+    number of completed request/response exchanges.  They stay zero for
+    backends without a wire (``num_bytes`` keeps the backend-neutral
+    payload accounting that the cross-executor conformance tests pin).
     """
 
     category: str
@@ -51,6 +58,9 @@ class PhaseRecord:
     num_bytes: int = 0
     round_index: int | None = None
     rule: str | None = None
+    wire_sent: int = 0
+    wire_received: int = 0
+    round_trips: int = 0
 
     @property
     def total_machine_time(self) -> float:
@@ -66,10 +76,11 @@ class RecoveryEvent:
     ``kind`` is one of ``"crash"`` (a worker's attempt raised or its
     process died), ``"timeout"`` (the phase deadline expired before the
     payload arrived), ``"corruption"`` (the payload failed its CRC32
-    check and was retransmitted/regenerated), ``"straggler-wait"`` (the
-    phase waited on an injected or real straggler) or ``"reassignment"``
-    (the machine exhausted its attempts and a survivor took over its
-    quota).  ``time_lost`` is the simulated seconds the incident added to
+    check and was retransmitted/regenerated), ``"disconnect"`` (the
+    worker's transport connection closed mid-attempt and was re-dialed),
+    ``"straggler-wait"`` (the phase waited on an injected or real
+    straggler) or ``"reassignment"`` (the machine exhausted its attempts
+    and a survivor took over its quota).  ``time_lost`` is the simulated seconds the incident added to
     the run — wasted attempts, backoff, retransmissions, straggler
     excess — so experiment tables can report time-under-failure.
     """
@@ -129,6 +140,9 @@ class RunMetrics:
         label: str,
         machine_times: list[float],
         num_bytes: int = 0,
+        wire_sent: int = 0,
+        wire_received: int = 0,
+        round_trips: int = 0,
     ) -> None:
         """Record a phase executed by all machines in parallel.
 
@@ -136,7 +150,9 @@ class RunMetrics:
         zero for the simulated backend (whose communication is metered
         by explicit gather/broadcast phases), and the framed compressed
         worker payloads for the multiprocessing backend's generation
-        phases.
+        phases.  ``wire_sent`` / ``wire_received`` / ``round_trips`` are
+        the socket backend's measured transport counters (see
+        :class:`PhaseRecord`).
         """
         if category not in (GENERATION, COMPUTATION):
             raise ValueError(f"compute phases must be generation/computation, got {category}")
@@ -149,6 +165,9 @@ class RunMetrics:
                 num_bytes=int(num_bytes),
                 round_index=self._round_index,
                 rule=self._rule,
+                wire_sent=int(wire_sent),
+                wire_received=int(wire_received),
+                round_trips=int(round_trips),
             )
         )
 
@@ -274,6 +293,29 @@ class RunMetrics:
     def total_bytes(self) -> int:
         """Total bytes moved between machines."""
         return sum(p.num_bytes for p in self.phases)
+
+    @property
+    def wire_sent_bytes(self) -> int:
+        """Total measured bytes written to real sockets (0 off-wire)."""
+        return sum(p.wire_sent for p in self.phases)
+
+    @property
+    def wire_received_bytes(self) -> int:
+        """Total measured bytes read from real sockets (0 off-wire)."""
+        return sum(p.wire_received for p in self.phases)
+
+    @property
+    def total_round_trips(self) -> int:
+        """Total completed request/response exchanges over real sockets."""
+        return sum(p.round_trips for p in self.phases)
+
+    def wire_summary(self) -> Dict[str, int]:
+        """Measured transport traffic: sent/received bytes and round trips."""
+        return {
+            "wire_sent": self.wire_sent_bytes,
+            "wire_received": self.wire_received_bytes,
+            "round_trips": self.total_round_trips,
+        }
 
     @property
     def sequential_time(self) -> float:

@@ -1,0 +1,354 @@
+"""Declarative executor specification: one object instead of kwarg soup.
+
+Historically the executor choice travelled as an ad-hoc string
+(``executor="simulated"|"multiprocessing"``) plus backend-specific
+keywords (``processes=``, ``start_method=``, ``zero_copy=``) threaded
+through :class:`~repro.core.config.RunConfig`, every ``*_from_config``
+entry point, :class:`~repro.core.pool.SamplePool` and ``repro serve``.
+Adding the socket backend would have meant another round of keyword
+plumbing through all of them.
+
+An :class:`ExecutorSpec` carries the backend *and* its validated options
+as one frozen value:
+
+* :class:`SimulatedSpec` — sequential metered execution (no options);
+* :class:`MultiprocessingSpec` — local OS-process fan-out
+  (``processes``, ``start_method``, ``zero_copy``);
+* :class:`SocketSpec` — TCP workers
+  (:class:`~repro.cluster.socket_executor.SocketExecutor`): either
+  ``addresses`` of externally started workers or locally spawned
+  loopback workers, plus connection/heartbeat deadlines.
+
+Every spec kind registers itself in :data:`EXECUTOR_SPECS`; the single
+factory :func:`~repro.cluster.executor.make_executor` resolves a spec —
+or its string shorthand — into the executor instance.
+
+String shorthands (the CLI surface)
+-----------------------------------
+``parse`` understands::
+
+    simulated
+    multiprocessing              # pool sized to the machine count
+    multiprocessing:8            # 8 worker processes
+    socket                       # spawn loopback workers, one per machine
+    socket:4                     # spawn 4 loopback workers
+    socket:127.0.0.1:9100,9101   # connect to externally started workers
+    socket:h1:9100,9101;h2:9100  # multiple hosts (';'-separated groups)
+
+``describe()`` is the inverse: it renders a spec back into its canonical
+shorthand, so configs stay JSON-serializable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from typing import Callable, ClassVar, Dict, Tuple, Type
+
+__all__ = [
+    "ExecutorSpec",
+    "SimulatedSpec",
+    "MultiprocessingSpec",
+    "SocketSpec",
+    "EXECUTOR_SPECS",
+    "EXECUTOR_KINDS",
+    "register_spec",
+    "as_spec",
+    "spec_summary",
+]
+
+#: Registry mapping spec kind -> spec class; executor construction is
+#: resolved against it by :func:`repro.cluster.executor.make_executor`.
+EXECUTOR_SPECS: Dict[str, Type["ExecutorSpec"]] = {}
+
+
+def register_spec(cls: Type["ExecutorSpec"]) -> Type["ExecutorSpec"]:
+    """Class decorator adding a spec kind to :data:`EXECUTOR_SPECS`."""
+    if not cls.kind or cls.kind in EXECUTOR_SPECS:
+        raise ValueError(f"executor spec kind {cls.kind!r} is empty or taken")
+    EXECUTOR_SPECS[cls.kind] = cls
+    return cls
+
+
+def _kinds() -> Tuple[str, ...]:
+    return tuple(EXECUTOR_SPECS)
+
+
+@dataclass(frozen=True)
+class ExecutorSpec:
+    """Base class of all executor specifications.
+
+    Subclasses set :attr:`kind`, add their option fields (all with
+    defaults, so ``Spec()`` is always valid) and override
+    :meth:`validate` / :meth:`describe` as needed.
+    """
+
+    kind: ClassVar[str] = ""
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self) -> "ExecutorSpec":
+        """Check every option; raise ``ValueError`` naming the bad one.
+
+        Returns ``self`` so call sites can chain ``spec.validate()``.
+        """
+        return self
+
+    def with_overrides(self, **changes) -> "ExecutorSpec":
+        """A copy with the given option fields replaced (frozen-safe)."""
+        return replace(self, **changes)
+
+    # ------------------------------------------------------------------
+    # String form
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """The spec's canonical string shorthand."""
+        return self.kind
+
+    @staticmethod
+    def parse(text: str) -> "ExecutorSpec":
+        """Parse a string shorthand (see the module docstring).
+
+        Raises ``ValueError`` for unknown kinds or malformed options.
+        """
+        head, sep, rest = text.strip().partition(":")
+        cls = EXECUTOR_SPECS.get(head)
+        if cls is None:
+            raise ValueError(
+                f"unknown executor {head!r}; expected one of {_kinds()}"
+            )
+        return cls._parse_options(rest if sep else "").validate()
+
+    @classmethod
+    def _parse_options(cls, rest: str) -> "ExecutorSpec":
+        if rest:
+            raise ValueError(
+                f"executor {cls.kind!r} takes no ':'-options, got {rest!r}"
+            )
+        return cls()
+
+    @staticmethod
+    def coerce(value) -> "ExecutorSpec":
+        """Coerce a spec, a shorthand string, or ``None`` to a spec.
+
+        ``None`` means the default (:class:`SimulatedSpec`).  This is the
+        one funnel every entry point pushes its ``executor`` argument
+        through, so specs and strings are interchangeable everywhere.
+        """
+        if value is None:
+            return SimulatedSpec()
+        if isinstance(value, ExecutorSpec):
+            return value.validate()
+        if isinstance(value, str):
+            return ExecutorSpec.parse(value)
+        raise ValueError(
+            f"executor must be an ExecutorSpec or one of {_kinds()} "
+            f"(string shorthands allowed), got {value!r}"
+        )
+
+    def __str__(self) -> str:
+        return self.describe()
+
+
+# `as_spec` reads better at call sites that already hold "maybe a spec".
+as_spec: Callable[[object], ExecutorSpec] = ExecutorSpec.coerce
+
+
+@register_spec
+@dataclass(frozen=True)
+class SimulatedSpec(ExecutorSpec):
+    """Sequential metered execution on the simulated cluster."""
+
+    kind: ClassVar[str] = "simulated"
+
+
+@dataclass(frozen=True)
+class _StartMethodOptions(ExecutorSpec):
+    """Shared validation for specs that spawn local processes."""
+
+    start_method: str | None = None
+
+    def validate(self) -> "ExecutorSpec":
+        if self.start_method is not None and self.start_method not in (
+            "fork",
+            "spawn",
+            "forkserver",
+        ):
+            raise ValueError(
+                f"{self.kind} start_method must be fork/spawn/forkserver "
+                f"or None, got {self.start_method!r}"
+            )
+        return self
+
+
+@register_spec
+@dataclass(frozen=True)
+class MultiprocessingSpec(_StartMethodOptions):
+    """Local OS-process fan-out through a persistent GenerationPool.
+
+    Parameters
+    ----------
+    processes:
+        Worker-pool size; ``None`` sizes the pool to the machine count,
+        capped at the CPU count.
+    start_method:
+        ``multiprocessing`` start method; ``None`` defers to
+        ``REPRO_MP_START_METHOD``, then ``fork`` where available.
+    zero_copy:
+        ``True`` requires the shared-memory graph broadcast, ``False``
+        forces the copy-based one, ``None`` (default) tries shared
+        memory and falls back.
+    """
+
+    kind: ClassVar[str] = "multiprocessing"
+    processes: int | None = None
+    zero_copy: bool | None = None
+
+    def validate(self) -> "ExecutorSpec":
+        super().validate()
+        if self.processes is not None and self.processes < 1:
+            raise ValueError(
+                f"multiprocessing processes must be >= 1 or None, got {self.processes}"
+            )
+        return self
+
+    def describe(self) -> str:
+        return self.kind if self.processes is None else f"{self.kind}:{self.processes}"
+
+    @classmethod
+    def _parse_options(cls, rest: str) -> "ExecutorSpec":
+        if not rest:
+            return cls()
+        try:
+            return cls(processes=int(rest))
+        except ValueError:
+            raise ValueError(
+                f"multiprocessing options must be a worker count, got {rest!r}"
+            ) from None
+
+
+@register_spec
+@dataclass(frozen=True)
+class SocketSpec(_StartMethodOptions):
+    """TCP workers, each logical machine served over a persistent socket.
+
+    Parameters
+    ----------
+    addresses:
+        ``(host, port)`` pairs of externally started workers
+        (``repro worker --port ...``).  ``None`` (default) spawns
+        loopback worker processes owned by the executor.
+    workers:
+        How many loopback workers to spawn when ``addresses`` is
+        ``None``; defaults to one per machine, capped at the CPU count.
+    start_method:
+        Start method for spawned loopback workers.
+    connect_timeout:
+        Seconds allowed for connecting + enrolling each worker.
+    heartbeat_timeout:
+        Seconds a heartbeat ping may take before the worker is
+        considered unreachable.
+    graph_path:
+        When set, enrollment tells workers to load the graph from this
+        ``.npz`` file (:func:`repro.graphs.io.load_npz`) instead of
+        shipping it over the wire — the real-cluster mode where every
+        machine has the dataset on local disk.
+    zero_copy:
+        Shared-memory graph broadcast for *spawned loopback* workers:
+        ``True`` requires it, ``False`` ships the graph inline over the
+        socket, ``None`` (default) tries shared memory and falls back.
+        Ignored for external ``addresses``, which always enroll over
+        the wire (or from ``graph_path``).
+    """
+
+    kind: ClassVar[str] = "socket"
+    addresses: Tuple[Tuple[str, int], ...] | None = None
+    workers: int | None = None
+    connect_timeout: float = 10.0
+    heartbeat_timeout: float = 5.0
+    graph_path: str | None = None
+    zero_copy: bool | None = None
+
+    def __post_init__(self) -> None:
+        if self.addresses is not None:
+            frozen = tuple((str(h), int(p)) for h, p in self.addresses)
+            object.__setattr__(self, "addresses", frozen)
+
+    def validate(self) -> "ExecutorSpec":
+        super().validate()
+        if self.addresses is not None:
+            if not self.addresses:
+                raise ValueError("socket addresses must be non-empty or None")
+            for host, port in self.addresses:
+                if not host or not 0 < port < 65536:
+                    raise ValueError(
+                        f"socket address {(host, port)!r} is not a valid (host, port)"
+                    )
+            if self.workers is not None:
+                raise ValueError(
+                    "socket workers= applies to spawned loopback workers only; "
+                    "with addresses= the worker count is len(addresses)"
+                )
+        if self.workers is not None and self.workers < 1:
+            raise ValueError(f"socket workers must be >= 1 or None, got {self.workers}")
+        if self.connect_timeout <= 0:
+            raise ValueError(
+                f"socket connect_timeout must be positive, got {self.connect_timeout}"
+            )
+        if self.heartbeat_timeout <= 0:
+            raise ValueError(
+                f"socket heartbeat_timeout must be positive, got {self.heartbeat_timeout}"
+            )
+        return self
+
+    def describe(self) -> str:
+        if self.addresses is not None:
+            groups: list[str] = []
+            for host, port in self.addresses:
+                prefix = f"{host}:"
+                if groups and groups[-1].startswith(prefix):
+                    groups[-1] += f",{port}"
+                else:
+                    groups.append(f"{host}:{port}")
+            return f"{self.kind}:" + ";".join(groups)
+        return self.kind if self.workers is None else f"{self.kind}:{self.workers}"
+
+    @classmethod
+    def _parse_options(cls, rest: str) -> "ExecutorSpec":
+        if not rest:
+            return cls()
+        if rest.isdigit():
+            return cls(workers=int(rest))
+        addresses: list[Tuple[str, int]] = []
+        for group in filter(None, (g.strip() for g in rest.split(";"))):
+            host, sep, ports = group.rpartition(":")
+            if not sep or not host:
+                raise ValueError(
+                    f"socket address group {group!r} must be HOST:PORT[,PORT...]"
+                )
+            for part in filter(None, (p.strip() for p in ports.split(","))):
+                try:
+                    addresses.append((host, int(part)))
+                except ValueError:
+                    raise ValueError(
+                        f"socket port {part!r} in {group!r} is not an integer"
+                    ) from None
+        if not addresses:
+            raise ValueError(f"socket options {rest!r} name no ports")
+        return cls(addresses=tuple(addresses))
+
+
+#: Kinds registered by this module, in registration order.  Third-party
+#: kinds added later via :func:`register_spec` appear in
+#: ``EXECUTOR_SPECS`` but not here.
+EXECUTOR_KINDS: Tuple[str, ...] = _kinds()
+
+
+def spec_summary(spec: ExecutorSpec) -> dict:
+    """A JSON-friendly dump of a spec (kind plus non-default options)."""
+    out = {"kind": spec.kind}
+    for field in fields(spec):
+        value = getattr(spec, field.name)
+        if value != field.default:
+            out[field.name] = value
+    return out

@@ -15,12 +15,14 @@ facade and direct library use all fail identically.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field, fields, replace
 from typing import Any
 
 from ..cluster.executor import EXECUTORS
 from ..cluster.faults import FaultPlan, RetryPolicy
 from ..cluster.network import NetworkModel
+from ..cluster.spec import ExecutorSpec, as_spec
 
 __all__ = ["RunConfig", "BACKENDS", "MODELS", "METHODS"]
 
@@ -57,9 +59,14 @@ class RunConfig:
     backend:
         Coverage-store flavour (:data:`BACKENDS`).
     executor:
-        Phase-plan executor (:data:`~repro.cluster.executor.EXECUTORS`).
+        An :class:`~repro.cluster.spec.ExecutorSpec` or its string
+        shorthand (``"simulated"``, ``"multiprocessing:4"``,
+        ``"socket:127.0.0.1:9100,9101"``); coerced to a spec at
+        construction.
     processes:
-        Worker-pool size for the multiprocessing executor.
+        Deprecated — worker-pool size for the multiprocessing executor.
+        Use ``executor=MultiprocessingSpec(processes=...)`` or the
+        ``"multiprocessing:N"`` shorthand instead.
     network:
         Master<->slave cost model; ``None`` means the shared-memory
         profile.
@@ -88,7 +95,7 @@ class RunConfig:
     method: str = "bfs"
     seed: int = 0
     backend: str = "flat"
-    executor: str = "simulated"
+    executor: str | ExecutorSpec = "simulated"
     processes: int | None = None
     network: NetworkModel | None = None
     checkpoint_dir: str | None = None
@@ -100,6 +107,21 @@ class RunConfig:
     def __post_init__(self) -> None:
         if isinstance(self.faults, str):
             object.__setattr__(self, "faults", FaultPlan.parse(self.faults))
+        if not isinstance(self.executor, ExecutorSpec):
+            try:
+                object.__setattr__(self, "executor", as_spec(self.executor))
+            except (TypeError, ValueError):
+                # Left as-is so validate() reports the canonical
+                # ``config.executor must be one of ...`` message.
+                pass
+        if self.processes is not None:
+            warnings.warn(
+                "RunConfig.processes is deprecated; use "
+                "executor=MultiprocessingSpec(processes=...) or the "
+                "'multiprocessing:N' shorthand",
+                DeprecationWarning,
+                stacklevel=3,
+            )
 
     def validate(self, algorithm: str | None = None) -> "RunConfig":
         """Check every field; raise ``ValueError`` naming the bad one.
@@ -126,10 +148,14 @@ class RunConfig:
             raise ValueError(
                 f"config.backend must be one of {BACKENDS}, got {self.backend!r}"
             )
-        if self.executor not in EXECUTORS:
+        if not isinstance(self.executor, ExecutorSpec):
             raise ValueError(
                 f"config.executor must be one of {EXECUTORS}, got {self.executor!r}"
             )
+        try:
+            self.executor.validate()
+        except ValueError as exc:
+            raise ValueError(f"config.executor is invalid: {exc}") from None
         if self.processes is not None and self.processes < 1:
             raise ValueError(
                 f"config.processes must be >= 1 or None, got {self.processes}"
@@ -151,6 +177,22 @@ class RunConfig:
         """A copy with the given fields replaced (frozen-safe)."""
         return replace(self, **changes)
 
+    def executor_spec(self) -> ExecutorSpec:
+        """The validated executor spec, with the deprecated ``processes``
+        field folded in (silently — the deprecation already warned at
+        construction).  Entry points resolve the executor through this,
+        so a spec's own ``processes`` always wins over the legacy field,
+        and ``processes`` stays a no-op for backends without a pool —
+        matching the historical keyword behaviour."""
+        spec = self.executor if isinstance(self.executor, ExecutorSpec) else as_spec(self.executor)
+        if (
+            self.processes is not None
+            and hasattr(spec, "processes")
+            and spec.processes is None
+        ):
+            spec = spec.with_overrides(processes=self.processes)
+        return spec.validate()
+
     def describe(self) -> dict[str, Any]:
         """A JSON-friendly summary (graph as its size, plan as its syntax)."""
         out: dict[str, Any] = {}
@@ -158,7 +200,7 @@ class RunConfig:
             value = getattr(self, spec.name)
             if spec.name == "graph":
                 value = None if value is None else f"graph(n={value.num_nodes})"
-            elif isinstance(value, FaultPlan):
+            elif isinstance(value, (FaultPlan, ExecutorSpec)):
                 value = value.describe()
             elif isinstance(value, NetworkModel):
                 value = value.name

@@ -21,9 +21,8 @@ the pieces and reads the result.
 from __future__ import annotations
 
 from ..cluster.cluster import SimulatedCluster
-from ..cluster.executor import make_executor
+from ..cluster.executor import executor_scope, make_executor
 from ..cluster.faults import FaultPlan, RetryPolicy
-from ..cluster.metrics import RunMetrics
 from ..cluster.network import NetworkModel
 from ..graphs.digraph import DirectedGraph
 from ..ris import make_collection
@@ -193,10 +192,9 @@ def diimm_from_config(
             config.machines, network=config.network, seed=config.seed
         )
         exec_ = make_executor(
-            config.executor,
+            config.executor_spec(),
             cluster,
             graph=graph,
-            processes=config.processes,
             faults=config.faults,
             retry=config.retry,
         )
@@ -235,20 +233,6 @@ def diimm_from_config(
         checkpoint=checkpoint,
         resume=config.resume,
     )
-    metrics = cluster.metrics
-    if not owns_executor:
-        # Meter the lent-executor run in isolation, then fold it into the
-        # caller's accumulated metrics.
-        previous, metrics = cluster.metrics, RunMetrics()
-        cluster.metrics = metrics
-    try:
+    with executor_scope(exec_, owned=owns_executor) as metrics:
         run = driver.run()
-    finally:
-        if owns_executor:
-            # Reclaim the worker pool and shared-memory graph on every exit
-            # path, including fault-recovery aborts and checkpoint crashes.
-            exec_.close()
-        else:
-            cluster.metrics = previous
-            previous.merge(metrics)
     return result(run, driver, metrics, exec_.name)

@@ -30,9 +30,8 @@ from __future__ import annotations
 import math
 
 from ..cluster.cluster import SimulatedCluster
-from ..cluster.executor import make_executor
+from ..cluster.executor import executor_scope, make_executor
 from ..cluster.faults import FaultPlan, RetryPolicy
-from ..cluster.metrics import RunMetrics
 from ..cluster.network import NetworkModel
 from ..graphs.digraph import DirectedGraph
 from ..ris import make_collection
@@ -125,10 +124,9 @@ def distributed_opimc_from_config(config: RunConfig, *, executor=None) -> IMResu
             config.machines, network=config.network, seed=config.seed
         )
         exec_ = make_executor(
-            config.executor,
+            config.executor_spec(),
             cluster,
             graph=graph,
-            processes=config.processes,
             faults=config.faults,
             retry=config.retry,
         )
@@ -169,20 +167,8 @@ def distributed_opimc_from_config(config: RunConfig, *, executor=None) -> IMResu
         checkpoint=checkpoint,
         resume=config.resume,
     )
-    metrics = cluster.metrics
-    if not owns_executor:
-        # Meter the lent-executor run in isolation, then fold it into the
-        # caller's accumulated metrics.
-        previous, metrics = cluster.metrics, RunMetrics()
-        cluster.metrics = metrics
-    try:
+    with executor_scope(exec_, owned=owns_executor) as metrics:
         run = driver.run()
-    finally:
-        if owns_executor:
-            exec_.close()
-        else:
-            cluster.metrics = previous
-            previous.merge(metrics)
 
     total_rr = driver.total_sets("R1") + driver.total_sets("R2")
     total_size = driver.total_size("R1") + driver.total_size("R2")

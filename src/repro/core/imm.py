@@ -24,9 +24,8 @@ from __future__ import annotations
 import numpy as np
 
 from ..cluster.cluster import SimulatedCluster
-from ..cluster.executor import make_executor
+from ..cluster.executor import executor_scope, make_executor
 from ..cluster.faults import FaultPlan, RetryPolicy
-from ..cluster.metrics import RunMetrics
 from ..graphs.digraph import DirectedGraph
 from ..ris import make_collection
 from .bounds import ImmParameters
@@ -168,10 +167,9 @@ def imm_from_config(config: RunConfig, *, executor=None, pool=None) -> IMResult:
         # match the original single-machine implementation bit for bit.
         cluster.machines[0].rng = np.random.default_rng(config.seed)
         exec_ = make_executor(
-            config.executor,
+            config.executor_spec(),
             cluster,
             graph=graph,
-            processes=config.processes,
             faults=config.faults,
             retry=config.retry,
         )
@@ -209,18 +207,6 @@ def imm_from_config(config: RunConfig, *, executor=None, pool=None) -> IMResult:
         checkpoint=checkpoint,
         resume=config.resume,
     )
-    metrics = cluster.metrics
-    if not owns_executor:
-        # Meter the lent-executor run in isolation, then fold it into the
-        # caller's accumulated metrics.
-        previous, metrics = cluster.metrics, RunMetrics()
-        cluster.metrics = metrics
-    try:
+    with executor_scope(exec_, owned=owns_executor) as metrics:
         run = driver.run()
-    finally:
-        if owns_executor:
-            exec_.close()
-        else:
-            cluster.metrics = previous
-            previous.merge(metrics)
     return result(run, driver, metrics)

@@ -63,7 +63,13 @@ from typing import Dict, Iterator, List, Sequence, Tuple
 import numpy as np
 
 from ..cluster.cluster import SimulatedCluster
-from ..cluster.executor import GeneratePhase, MapPhase, make_executor
+from ..cluster.executor import (
+    GeneratePhase,
+    MapPhase,
+    fold_legacy_executor_kwargs,
+    make_executor,
+)
+from ..cluster.spec import as_spec
 from ..cluster.metrics import GENERATION, RunMetrics
 from ..cluster.network import NetworkModel
 from ..coverage.state import CoverageState
@@ -105,9 +111,14 @@ class SamplePool:
         Sampler selection; ``method`` must be prefix-deterministic
         (:data:`PREFIX_DETERMINISTIC_METHODS`).
     executor:
-        ``"simulated"`` or ``"multiprocessing"``; the pool owns the
-        executor (worker processes, shared-memory graph) until
+        An :class:`~repro.cluster.spec.ExecutorSpec` or its string
+        shorthand (``"simulated"``, ``"multiprocessing:4"``,
+        ``"socket:..."``); the pool owns the executor (worker
+        processes, shared-memory graph, socket connections) until
         :meth:`close`.
+    processes, start_method, zero_copy:
+        Deprecated — pass the matching :class:`ExecutorSpec` option
+        instead; each warns before being folded into the spec.
     rng_scheme:
         See :data:`RNG_SCHEMES`.
     sampler:
@@ -129,7 +140,7 @@ class SamplePool:
         seed: int = 0,
         model: str = "ic",
         method: str = "bfs",
-        executor: str = "simulated",
+        executor="simulated",
         processes: int | None = None,
         network: NetworkModel | None = None,
         rng_scheme: str = "cluster",
@@ -152,6 +163,15 @@ class SamplePool:
             raise ValueError(
                 f"the legacy-imm RNG scheme is single-machine, got {machines} machines"
             )
+        if sampler is not None and sampler_factory is not None:
+            raise ValueError("pass either sampler or sampler_factory, not both")
+        spec = fold_legacy_executor_kwargs(
+            as_spec(executor),
+            processes=processes,
+            start_method=start_method,
+            zero_copy=zero_copy,
+            owner="SamplePool",
+        )
         self.graph = graph
         self.seed = seed
         self.model = model
@@ -160,20 +180,17 @@ class SamplePool:
         self.cluster = SimulatedCluster(machines, network=network, seed=seed)
         if rng_scheme == "legacy-imm":
             self.cluster.machines[0].rng = np.random.default_rng(seed)
-        self.executor = make_executor(
-            executor,
-            self.cluster,
-            graph=graph,
-            processes=processes,
-            start_method=start_method,
-            zero_copy=zero_copy,
-        )
-        if sampler is not None and sampler_factory is not None:
-            raise ValueError("pass either sampler or sampler_factory, not both")
-        self._sampler_factory = sampler_factory
-        self._sampler = (
-            sampler_factory(graph) if sampler_factory is not None else sampler
-        )
+        self.executor = make_executor(spec, self.cluster, graph=graph)
+        try:
+            self._sampler_factory = sampler_factory
+            self._sampler = (
+                sampler_factory(graph) if sampler_factory is not None else sampler
+            )
+        except BaseException:
+            # A raising sampler factory must not leak the worker pool /
+            # shared-memory graph the executor just acquired.
+            self.executor.close()
+            raise
         self._stores: Dict[str, List[FlatRRCollection]] = {}
         self._coverage_cache: Dict[str, List[CoverageState]] = {}
         self._lock = threading.RLock()

@@ -23,6 +23,14 @@ all four before unpickling, so a corrupted or truncated payload surfaces
 as a typed :class:`PayloadCorruptionError` the retry machinery can
 recover from instead of a pickle crash or, worse, silently wrong RR
 sets.
+
+For *streaming* transports (the socket executor's TCP connections) the
+frame also acts as the record delimiter: :func:`read_frame` pulls one
+frame off a ``recv``-style callable, tolerating arbitrarily chunked
+delivery, distinguishing a clean end-of-stream at a frame boundary from
+mid-frame truncation (:class:`FrameTruncatedError`) and refusing
+oversized length claims (:class:`FrameTooLargeError`) *before*
+allocating the body.
 """
 
 from __future__ import annotations
@@ -46,10 +54,14 @@ __all__ = [
     "MESSAGE_MAGIC",
     "MESSAGE_VERSION",
     "MESSAGE_HEADER_BYTES",
+    "DEFAULT_MAX_FRAME_BODY",
     "CheckpointFormatError",
     "PayloadCorruptionError",
+    "FrameTruncatedError",
+    "FrameTooLargeError",
     "pack_message",
     "unpack_message",
+    "read_frame",
     "save_collection",
     "load_collection",
     "load_flat_collection",
@@ -76,6 +88,20 @@ MESSAGE_HEADER_BYTES = _MESSAGE_HEADER.size
 
 class PayloadCorruptionError(RuntimeError):
     """A framed payload failed its magic/version/length/CRC32 check."""
+
+
+class FrameTruncatedError(PayloadCorruptionError):
+    """A stream ended mid-frame (inside a header or a promised body)."""
+
+
+class FrameTooLargeError(PayloadCorruptionError):
+    """A frame header promised a body above the caller's size limit."""
+
+
+#: Largest frame body :func:`read_frame` accepts by default (1 GiB).  A
+#: corrupted length field would otherwise let one bad frame demand an
+#: arbitrary allocation before the CRC could catch it.
+DEFAULT_MAX_FRAME_BODY = 1 << 30
 
 
 def pack_message(payload: Any) -> bytes:
@@ -127,6 +153,86 @@ def unpack_message(frame: bytes) -> Any:
             f"body hashes to {actual:#010x}"
         )
     return pickle.loads(body)
+
+
+def _recv_exactly(recv, count: int, *, context: str, got: int = 0) -> bytes:
+    """Accumulate exactly ``count`` bytes from ``recv`` or raise.
+
+    ``recv`` follows the socket convention: called with a maximum size,
+    returns up to that many bytes, returns ``b""`` only at end of
+    stream.  ``got`` seeds the truncation message with bytes already
+    consumed (the header, when the body goes missing).
+    """
+    parts: list[bytes] = []
+    remaining = count
+    while remaining:
+        chunk = recv(remaining)
+        if not chunk:
+            raise FrameTruncatedError(
+                f"stream ended mid-frame: expected {count + got} bytes "
+                f"of {context}, got {count - remaining + got}"
+            )
+        parts.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(parts)
+
+
+def read_frame(
+    recv,
+    *,
+    max_body: int = DEFAULT_MAX_FRAME_BODY,
+    eof_ok: bool = True,
+) -> Any:
+    """Read one :func:`pack_message` frame from a byte stream.
+
+    ``recv`` is a socket-style callable: ``recv(n)`` returns between 1
+    and ``n`` bytes, or ``b""`` once the stream is exhausted.  Partial
+    delivery is handled by looping, so the frame may arrive in
+    arbitrarily small chunks.
+
+    Returns the unpickled payload, or ``None`` when the stream ends
+    cleanly *between* frames and ``eof_ok`` is true (with ``eof_ok``
+    false that raises :class:`FrameTruncatedError` too).  A stream
+    ending *inside* a frame always raises :class:`FrameTruncatedError`;
+    a header promising more than ``max_body`` bytes raises
+    :class:`FrameTooLargeError` before any body is read; magic, version
+    and CRC32 violations raise :class:`PayloadCorruptionError` exactly
+    as :func:`unpack_message` would — but only after the promised body
+    has been drained, so the stream stays aligned on the next frame.
+    """
+    first = recv(MESSAGE_HEADER_BYTES)
+    if not first:
+        if eof_ok:
+            return None
+        raise FrameTruncatedError("stream ended before a frame header")
+    header = first
+    if len(header) < MESSAGE_HEADER_BYTES:
+        header += _recv_exactly(
+            recv,
+            MESSAGE_HEADER_BYTES - len(header),
+            context="frame header",
+            got=len(header),
+        )
+    magic, version, length, _crc = _MESSAGE_HEADER.unpack(header)
+    if magic != MESSAGE_MAGIC:
+        raise PayloadCorruptionError(
+            f"stream does not start with the {MESSAGE_MAGIC!r} frame magic; "
+            "refusing to resynchronize"
+        )
+    if version != MESSAGE_VERSION:
+        raise PayloadCorruptionError(
+            f"frame uses version {version}, but this build reads "
+            f"version {MESSAGE_VERSION}"
+        )
+    if length > max_body:
+        raise FrameTooLargeError(
+            f"frame header promises a {length}-byte body, above the "
+            f"{max_body}-byte limit; refusing the allocation"
+        )
+    body = _recv_exactly(recv, length, context="frame body")
+    # Re-checks magic/version redundantly but keeps one source of truth
+    # for the CRC comparison and the unpickle step.
+    return unpack_message(header + body)
 
 
 def save_collection(

@@ -52,7 +52,9 @@ import numpy as np
 from ..applications.budgeted import budgeted_influence_maximization
 from ..applications.profit import profit_maximization
 from ..applications.targeted import TargetedSampler, targeted_influence_maximization
+from ..cluster.executor import fold_legacy_executor_kwargs
 from ..cluster.network import NetworkModel
+from ..cluster.spec import as_spec
 from ..core.config import RunConfig
 from ..core.diimm import diimm_from_config
 from ..core.dsubsim import distributed_subsim_from_config
@@ -168,8 +170,14 @@ class InfluenceService:
         Default sampler selection.  ``method`` applies to the IMM-family
         pools; the applications always sample with the default per-set
         sampler (``bfs``), matching their cold entry points.
-    executor, processes, network, start_method, zero_copy:
-        Forwarded to each pool's executor.
+    executor:
+        An :class:`~repro.cluster.spec.ExecutorSpec` or its string
+        shorthand, forwarded to each pool's executor.
+    network:
+        Master<->slave cost model, forwarded to each pool.
+    processes, start_method, zero_copy:
+        Deprecated — pass the matching :class:`ExecutorSpec` option
+        instead; each warns before being folded into the spec.
     cache_size:
         Maximum memoized query results (LRU).
     dynamic:
@@ -189,7 +197,7 @@ class InfluenceService:
         seed: int = 0,
         model: str = "ic",
         method: str = "bfs",
-        executor: str = "simulated",
+        executor="simulated",
         processes: int | None = None,
         network: NetworkModel | None = None,
         start_method: str | None = None,
@@ -210,11 +218,14 @@ class InfluenceService:
         #: ``stats`` and in update replies.
         self.graph_version = 0
         self._executor_kwargs = dict(
-            executor=executor,
-            processes=processes,
+            executor=fold_legacy_executor_kwargs(
+                as_spec(executor),
+                processes=processes,
+                start_method=start_method,
+                zero_copy=zero_copy,
+                owner="InfluenceService",
+            ),
             network=network,
-            start_method=start_method,
-            zero_copy=zero_copy,
         )
         self._pools: Dict[Tuple, SamplePool] = {}
         self._cache: "OrderedDict[Tuple, object]" = OrderedDict()

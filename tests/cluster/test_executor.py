@@ -26,7 +26,7 @@ from repro.cluster import (
 )
 from repro.core import diimm
 
-EXECUTOR_NAMES = ("simulated", "multiprocessing")
+EXECUTOR_NAMES = ("simulated", "multiprocessing", "socket")
 
 
 def build_executor(name, graph, num_machines=3, seed=5, backend="flat", **kwargs):

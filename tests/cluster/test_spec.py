@@ -1,0 +1,239 @@
+"""ExecutorSpec: parsing, validation, coercion, and the deprecation shims.
+
+The declarative spec API replaces the old ``executor=<name>`` string plus
+``processes=``/``start_method=``/``zero_copy=`` keyword plumbing; these
+tests pin the shorthand grammar (parse/describe round-trips), the
+validation messages, and that every legacy keyword still works behind a
+:class:`DeprecationWarning`.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.cluster import (
+    EXECUTOR_KINDS,
+    EXECUTOR_SPECS,
+    ExecutorSpec,
+    MultiprocessingSpec,
+    SimulatedCluster,
+    SimulatedExecutor,
+    SimulatedSpec,
+    SocketSpec,
+    as_spec,
+    fold_legacy_executor_kwargs,
+    make_executor,
+    spec_summary,
+)
+from repro.core.config import RunConfig
+from repro.core.pool import SamplePool
+from repro.serve.service import InfluenceService
+
+
+class TestRegistry:
+    def test_all_kinds_registered(self):
+        assert set(EXECUTOR_KINDS) == {"simulated", "multiprocessing", "socket"}
+        assert set(EXECUTOR_SPECS) == set(EXECUTOR_KINDS)
+
+    def test_specs_are_frozen(self):
+        spec = MultiprocessingSpec(processes=2)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            spec.processes = 4
+
+
+class TestParseDescribe:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("simulated", SimulatedSpec()),
+            ("multiprocessing", MultiprocessingSpec()),
+            ("multiprocessing:4", MultiprocessingSpec(processes=4)),
+            ("socket", SocketSpec()),
+            ("socket:3", SocketSpec(workers=3)),
+            (
+                "socket:127.0.0.1:9100,9101",
+                SocketSpec(addresses=(("127.0.0.1", 9100), ("127.0.0.1", 9101))),
+            ),
+            (
+                "socket:a:1;b:2,3",
+                SocketSpec(addresses=(("a", 1), ("b", 2), ("b", 3))),
+            ),
+        ],
+    )
+    def test_parse(self, text, expected):
+        assert ExecutorSpec.parse(text) == expected
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "simulated",
+            "multiprocessing",
+            "multiprocessing:4",
+            "socket",
+            "socket:3",
+            "socket:127.0.0.1:9100,9101",
+            "socket:a:1;b:2,3",
+        ],
+    )
+    def test_describe_round_trips(self, text):
+        spec = ExecutorSpec.parse(text)
+        assert ExecutorSpec.parse(spec.describe()) == spec
+        assert str(spec) == spec.describe()
+
+    @pytest.mark.parametrize(
+        "text", ["", "mpi", "simulated:2", "socket:host", "multiprocessing:x"]
+    )
+    def test_parse_rejects(self, text):
+        with pytest.raises(ValueError):
+            ExecutorSpec.parse(text)
+
+
+class TestValidateCoerce:
+    def test_as_spec_identity_and_default(self):
+        spec = SocketSpec(workers=2)
+        assert as_spec(spec) is spec
+        assert as_spec(None) == SimulatedSpec()
+        assert as_spec("multiprocessing:2") == MultiprocessingSpec(processes=2)
+
+    def test_as_spec_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            as_spec(42)
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            MultiprocessingSpec(processes=0),
+            SocketSpec(workers=0),
+            SocketSpec(workers=2, addresses=(("h", 1),)),
+            SocketSpec(addresses=(("h", 0),)),
+            SocketSpec(connect_timeout=0.0),
+            SocketSpec(heartbeat_timeout=-1.0),
+            MultiprocessingSpec(start_method="greenlet"),
+        ],
+    )
+    def test_validate_rejects(self, spec):
+        with pytest.raises(ValueError):
+            spec.validate()
+
+    def test_with_overrides(self):
+        spec = SocketSpec().with_overrides(workers=3)
+        assert spec.workers == 3 and spec.kind == "socket"
+
+    def test_spec_summary_is_compact(self):
+        assert spec_summary(SimulatedSpec()) == {"kind": "simulated"}
+        assert spec_summary(MultiprocessingSpec(processes=2)) == {
+            "kind": "multiprocessing",
+            "processes": 2,
+        }
+
+
+class TestFactory:
+    def test_make_executor_accepts_spec_and_string(self, small_wc_graph):
+        cluster = SimulatedCluster(2, seed=3)
+        with make_executor(SimulatedSpec(), cluster, graph=small_wc_graph) as ex:
+            assert isinstance(ex, SimulatedExecutor)
+        with make_executor("simulated", cluster, graph=small_wc_graph) as ex:
+            assert ex.name == "simulated"
+
+    def test_make_executor_legacy_processes_warns(self, small_wc_graph):
+        cluster = SimulatedCluster(2, seed=3)
+        with pytest.warns(DeprecationWarning, match="processes= keyword"):
+            ex = make_executor(
+                "multiprocessing", cluster, graph=small_wc_graph, processes=2
+            )
+        with ex:
+            assert ex.pool.processes == 2
+
+    def test_spec_option_wins_over_legacy_kwarg(self):
+        with pytest.warns(DeprecationWarning):
+            spec = fold_legacy_executor_kwargs(
+                MultiprocessingSpec(processes=3), processes=7
+            )
+        assert spec.processes == 3
+
+    def test_legacy_kwarg_on_wrong_backend_raises(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="does not apply"):
+                fold_legacy_executor_kwargs(SimulatedSpec(), processes=2)
+
+
+class TestRunConfigShims:
+    def test_executor_string_coerced_to_spec(self, small_wc_graph):
+        config = RunConfig(graph=small_wc_graph, k=2, executor="multiprocessing:2")
+        assert config.executor == MultiprocessingSpec(processes=2)
+
+    def test_bad_executor_keeps_canonical_message(self, small_wc_graph):
+        config = RunConfig(graph=small_wc_graph, k=2, executor="mpi")
+        with pytest.raises(ValueError, match="config.executor must be one of"):
+            config.validate()
+
+    def test_processes_deprecated_and_folded(self, small_wc_graph):
+        with pytest.warns(DeprecationWarning, match="RunConfig.processes"):
+            config = RunConfig(
+                graph=small_wc_graph, k=2, executor="multiprocessing", processes=2
+            )
+        assert config.executor_spec() == MultiprocessingSpec(processes=2)
+
+    def test_processes_ignored_for_simulated(self, small_wc_graph):
+        # The historical keyword was a silent no-op off the mp backend.
+        with pytest.warns(DeprecationWarning):
+            config = RunConfig(graph=small_wc_graph, k=2, processes=2)
+        assert config.executor_spec() == SimulatedSpec()
+
+    def test_invalid_spec_surfaces_in_validate(self, small_wc_graph):
+        config = RunConfig(
+            graph=small_wc_graph, k=2, executor=SocketSpec(workers=2, addresses=(("h", 1),))
+        )
+        with pytest.raises(ValueError, match="config.executor is invalid"):
+            config.validate()
+
+    def test_describe_uses_shorthand(self, small_wc_graph):
+        config = RunConfig(graph=small_wc_graph, k=2, executor="multiprocessing:2")
+        assert config.describe()["executor"] == "multiprocessing:2"
+
+
+class TestPoolAndServiceShims:
+    def test_sample_pool_accepts_spec(self, small_wc_graph):
+        with SamplePool(small_wc_graph, 2, executor=SimulatedSpec()) as pool:
+            assert pool.executor.name == "simulated"
+
+    def test_sample_pool_processes_warns(self, small_wc_graph):
+        with pytest.warns(DeprecationWarning, match="SamplePool"):
+            with SamplePool(
+                small_wc_graph, 2, executor="multiprocessing", processes=2
+            ) as pool:
+                assert pool.executor.pool.processes == 2
+
+    def test_sample_pool_init_failure_closes_executor(self, small_wc_graph):
+        class Boom(Exception):
+            pass
+
+        def bad_factory(graph):
+            raise Boom
+
+        closed = []
+        import repro.core.pool as pool_mod
+
+        original = pool_mod.make_executor
+
+        def tracking(*args, **kwargs):
+            ex = original(*args, **kwargs)
+            real_close = ex.close
+            ex.close = lambda: (closed.append(True), real_close())
+            return ex
+
+        pool_mod.make_executor = tracking
+        try:
+            with pytest.raises(Boom):
+                SamplePool(small_wc_graph, 1, sampler_factory=bad_factory)
+        finally:
+            pool_mod.make_executor = original
+        assert closed
+
+    def test_service_processes_warns(self, small_wc_graph):
+        with pytest.warns(DeprecationWarning, match="InfluenceService"):
+            service = InfluenceService(
+                small_wc_graph, machines=2, executor="multiprocessing", processes=2
+            )
+        service.close()
+        service.close()  # idempotent

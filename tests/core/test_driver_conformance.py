@@ -123,3 +123,19 @@ class TestMultiprocessingConformance:
             small_wc_graph, 4, 3, eps=0.5, seed=11, executor="multiprocessing"
         )
         assert_matches(result, GOLDEN_A[algorithm])
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+class TestSocketConformance:
+    """The socket executor (real TCP workers) matches the golden values
+    and additionally records measured wire traffic."""
+
+    def test_config_a(self, small_wc_graph, algorithm):
+        result = ALGORITHMS[algorithm](
+            small_wc_graph, 4, 3, eps=0.5, seed=11, executor="socket"
+        )
+        assert_matches(result, GOLDEN_A[algorithm])
+        assert result.metrics.wire_sent_bytes > 0
+        assert result.metrics.wire_received_bytes > 0
+        assert result.metrics.total_round_trips > 0

@@ -1,0 +1,143 @@
+"""Streaming frame reads: partial delivery, truncation, oversize, CRC.
+
+``read_frame`` is the socket executor's receive path; it must reassemble
+one CRC32-framed message from a ``recv`` callable that may return any
+byte-chunking of the stream, reject oversized frames *before* buffering
+their body, and keep the stream aligned after a CRC failure so the next
+frame is still readable.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ris.serialization import (
+    DEFAULT_MAX_FRAME_BODY,
+    MESSAGE_HEADER_BYTES,
+    FrameTooLargeError,
+    FrameTruncatedError,
+    PayloadCorruptionError,
+    pack_message,
+    read_frame,
+)
+
+
+class ChunkedStream:
+    """A recv() over a fixed byte string, delivering prescribed chunk sizes."""
+
+    def __init__(self, data: bytes, sizes=None):
+        self.data = data
+        self.pos = 0
+        self.sizes = list(sizes) if sizes is not None else None
+        self.calls = 0
+
+    def recv(self, count: int) -> bytes:
+        self.calls += 1
+        if self.pos >= len(self.data):
+            return b""
+        if self.sizes:
+            count = min(count, self.sizes.pop(0))
+        count = max(count, 1)
+        chunk = self.data[self.pos : self.pos + count]
+        self.pos += len(chunk)
+        return chunk
+
+
+PAYLOADS = [
+    None,
+    ("op", 7, [1, 2, 3]),
+    {"key": b"\x00" * 500},
+    list(range(200)),
+]
+
+
+@pytest.mark.parametrize("payload", PAYLOADS)
+def test_round_trip_whole_frames(payload):
+    stream = ChunkedStream(pack_message(payload))
+    assert read_frame(stream.recv) == payload
+
+
+@pytest.mark.parametrize("chunk", [1, 2, 3, 7, MESSAGE_HEADER_BYTES])
+def test_round_trip_under_fixed_chunking(chunk):
+    payload = ("batch", 3, b"x" * 257)
+    data = pack_message(payload)
+    stream = ChunkedStream(data, sizes=[chunk] * (len(data) // chunk + 1))
+    assert read_frame(stream.recv) == payload
+
+
+@given(
+    payload=st.one_of(
+        st.none(),
+        st.binary(max_size=300),
+        st.lists(st.integers(-(2**40), 2**40), max_size=50),
+        st.tuples(st.text(max_size=10), st.integers(0, 2**32)),
+    ),
+    data=st.data(),
+)
+@settings(max_examples=80, deadline=None)
+def test_round_trip_under_arbitrary_chunking(payload, data):
+    frame = pack_message(payload)
+    sizes = data.draw(
+        st.lists(st.integers(1, max(len(frame), 1)), min_size=0, max_size=len(frame))
+    )
+    stream = ChunkedStream(frame, sizes=sizes)
+    assert read_frame(stream.recv) == payload
+    # The stream is fully consumed: exactly one frame, no residue.
+    assert stream.pos == len(frame)
+
+
+def test_eof_before_header_returns_none_by_default():
+    assert read_frame(ChunkedStream(b"").recv) is None
+
+
+def test_eof_before_header_raises_when_disallowed():
+    with pytest.raises(FrameTruncatedError, match="before a frame header"):
+        read_frame(ChunkedStream(b"").recv, eof_ok=False)
+
+
+@pytest.mark.parametrize("cut", [1, MESSAGE_HEADER_BYTES - 1, MESSAGE_HEADER_BYTES, -1])
+def test_truncated_stream_raises(cut):
+    data = pack_message(("op", 1, b"payload"))[:cut]
+    with pytest.raises(FrameTruncatedError, match="stream ended"):
+        read_frame(ChunkedStream(data).recv)
+
+
+def test_truncation_error_is_a_corruption_error():
+    # Callers catching the framing layer's base error see truncation too.
+    assert issubclass(FrameTruncatedError, PayloadCorruptionError)
+    assert issubclass(FrameTooLargeError, PayloadCorruptionError)
+
+
+def test_oversized_frame_rejected_before_body_read():
+    payload = b"y" * 4096
+    frame = pack_message(payload)
+    stream = ChunkedStream(frame)
+    with pytest.raises(FrameTooLargeError, match="refusing the allocation"):
+        read_frame(stream.recv, max_body=1024)
+    # Only the header was consumed: the oversized body was never buffered.
+    assert stream.pos == MESSAGE_HEADER_BYTES
+
+
+def test_default_max_body_accepts_normal_frames():
+    assert DEFAULT_MAX_FRAME_BODY >= 1 << 20
+    payload = b"z" * 100_000
+    assert read_frame(ChunkedStream(pack_message(payload)).recv) == payload
+
+
+def test_bad_magic_refuses_resync():
+    frame = bytearray(pack_message(("op", 1, None)))
+    frame[0] ^= 0xFF
+    with pytest.raises(PayloadCorruptionError, match="resynchronize"):
+        read_frame(ChunkedStream(bytes(frame)).recv)
+
+
+def test_crc_failure_keeps_stream_aligned():
+    good = ("op", 2, [4, 5])
+    first = bytearray(pack_message(("op", 1, [1, 2, 3])))
+    first[MESSAGE_HEADER_BYTES] ^= 0xFF  # corrupt the first body byte
+    stream = ChunkedStream(bytes(first) + pack_message(good))
+    with pytest.raises(PayloadCorruptionError):
+        read_frame(stream.recv)
+    # The corrupted frame's body was drained, so the next one parses.
+    assert read_frame(stream.recv) == good
+    assert read_frame(stream.recv) is None

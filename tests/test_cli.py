@@ -23,10 +23,17 @@ class TestParser:
         )
         assert args.executor == "multiprocessing"
         assert args.backend == "reference"
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["run", "--executor", "mpi"])
+        # --executor is a free-form ExecutorSpec shorthand now, so the
+        # parser accepts any string and validation happens in RunConfig.
+        args = build_parser().parse_args(["run", "--executor", "socket:2"])
+        assert args.executor == "socket:2"
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "--backend", "sparse"])
+
+    def test_run_rejects_bad_executor_spec(self, capsys):
+        code = main(["run", "--dataset", "facebook", "--k", "2", "--executor", "mpi"])
+        assert code == 2
+        assert "config.executor" in capsys.readouterr().err
 
     def test_experiment_choices(self):
         with pytest.raises(SystemExit):
