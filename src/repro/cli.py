@@ -75,10 +75,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument(
         "--backend",
-        choices=("flat", "reference"),
+        choices=("flat", "reference", "sketch"),
         default="flat",
-        help="RR-set store / coverage backend for distributed algorithms "
-        "(ignored by imm); seeds are identical either way",
+        help="RR-set store / coverage backend: the exact CSR store, the "
+        "dict-indexed reference oracle (seeds identical to flat), or "
+        "per-node HyperLogLog register banks (memory-bounded estimates; "
+        "imm ignores the exact flavours but honours sketch)",
+    )
+    run.add_argument(
+        "--sketch-precision",
+        type=int,
+        default=10,
+        metavar="P",
+        help="registers per node for --backend sketch (m = 2**P bytes; "
+        "relative error ~ 1.04/sqrt(2**P); default 10)",
+    )
+    run.add_argument(
+        "--stopping",
+        choices=("schedule", "error-adaptive"),
+        default="schedule",
+        help="stopping policy for imm/diimm/dsubsim: the precomputed "
+        "theta schedule, or doubling until the measured relative error "
+        "(sampling + sketch noise) satisfies eps",
     )
     run.add_argument(
         "--checkpoint-dir",
@@ -287,6 +305,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             method=args.method,
             seed=args.seed,
             backend=args.backend,
+            sketch_precision=args.sketch_precision,
+            stopping=args.stopping,
             executor=args.executor,
             network=network,
             checkpoint_dir=args.checkpoint_dir,
@@ -303,6 +323,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if recovery:
         print()
         print_table(recovery, title="Fault recovery")
+    memory = result.metrics.memory_summary()
+    if memory["peak_nbytes"]:
+        print(
+            f"\npeak memory: rr_store {memory['rr_store_nbytes'] / 1e6:.2f} MB, "
+            f"coverage {memory['coverage_nbytes'] / 1e6:.2f} MB "
+            f"(total {memory['peak_nbytes'] / 1e6:.2f} MB)"
+        )
     print(f"\nseeds: {result.seeds}")
     return 0
 

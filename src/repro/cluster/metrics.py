@@ -80,9 +80,10 @@ class RecoveryEvent:
     worker's transport connection closed mid-attempt and was re-dialed),
     ``"straggler-wait"`` (the phase waited on an injected or real
     straggler) or ``"reassignment"`` (the machine exhausted its attempts
-    and a survivor took over its quota).  ``time_lost`` is the simulated seconds the incident added to
-    the run — wasted attempts, backoff, retransmissions, straggler
-    excess — so experiment tables can report time-under-failure.
+    and a survivor took over its quota).  ``time_lost`` is the simulated
+    seconds the incident added to the run — wasted attempts, backoff,
+    retransmissions, straggler excess — so experiment tables can report
+    time-under-failure.
     """
 
     kind: str
@@ -109,6 +110,12 @@ class RunMetrics:
 
     phases: List[PhaseRecord] = field(default_factory=list)
     recovery_events: List[RecoveryEvent] = field(default_factory=list)
+    #: Peak resident bytes across all per-machine RR stores, sampled by
+    #: the round driver once per round (0 when no driver ran).
+    rr_store_nbytes: int = 0
+    #: Peak resident bytes of the master coverage state (counts vector or
+    #: sketch register bank), sampled alongside :attr:`rr_store_nbytes`.
+    coverage_nbytes: int = 0
     _round_index: int | None = field(default=None, init=False, repr=False, compare=False)
     _rule: str | None = field(default=None, init=False, repr=False, compare=False)
 
@@ -317,6 +324,24 @@ class RunMetrics:
             "round_trips": self.total_round_trips,
         }
 
+    def record_memory(self, rr_store_nbytes: int = 0, coverage_nbytes: int = 0) -> None:
+        """Fold one memory sample into the run's peak counters.
+
+        Peaks, not sums: the driver samples once per round, and the
+        sketch-vs-flat claim is about the largest resident footprint a
+        run ever needs, measured in-band rather than estimated.
+        """
+        self.rr_store_nbytes = max(self.rr_store_nbytes, int(rr_store_nbytes))
+        self.coverage_nbytes = max(self.coverage_nbytes, int(coverage_nbytes))
+
+    def memory_summary(self) -> Dict[str, int]:
+        """Peak memory: RR stores, coverage state, and their sum."""
+        return {
+            "rr_store_nbytes": self.rr_store_nbytes,
+            "coverage_nbytes": self.coverage_nbytes,
+            "peak_nbytes": self.rr_store_nbytes + self.coverage_nbytes,
+        }
+
     @property
     def sequential_time(self) -> float:
         """Time a single machine doing all the work would have taken.
@@ -340,3 +365,4 @@ class RunMetrics:
         """Append the phases of another run (e.g. nested algorithm calls)."""
         self.phases.extend(other.phases)
         self.recovery_events.extend(other.recovery_events)
+        self.record_memory(other.rr_store_nbytes, other.coverage_nbytes)

@@ -23,15 +23,25 @@ from ..cluster.executor import EXECUTORS
 from ..cluster.faults import FaultPlan, RetryPolicy
 from ..cluster.network import NetworkModel
 from ..cluster.spec import ExecutorSpec, as_spec
+from ..coverage.sketch import MAX_PRECISION, MIN_PRECISION, hll_relative_error
 
-__all__ = ["RunConfig", "BACKENDS", "MODELS", "METHODS"]
+__all__ = ["RunConfig", "BACKENDS", "MODELS", "METHODS", "STOPPINGS"]
 
 #: Coverage-store flavours, as accepted by :func:`repro.ris.make_collection`.
-BACKENDS: tuple[str, ...] = ("flat", "reference")
+BACKENDS: tuple[str, ...] = ("flat", "reference", "sketch")
 #: Diffusion models the samplers implement.
 MODELS: tuple[str, ...] = ("ic", "lt")
 #: RR-set generation procedures.
 METHODS: tuple[str, ...] = ("bfs", "subsim", "vectorized")
+#: Stopping policies for the IMM-schedule algorithms: the precomputed
+#: theta schedule, or error-adaptive doubling until the measured
+#: relative error satisfies eps (see
+#: :class:`~repro.core.driver.ErrorAdaptiveRule`).
+STOPPINGS: tuple[str, ...] = ("schedule", "error-adaptive")
+
+#: Algorithms whose stopping certificates require exact coverage counts;
+#: ``backend="sketch"`` and ``stopping="error-adaptive"`` are refused.
+_EXACT_ONLY_ALGORITHMS = ("dssa", "dopimc")
 
 
 @dataclass(frozen=True)
@@ -72,10 +82,21 @@ class RunConfig:
         profile.
     checkpoint_dir, resume:
         Driver-level checkpointing, as in :mod:`repro.core.checkpoint`.
+    sketch_precision:
+        Registers per node for ``backend="sketch"``:
+        ``m = 2**sketch_precision`` one-byte HyperLogLog registers, so
+        memory is ``n * m`` bytes and the sketch's relative error is
+        ``1.04 / sqrt(m)``.  Ignored by the exact backends.
+    stopping:
+        Stopping policy for the IMM-schedule algorithms
+        (:data:`STOPPINGS`): ``"schedule"`` (default) runs the
+        precomputed theta schedule; ``"error-adaptive"`` doubles theta
+        until the measured relative error — sampling plus sketch noise —
+        satisfies ``eps``, typically stopping with far fewer samples.
     theta_initial:
         First-round collection size override for the doubling frameworks
-        (D-SSA, D-OPIM-C); ``None`` uses each framework's own default.
-        Ignored by the IMM-schedule algorithms.
+        (D-SSA, D-OPIM-C) and the error-adaptive rule; ``None`` uses
+        each framework's own default.  Ignored by the theta schedule.
     faults:
         A :class:`~repro.cluster.faults.FaultPlan` — or its
         :meth:`~repro.cluster.faults.FaultPlan.parse` string form —
@@ -95,6 +116,8 @@ class RunConfig:
     method: str = "bfs"
     seed: int = 0
     backend: str = "flat"
+    sketch_precision: int = 10
+    stopping: str = "schedule"
     executor: str | ExecutorSpec = "simulated"
     processes: int | None = None
     network: NetworkModel | None = None
@@ -148,6 +171,25 @@ class RunConfig:
             raise ValueError(
                 f"config.backend must be one of {BACKENDS}, got {self.backend!r}"
             )
+        if not isinstance(self.sketch_precision, int) or not (
+            MIN_PRECISION <= self.sketch_precision <= MAX_PRECISION
+        ):
+            raise ValueError(
+                f"config.sketch_precision must be an int in "
+                f"[{MIN_PRECISION}, {MAX_PRECISION}], got {self.sketch_precision!r}"
+            )
+        if self.stopping not in STOPPINGS:
+            raise ValueError(
+                f"config.stopping must be one of {STOPPINGS}, got {self.stopping!r}"
+            )
+        if self.backend == "sketch":
+            self._validate_sketch(algorithm)
+        if self.stopping == "error-adaptive" and algorithm in _EXACT_ONLY_ALGORITHMS:
+            raise ValueError(
+                "config.stopping='error-adaptive' replaces the IMM theta "
+                f"schedule; {algorithm!r} owns its own stopping certificate "
+                "(stop-and-stare / OPIM-C) and cannot use it"
+            )
         if not isinstance(self.executor, ExecutorSpec):
             raise ValueError(
                 f"config.executor must be one of {EXECUTORS}, got {self.executor!r}"
@@ -172,6 +214,48 @@ class RunConfig:
                 f"for the IC model only, got {self.model!r}"
             )
         return self
+
+    def _validate_sketch(self, algorithm: str | None) -> None:
+        """The combos ``backend="sketch"`` refuses, caught at config time.
+
+        Each restriction is structural, not an implementation gap: the
+        register bank is a lossy, irreversible summary, so anything that
+        needs to *remove* or *window* an RR set's contribution — dynamic
+        repair, warm-pool prefix views, round snapshots — cannot run on
+        it, and the exact-count stopping certificates of D-SSA /
+        D-OPIM-C are not stated for estimates.
+        """
+        from ..graphs.digraph import VersionedGraph
+
+        if isinstance(self.graph, VersionedGraph):
+            raise ValueError(
+                "backend='sketch' does not support dynamic-graph repair: "
+                "register banks cannot retract an invalidated RR set's "
+                "contribution; use backend='flat' with VersionedGraph"
+            )
+        if self.checkpoint_dir is not None or self.resume:
+            raise ValueError(
+                "backend='sketch' does not support checkpoint/resume: the "
+                "register journal is pruned after every ingest, so round "
+                "snapshots cannot be restored; use backend='flat' for "
+                "checkpointed runs"
+            )
+        if algorithm in _EXACT_ONLY_ALGORITHMS:
+            raise ValueError(
+                "backend='sketch' supports the IMM-schedule algorithms "
+                f"('imm', 'diimm', 'dsubsim'); {algorithm!r}'s stopping "
+                "certificate assumes exact coverage counts — use "
+                "backend='flat'"
+            )
+        if self.stopping == "error-adaptive":
+            noise_floor = hll_relative_error(self.sketch_precision)
+            if noise_floor >= self.eps:
+                raise ValueError(
+                    f"config.eps={self.eps} is below the sketch noise floor "
+                    f"{noise_floor:.4f} of sketch_precision="
+                    f"{self.sketch_precision} (1.04/sqrt(2**p)); raise "
+                    "sketch_precision or eps"
+                )
 
     def with_overrides(self, **changes: Any) -> "RunConfig":
         """A copy with the given fields replaced (frozen-safe)."""

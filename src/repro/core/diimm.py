@@ -24,13 +24,52 @@ from ..cluster.cluster import SimulatedCluster
 from ..cluster.executor import executor_scope, make_executor
 from ..cluster.faults import FaultPlan, RetryPolicy
 from ..cluster.network import NetworkModel
+from ..coverage.sketch import hll_relative_error
 from ..graphs.digraph import DirectedGraph
 from ..ris import make_collection
 from .bounds import ImmParameters
 from .checkpoint import manager_for
 from .config import RunConfig
-from .driver import ImmScheduleRule, RoundDriver, SubsimScheduleRule
+from .driver import (
+    ErrorAdaptiveRule,
+    ImmScheduleRule,
+    RoundDriver,
+    SubsimScheduleRule,
+)
 from .result import IMResult
+
+
+def make_schedule_rule(config: RunConfig, params: ImmParameters, delta: float):
+    """The stopping rule a :class:`RunConfig` asks for.
+
+    ``stopping="schedule"`` is the IMM/SUBSIM theta schedule;
+    ``stopping="error-adaptive"`` doubles from ``theta_initial`` (or the
+    schedule's first search round) until the measured error satisfies
+    ``eps``, capped at the schedule's own worst-case final theta — so the
+    adaptive run can never sample more than the schedule would have.
+    """
+    if config.stopping == "error-adaptive":
+        theta_initial = (
+            config.theta_initial
+            if config.theta_initial is not None
+            else params.theta_for_round(1)
+        )
+        sketch_error = (
+            hll_relative_error(config.sketch_precision)
+            if config.backend == "sketch"
+            else 0.0
+        )
+        return ErrorAdaptiveRule(
+            n=params.n,
+            eps=config.eps,
+            delta=delta,
+            theta_initial=theta_initial,
+            theta_max=params.theta_final(float(config.k)),
+            sketch_rel_error=sketch_error,
+        )
+    rule_type = SubsimScheduleRule if config.method == "subsim" else ImmScheduleRule
+    return rule_type(params)
+
 
 __all__ = ["diimm", "diimm_from_config"]
 
@@ -72,9 +111,11 @@ def diimm(
     backend:
         Coverage backend: ``"flat"`` (default) keeps each machine's
         ``R_i`` in CSR arrays and selects seeds through the vectorized
-        kernel; ``"reference"`` uses the dict-indexed store and loops.
-        The selected seeds are identical either way (Lemma 2 holds for
-        both).
+        kernel; ``"reference"`` uses the dict-indexed store and loops
+        (seeds are identical either way — Lemma 2 holds for both);
+        ``"sketch"`` keeps per-node HyperLogLog register banks instead
+        of set contents, trading exactness for ``O(n * 2**precision)``
+        memory (see :mod:`repro.coverage.sketch`).
     executor:
         Execution backend for the phase plans: ``"simulated"``
         (sequential metered execution, the default) or
@@ -139,13 +180,12 @@ def diimm_from_config(
     :class:`~repro.core.pool.SamplePool`; the result is bit-identical to
     a cold run with the same config.
     """
-    config.validate()
+    config.validate("diimm")
     graph, k = config.graph, config.k
     n = graph.num_nodes
     delta = 1.0 / n if config.delta is None else config.delta
     params = ImmParameters.compute(n, k, config.eps, delta)
-    rule_type = SubsimScheduleRule if config.method == "subsim" else ImmScheduleRule
-    rule = rule_type(params)
+    rule = make_schedule_rule(config, params, delta)
 
     def result(run, driver, metrics, executor_name: str) -> IMResult:
         return IMResult(
@@ -207,7 +247,15 @@ def diimm_from_config(
                 f"executor has {cluster.num_machines}"
             )
     stores = {
-        "main": [make_collection(n, config.backend) for _ in range(config.machines)]
+        "main": [
+            make_collection(
+                n,
+                config.backend,
+                machine_id=machine_id,
+                sketch_precision=config.sketch_precision,
+            )
+            for machine_id in range(config.machines)
+        ]
     }
     checkpoint = manager_for(
         config.checkpoint_dir,

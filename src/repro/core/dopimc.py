@@ -104,7 +104,7 @@ def distributed_opimc_from_config(config: RunConfig, *, executor=None) -> IMResu
     OPIM-C interleaves draws across ``R1``/``R2``, so it has no warm
     ``pool=`` mode (per-collection prefixes are not stream-deterministic).
     """
-    config.validate()
+    config.validate("dopimc")
     graph, k, eps = config.graph, config.k, config.eps
     n = graph.num_nodes
     delta = 1.0 / n if config.delta is None else config.delta

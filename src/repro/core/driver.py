@@ -49,10 +49,17 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Sequence, Tuple
 
-from ..cluster.executor import Executor, GatherPhase, GeneratePhase, MapPhase
+from ..cluster.executor import (
+    Executor,
+    GatherPhase,
+    GeneratePhase,
+    MapPhase,
+    MasterPhase,
+)
 from ..cluster.machine import Machine
 from ..coverage.greedy import GreedyResult, greedy_max_coverage
 from ..coverage.newgreedi import newgreedi
+from ..coverage.sketch import SketchCoverageState, sketch_lazy_greedy
 from ..coverage.state import CoverageState
 from .bounds import ImmParameters, opim_opt_upper_bound, opim_spread_lower_bound
 
@@ -63,6 +70,7 @@ __all__ = [
     "SubsimScheduleRule",
     "StareStoppingRule",
     "OpimStoppingRule",
+    "ErrorAdaptiveRule",
     "DriverRun",
     "RoundDriver",
     "SELECTION_MODES",
@@ -344,6 +352,106 @@ class OpimStoppingRule(StoppingRule):
         self.estimated_spread = float(state["estimated_spread"])
 
 
+class ErrorAdaptiveRule(StoppingRule):
+    """Sample until the *measured* relative error satisfies eps.
+
+    The IMM schedule sizes theta for the worst case — ``lambda* / LB``
+    with union-bound terms over every candidate seed set — so easy
+    instances (high spread, generous eps) pay for sets they never
+    needed.  Following the count-distinct-sketch IM line of work
+    (Göktürk & Kaya, arXiv:2105.04023), this rule doubles theta and
+    stops as soon as the selection's *achieved* error budget
+
+        eps_hat = sqrt(3 ln(2/delta) / coverage) + sketch_error
+
+    drops to eps: the first term is the multiplicative-Chernoff
+    deviation of the spread estimate at the observed coverage support,
+    the second the backend's register noise floor (``1.04 / sqrt(m)``
+    for ``backend="sketch"``, 0 for the exact stores).  Termination is
+    unconditional — theta is capped at ``theta_max``, the IMM
+    worst-case budget the schedule would have spent anyway.
+    """
+
+    name = "error-adaptive"
+    collection_keys = ("main",)
+    selection_key = "main"
+
+    def __init__(
+        self,
+        n: int,
+        eps: float,
+        delta: float,
+        theta_initial: int,
+        theta_max: int,
+        sketch_rel_error: float = 0.0,
+    ) -> None:
+        if not 0.0 < eps < 1.0:
+            raise ValueError(f"eps must be in (0, 1), got {eps}")
+        if not 0.0 < delta < 1.0:
+            raise ValueError(f"delta must be in (0, 1), got {delta}")
+        if theta_initial < 1 or theta_max < 1:
+            raise ValueError("theta_initial and theta_max must be >= 1")
+        if sketch_rel_error >= eps:
+            raise ValueError(
+                f"sketch_rel_error={sketch_rel_error:.4f} already exceeds "
+                f"eps={eps}; the error target is unreachable at this "
+                "sketch precision"
+            )
+        self.n = n
+        self.eps = eps
+        self.delta = delta
+        self.theta_max = theta_max
+        self.sketch_rel_error = sketch_rel_error
+        self.theta = min(theta_initial, theta_max)
+        self.rounds = 0
+        #: Last measured total relative error (sampling + sketch terms).
+        self.measured_error = float("inf")
+        self.sampling_error = float("inf")
+        #: Spread lower bound implied by the last selection (entry points
+        #: report it where the IMM schedule reports its LB).
+        self.lower_bound = 1.0
+        self.search_rounds = 0
+
+    def next_round(self) -> RoundPlan:
+        self.rounds += 1
+        return RoundPlan(f"adaptive-{self.rounds}", {"main": self.theta})
+
+    def check(self, driver: "RoundDriver", selection: GreedyResult, plan: RoundPlan) -> bool:
+        coverage = float(selection.coverage)
+        self.search_rounds = self.rounds
+        self.sampling_error = math.sqrt(
+            3.0 * math.log(2.0 / self.delta) / max(coverage, 1.0)
+        )
+        self.measured_error = self.sampling_error + self.sketch_rel_error
+        self.lower_bound = max(
+            1.0, self.n * selection.fraction / (1.0 + self.measured_error)
+        )
+        if self.measured_error <= self.eps:
+            return True
+        if self.theta >= self.theta_max:
+            return True
+        self.theta = min(self.theta * 2, self.theta_max)
+        return False
+
+    def state_dict(self) -> Dict[str, Any]:
+        return {
+            "theta": self.theta,
+            "rounds": self.rounds,
+            "measured_error": self.measured_error,
+            "sampling_error": self.sampling_error,
+            "lower_bound": self.lower_bound,
+            "search_rounds": self.search_rounds,
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        self.theta = int(state["theta"])
+        self.rounds = int(state["rounds"])
+        self.measured_error = float(state["measured_error"])
+        self.sampling_error = float(state["sampling_error"])
+        self.lower_bound = float(state["lower_bound"])
+        self.search_rounds = int(state["search_rounds"])
+
+
 @dataclass
 class DriverRun:
     """Outcome of a :meth:`RoundDriver.run`."""
@@ -377,7 +485,14 @@ class RoundDriver:
     model, method:
         Sampler selection for the generation phases.
     backend:
-        Coverage backend (``"flat"`` / ``"reference"``), as everywhere.
+        Coverage backend (``"flat"`` / ``"reference"`` / ``"sketch"``).
+        With ``"sketch"`` the driver maintains a
+        :class:`~repro.coverage.sketch.SketchCoverageState` (register
+        deltas through the same wave protocol) and runs selection
+        master-side over the merged bank regardless of ``selection`` —
+        the bank *is* the communicated state, so no per-selection
+        element exchange remains.  Warm pools and checkpointing are
+        refused (the bank is lossy and its journal is pruned).
     selection:
         ``"newgreedi"`` (default) runs the element-distributed protocol
         of Algorithm 1; ``"central"`` runs the centralized lazy greedy in
@@ -453,6 +568,19 @@ class RoundDriver:
                 "central selection is the single-machine baselines' mode; "
                 f"got {executor.num_machines} machines"
             )
+        if backend == "sketch":
+            if pool is not None:
+                raise ValueError(
+                    "backend='sketch' cannot serve warm-pool queries: pools "
+                    "window exact flat stores to per-query prefixes, which "
+                    "a lossy register bank cannot provide"
+                )
+            if checkpoint is not None or resume:
+                raise ValueError(
+                    "checkpointing is not supported with backend='sketch': "
+                    "the register journal is pruned after every ingest, so "
+                    "round snapshots cannot be restored"
+                )
         self.executor = executor
         self.cluster = executor.cluster
         self.rule = rule
@@ -481,7 +609,14 @@ class RoundDriver:
         self.n = num_nodes
         # Only the selection collection needs master-side counts; the
         # verification collections are probed with full coverage_of scans.
-        self.coverage = CoverageState(num_nodes, executor.num_machines)
+        if backend == "sketch":
+            self.coverage = SketchCoverageState(
+                num_nodes,
+                executor.num_machines,
+                precision=stores[rule.selection_key][0].precision,
+            )
+        else:
+            self.coverage = CoverageState(num_nodes, executor.num_machines)
 
     # ------------------------------------------------------------------
     # Helpers (also the rules' view of the run)
@@ -586,8 +721,34 @@ class RoundDriver:
             communicate=self.selection_mode != "central",
         )
 
+    def _record_memory(self) -> None:
+        """Sample resident store/coverage bytes into the run's peaks."""
+        rr_store = 0
+        for per_machine in self.stores.values():
+            for store in per_machine:
+                nbytes = getattr(store, "nbytes", None)
+                if callable(nbytes):
+                    rr_store += int(nbytes())
+        self.executor.metrics.record_memory(
+            rr_store_nbytes=rr_store, coverage_nbytes=int(self.coverage.nbytes())
+        )
+
     def _select(self, round_label: str) -> GreedyResult:
         key = self.rule.selection_key
+        if self.backend == "sketch":
+            # The register deltas already travelled in the ingest gather,
+            # so selection is a pure master-side computation over the
+            # merged bank — no further communication, and bit-identical
+            # across executors because the bank is (max-merge is
+            # commutative and idempotent).
+            def sketch_select() -> GreedyResult:
+                return sketch_lazy_greedy(
+                    self.coverage.bank(), self.k, self.total_sets(key)
+                )
+
+            return self.executor.run_phase(
+                MasterPhase(f"{round_label}/select-sketch", sketch_select)
+            ).results
         if self.selection_mode == "newgreedi":
             return newgreedi(
                 self.executor,
@@ -670,6 +831,7 @@ class RoundDriver:
                 for key in self.rule.collection_keys:
                     self._grow(key, int(plan.targets[key]), plan.label)
                 self._ingest(plan.label)
+                self._record_memory()
                 selection = self._select(plan.label)
                 stop = self.rule.check(self, selection, plan)
             rounds_executed += 1

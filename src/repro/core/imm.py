@@ -31,7 +31,8 @@ from ..ris import make_collection
 from .bounds import ImmParameters
 from .checkpoint import manager_for
 from .config import RunConfig
-from .driver import ImmScheduleRule, RoundDriver, SubsimScheduleRule
+from .diimm import make_schedule_rule
+from .driver import RoundDriver
 from .result import IMResult
 
 __all__ = ["imm", "imm_from_config"]
@@ -111,13 +112,16 @@ def imm_from_config(config: RunConfig, *, executor=None, pool=None) -> IMResult:
     ``rng_scheme="legacy-imm"``; the result is bit-identical to a cold
     run with the same config.
     """
-    config.validate()
+    config.validate("imm")
     graph, k = config.graph, config.k
     n = graph.num_nodes
     delta = 1.0 / n if config.delta is None else config.delta
     params = ImmParameters.compute(n, k, config.eps, delta)
-    rule_type = SubsimScheduleRule if config.method == "subsim" else ImmScheduleRule
-    rule = rule_type(params)
+    rule = make_schedule_rule(config, params, delta)
+    # IMM historically ignores config.backend (the baseline is defined on
+    # the exact flat store); only the sketch backend opts in, so the
+    # single-machine memory-bounded path exists too.
+    backend = "sketch" if config.backend == "sketch" else "flat"
 
     def result(run, driver, metrics) -> IMResult:
         return IMResult(
@@ -181,7 +185,11 @@ def imm_from_config(config: RunConfig, *, executor=None, pool=None) -> IMResult:
                 f"IMM is single-machine; the lent executor has "
                 f"{cluster.num_machines} machines"
             )
-    stores = {"main": [make_collection(n, "flat")]}
+    stores = {
+        "main": [
+            make_collection(n, backend, sketch_precision=config.sketch_precision)
+        ]
+    }
     checkpoint = manager_for(
         config.checkpoint_dir,
         algorithm="IMM",
@@ -193,7 +201,7 @@ def imm_from_config(config: RunConfig, *, executor=None, pool=None) -> IMResult:
         num_machines=1,
         model=config.model,
         method=config.method,
-        backend="flat",
+        backend=backend,
     )
     driver = RoundDriver(
         exec_,
@@ -202,7 +210,7 @@ def imm_from_config(config: RunConfig, *, executor=None, pool=None) -> IMResult:
         stores,
         model=config.model,
         method=config.method,
-        backend="flat",
+        backend=backend,
         selection="central",
         checkpoint=checkpoint,
         resume=config.resume,

@@ -564,8 +564,14 @@ class SamplePool:
                 f"({config.model!r}, {config.method!r})"
             )
         if config.backend != "flat":
+            hint = (
+                "; sketch register banks cannot be windowed to a query's "
+                "prefix — run sketch queries cold via repro.api.run"
+                if config.backend == "sketch"
+                else ""
+            )
             raise ValueError(
-                f"warm pools are flat-store only, got backend={config.backend!r}"
+                f"warm pools are flat-store only, got backend={config.backend!r}{hint}"
             )
         if config.checkpoint_dir is not None or config.resume:
             raise ValueError("checkpointing is not supported on warm-pool queries")

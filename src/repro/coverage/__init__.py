@@ -23,6 +23,14 @@ from .kernel import (
 )
 from .newgreedi import NewGreeDiResult, gather_coverage_counts, newgreedi
 from .problem import CoverageInstance
+from .sketch import (
+    SketchCoverageState,
+    SketchRRCollection,
+    estimate_bank_degrees,
+    hll_estimate,
+    hll_relative_error,
+    sketch_lazy_greedy,
+)
 from .state import CoverageState
 
 __all__ = [
@@ -45,4 +53,10 @@ __all__ = [
     "sparse_coverage_delta",
     "apply_sparse_delta",
     "CoverageState",
+    "SketchRRCollection",
+    "SketchCoverageState",
+    "sketch_lazy_greedy",
+    "hll_estimate",
+    "hll_relative_error",
+    "estimate_bank_degrees",
 ]

@@ -204,6 +204,10 @@ class CoverageState:
         np.copyto(self._scratch, self.counts)
         return self._scratch
 
+    def nbytes(self) -> int:
+        """Resident bytes of the master state (counts + scratch buffer)."""
+        return int(self.counts.nbytes + self._scratch.nbytes)
+
     # ------------------------------------------------------------------
     # Checkpointing
     # ------------------------------------------------------------------

@@ -41,6 +41,7 @@ __all__ = [
     "heterogeneity",
     "epsilon_sweep",
     "static_vs_dynamic_updates",
+    "backend_method_matrix",
 ]
 
 
@@ -402,4 +403,74 @@ def static_vs_dynamic_updates(
             )
     finally:
         warm.close()
+    return rows
+
+
+def backend_method_matrix(
+    dataset: str = "facebook",
+    backends: Sequence[str] = ("flat", "sketch"),
+    methods: Sequence[str] = ("bfs", "vectorized"),
+    executors: Sequence[str] = ("simulated",),
+    k: int = 20,
+    eps: float = 0.5,
+    machines: int = 4,
+    seed: int = 2022,
+) -> list[dict]:
+    """Full DIIMM sweep over {backend} x {generation method} x {executor}.
+
+    Every combination runs the same query; each row carries the
+    per-component times (generation / selection / communication), the
+    peak store + coverage memory, and ratios against the
+    (first backend, first method, first executor) baseline row — the
+    declarative matrix the registry-driven ablation bench renders.
+    """
+    ds = load_dataset(dataset, seed=seed)
+    rows: list[dict] = []
+    baseline: dict | None = None
+    for backend in backends:
+        for method in methods:
+            for executor in executors:
+                result = run(
+                    "diimm",
+                    RunConfig(
+                        graph=ds.graph,
+                        k=k,
+                        machines=machines,
+                        eps=eps,
+                        seed=seed,
+                        backend=backend,
+                        method=method,
+                        executor=executor,
+                    ),
+                )
+                metrics = result.metrics
+                memory = metrics.memory_summary()
+                row = {
+                    "ablation": "backend-method-matrix",
+                    "dataset": dataset,
+                    "backend": backend,
+                    "method": method,
+                    "executor": executor,
+                    "spread": round(result.estimated_spread, 1),
+                    "num_rr_sets": result.num_rr_sets,
+                    "generation_s": round(metrics.generation_time, 4),
+                    "selection_s": round(metrics.computation_time, 4),
+                    "communication_s": round(metrics.communication_time, 4),
+                    "store_mb": round(memory["rr_store_nbytes"] / 1e6, 2),
+                    "coverage_mb": round(memory["coverage_nbytes"] / 1e6, 2),
+                }
+                if baseline is None:
+                    baseline = row
+                row["generation_speedup"] = round(
+                    baseline["generation_s"] / max(row["generation_s"], 1e-9), 2
+                )
+                row["selection_speedup"] = round(
+                    baseline["selection_s"] / max(row["selection_s"], 1e-9), 2
+                )
+                row["memory_factor"] = round(
+                    (baseline["store_mb"] + baseline["coverage_mb"])
+                    / max(row["store_mb"] + row["coverage_mb"], 1e-9),
+                    2,
+                )
+                rows.append(row)
     return rows

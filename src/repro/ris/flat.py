@@ -705,25 +705,46 @@ class FlatPrefixView:
         )
 
 
-def make_collection(num_nodes: int, backend: str = "flat"):
-    """Factory for a per-machine RR store of the requested backend."""
+def make_collection(
+    num_nodes: int,
+    backend: str = "flat",
+    *,
+    machine_id: int = 0,
+    sketch_precision: int = 10,
+):
+    """Factory for a per-machine RR store of the requested backend.
+
+    ``machine_id`` and ``sketch_precision`` only matter to the
+    ``"sketch"`` backend: the id offsets the global set-id hash space so
+    collections on different machines never collide, and the precision
+    sets the per-node register count ``m = 2**sketch_precision``.
+    """
     if backend == "flat":
         return FlatRRCollection(num_nodes)
     if backend == "reference":
         return RRCollection(num_nodes)
+    if backend == "sketch":
+        # Imported lazily: repro.coverage imports repro.ris at package
+        # init, so a module-level import here would be circular.
+        from ..coverage.sketch import SketchRRCollection
+
+        return SketchRRCollection(
+            num_nodes, precision=sketch_precision, machine_id=machine_id
+        )
     raise ValueError(f"unknown collection backend {backend!r}")
 
 
 def append_batch(collection, batch: FlatBatch) -> None:
     """Append a sampler's :class:`~repro.ris.rrset.FlatBatch` to a store.
 
-    A :class:`FlatRRCollection` takes the CSR arrays as-is — no per-set
-    Python objects are ever created; the reference :class:`RRCollection`
-    (or any other store exposing ``extend``) receives re-wrapped
+    Stores exposing ``append_arrays`` (:class:`FlatRRCollection`, the
+    sketch register bank) take the CSR arrays as-is — no per-set Python
+    objects are ever created; the reference :class:`RRCollection` (or any
+    other store exposing ``extend``) receives re-wrapped
     :class:`~repro.ris.rrset.RRSample` views, preserving per-set roots
     and edge counts.
     """
-    if isinstance(collection, FlatRRCollection):
+    if hasattr(collection, "append_arrays"):
         collection.append_arrays(
             batch.nodes,
             batch.offsets,

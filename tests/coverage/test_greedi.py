@@ -123,3 +123,48 @@ class TestRandGreedi:
         cluster = SimulatedCluster(3, seed=0)
         result = randgreedi(cluster, inst, 2, rng=np.random.default_rng(8))
         assert result.coverage <= best
+
+
+class TestEdgeCases:
+    """Coverage gaps: empty instances, k > set count, tie-breaking."""
+
+    def test_empty_instance_pads_seeds(self):
+        cluster = SimulatedCluster(2, seed=0)
+        empty = CoverageInstance(5, [])
+        result = greedi(cluster, empty, 3)
+        assert len(result.seeds) == len(set(result.seeds)) == 3
+        assert result.coverage == 0
+        assert result.num_elements == 0
+
+    def test_k_exceeding_set_count_pads_deterministically(self, paper_instance):
+        # k = num sets: every set is selected (or padded in), no repeats.
+        cluster = SimulatedCluster(2, seed=0)
+        result = greedi(cluster, paper_instance, paper_instance.num_nodes)
+        assert sorted(result.seeds) == list(range(paper_instance.num_nodes))
+
+    def test_tie_breaking_is_lowest_id_and_deterministic(self):
+        # Four sets covering identical element counts: pure tie.  The
+        # bucket queue breaks ties to the lowest set id on both the
+        # per-partition and the merge stage.
+        inst = CoverageInstance(4, [[0], [1], [2], [3]])
+        results = [
+            greedi(SimulatedCluster(2, seed=0), inst, 2) for _ in range(3)
+        ]
+        assert all(r.seeds == [0, 1] for r in results)
+
+    def test_backends_agree_on_edge_cases(self):
+        inst = CoverageInstance(5, [[0, 1], [1, 2], [3], [3], [3]])
+        for k in (1, 3, 5):
+            flat = greedi(SimulatedCluster(2, seed=0), inst, k, backend="flat")
+            ref = greedi(SimulatedCluster(2, seed=0), inst, k, backend="reference")
+            assert flat.seeds == ref.seeds
+            assert flat.coverage == ref.coverage
+
+    def test_centralized_greedy_empty_and_overfull(self):
+        empty = CoverageInstance(3, [])
+        result = greedy_max_coverage([empty], 2)
+        assert sorted(result.seeds) == [0, 1] and result.coverage == 0
+        inst = CoverageInstance(3, [[0], [0, 1]])
+        result = greedy_max_coverage([inst], 5)
+        assert sorted(result.seeds) == [0, 1, 2]
+        assert result.coverage == 2

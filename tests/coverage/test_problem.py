@@ -103,3 +103,32 @@ class TestSplit:
         sub = instance.subinstance([0, 5])
         assert sub.num_sets == 2
         assert sub.get(1).tolist() == sorted(paper_coverage_example()[5])
+
+
+class TestEdgeCases:
+    """Coverage gaps: empty collections and degenerate reads."""
+
+    def test_instance_with_no_elements(self):
+        empty = CoverageInstance(4, [])
+        assert empty.num_sets == 0 and len(empty) == 0
+        assert empty.total_size == 0
+        assert empty.coverage_of([0, 1, 2, 3]) == 0
+        assert empty.coverage_counts().tolist() == [0, 0, 0, 0]
+        assert empty.sets_containing(2) == []
+        with pytest.raises(IndexError):
+            empty.get(0)
+
+    def test_split_of_empty_instance(self):
+        parts = CoverageInstance(4, []).split(3)
+        assert [p.num_sets for p in parts] == [0, 0, 0]
+
+    def test_coverage_of_empty_and_duplicate_seed_sets(self, instance):
+        assert instance.coverage_of([]) == 0
+        assert instance.coverage_of([1, 1, 1]) == instance.coverage_of([1])
+
+    def test_coverage_counts_start_past_end(self, instance):
+        assert instance.coverage_counts(start=instance.num_sets).sum() == 0
+
+    def test_subinstance_of_nothing(self, instance):
+        sub = instance.subinstance([])
+        assert sub.num_sets == 0 and sub.num_nodes == instance.num_nodes

@@ -13,7 +13,7 @@ import repro
 from repro.api import ALGORITHMS, RunConfig, run
 from repro.cluster.faults import FaultPlan, FaultSpec, RetryPolicy
 from repro.core import diimm, distributed_opimc, distributed_ssa, distributed_subsim, imm
-from repro.core.config import BACKENDS, METHODS, MODELS
+from repro.core.config import BACKENDS, METHODS, MODELS, STOPPINGS
 
 
 def assert_same_result(a, b):
@@ -196,9 +196,10 @@ class TestValidation:
         assert config.validate() is config
 
     def test_vocabulary_constants(self):
-        assert BACKENDS == ("flat", "reference")
+        assert BACKENDS == ("flat", "reference", "sketch")
         assert MODELS == ("ic", "lt")
         assert METHODS == ("bfs", "subsim", "vectorized")
+        assert STOPPINGS == ("schedule", "error-adaptive")
 
 
 class TestRunConfig:
